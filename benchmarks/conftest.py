@@ -1,0 +1,45 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark module reproduces one table or figure of the paper and
+registers its rendered table here; a terminal-summary hook prints every
+registered table at the end of the run (so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures them), and a copy is
+written under ``benchmarks/results/``.
+
+Scale: device counts default to 1/16 of the paper's (pure Python is two
+orders of magnitude slower per box than 1983 C on a VAX).  Set
+``REPRO_BENCH_SCALE`` to run larger.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+_TABLES: list[str] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def register_table():
+    """Register a rendered table for terminal summary + results file."""
+
+    def _register(name: str, text: str) -> None:
+        _TABLES.append(text)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+        with open(os.path.join(_RESULTS_DIR, f"{slug}.txt"), "w") as handle:
+            handle.write(text)
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables")
+    for text in _TABLES:
+        terminalreporter.write(text)
+        terminalreporter.write("\n")

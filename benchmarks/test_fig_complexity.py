@@ -1,0 +1,75 @@
+"""ACE section 4: the expected-complexity claims, verified empirically.
+
+Under the Bentley-Haken-Hon model (N random 8-lambda squares over a
+[0.8 sqrt(N) lambda]^2 region), both the number of scanline stops and
+the expected active-list length are O(sqrt N), and the observed run
+time is linear in N.  These are the analytic results behind Table 5-1's
+linearity; this module regenerates the supporting series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, timed
+from repro.core import extract_report
+from repro.workloads import random_squares
+
+SIZES = (1000, 4000, 16000)
+
+
+@pytest.fixture(scope="module")
+def series():
+    rows = []
+    for n in SIZES:
+        layout = random_squares(n, seed=42)
+        run = timed(extract_report, layout)
+        stats = run.result.stats
+        rows.append(
+            {
+                "n": n,
+                "stops": stats.stops,
+                "mean_active": stats.mean_active,
+                "peak_active": stats.peak_active,
+                "seconds": run.seconds,
+            }
+        )
+    return rows
+
+
+def test_fig_complexity(benchmark, series, register_table):
+    body = [
+        [
+            row["n"],
+            row["stops"],
+            round(row["mean_active"], 1),
+            row["peak_active"],
+            f"{row['seconds']:.3f}",
+            f"{row['seconds'] / row['n'] * 1e6:.1f}",
+        ]
+        for row in series
+    ]
+    register_table(
+        "ace complexity model",
+        format_table(
+            ["N boxes", "Stops", "Mean active", "Peak active", "Time(s)", "us/box"],
+            body,
+            title="ACE section 4: scanline statistics under the random-square model",
+        ),
+    )
+
+    # Stops and active-list length scale as sqrt(N): a 4x N step should
+    # roughly double them (allow 1.4x..3x).
+    for prev, cur in zip(series, series[1:]):
+        stop_ratio = cur["stops"] / prev["stops"]
+        active_ratio = cur["mean_active"] / prev["mean_active"]
+        assert 1.3 < stop_ratio < 3.2, stop_ratio
+        assert 1.3 < active_ratio < 3.2, active_ratio
+
+    # Observed time is linear in N: us/box stays in a narrow band.
+    per_box = [row["seconds"] / row["n"] for row in series]
+    assert max(per_box) / min(per_box) < 2.5
+
+    benchmark.pedantic(
+        extract_report, args=(random_squares(1000, seed=1),), rounds=3, iterations=1
+    )

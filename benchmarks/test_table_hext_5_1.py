@@ -1,0 +1,89 @@
+"""HEXT Table 5-1: hierarchical vs flat extraction on the chip suite.
+
+Paper shape: HEXT wins dramatically on the regular memory chip (testram:
+1:36 vs 26:36) and on repetitive designs, but *loses* to flat ACE on the
+irregular chips (schip2: 27:48 vs 18:12) because subdivision produces
+thousands of small unique windows whose composition dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DEFAULT_SCALE, format_table, run_suite
+from repro.hext import hext_extract
+from repro.workloads import build_chip
+
+#: Paper's totals for the side-by-side column (min:sec).
+PAPER = {
+    "cherry": ("2:01", "1:05"),
+    "dchip": ("7:04", "10:12"),
+    "schip2": ("27:48", "18:12"),
+    "testram": ("1:36", "26:36"),
+    "psc": ("49:11", "41:14"),
+    "riscb": ("27:16", "92:12"),
+}
+
+NAMES = tuple(PAPER)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_suite(scale=DEFAULT_SCALE, names=NAMES, with_hext=True)
+
+
+def test_table_hext_5_1(benchmark, rows, register_table):
+    body = []
+    for row in rows:
+        stats = row.hext_stats
+        body.append(
+            [
+                row.name,
+                row.devices,
+                f"{stats.frontend_seconds:.2f}s",
+                f"{stats.backend_seconds:.2f}s",
+                f"{stats.frontend_seconds + stats.backend_seconds:.2f}s",
+                f"{row.ace_seconds:.2f}s",
+                PAPER[row.name][0],
+                PAPER[row.name][1],
+            ]
+        )
+    register_table(
+        "hext table 5-1",
+        format_table(
+            [
+                "chip",
+                "devices",
+                "HEXT fe",
+                "HEXT be",
+                "HEXT total",
+                "ACE flat",
+                "paper HEXT",
+                "paper ACE",
+            ],
+            body,
+            title=f"HEXT Table 5-1 (scale={DEFAULT_SCALE:g})",
+        ),
+    )
+
+    by_name = {row.name: row for row in rows}
+    # The regular memory chip: HEXT well ahead of flat.
+    def hext_time(row):
+        return row.hext_stats.frontend_seconds + row.hext_stats.backend_seconds
+
+    testram = by_name["testram"]
+    assert hext_time(testram) < testram.ace_seconds
+    # The irregular chips: HEXT behind flat, as in the paper.
+    for name in ("schip2", "psc"):
+        row = by_name[name]
+        assert hext_time(row) > row.ace_seconds, name
+    # Device counts agree between the two extractors everywhere.
+    for row in rows:
+        assert row.hext_devices == row.devices, row.name
+
+    benchmark.pedantic(
+        lambda lay: hext_extract(lay).circuit,
+        args=(build_chip("testram", DEFAULT_SCALE),),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,87 @@
+"""HEXT Table 5-2: analysis of the back-end.
+
+Paper columns: calls to the flat extractor, calls to compose, back-end
+time, time composing, percent composing -- averaging 72% and motivating
+"it is more important to optimize the algorithms for the compose routine
+than those for the flat extractor".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DEFAULT_SCALE, format_table, run_suite
+from repro.hext import hext_extract
+from repro.workloads import build_chip
+
+#: Paper's numbers: (flat calls, compose calls, % composing).
+PAPER = {
+    "cherry": (205, 463, 47),
+    "dchip": (375, 1886, 66),
+    "schip2": (538, 6409, 94),
+    "testram": (45, 1089, 86),
+    "psc": (3756, 11565, 79),
+    "riscb": (1499, 8785, 60),
+}
+
+NAMES = tuple(PAPER)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_suite(scale=DEFAULT_SCALE, names=NAMES, with_hext=True)
+
+
+def test_table_hext_5_2(benchmark, rows, register_table):
+    body = []
+    shares = []
+    for row in rows:
+        stats = row.hext_stats
+        share = 100.0 * stats.compose_share
+        shares.append(share)
+        paper = PAPER[row.name]
+        body.append(
+            [
+                row.name,
+                row.devices,
+                stats.flat_calls,
+                stats.compose_calls,
+                f"{stats.backend_seconds:.2f}s",
+                f"{share:.0f}%",
+                paper[0],
+                paper[1],
+                f"{paper[2]}%",
+            ]
+        )
+    register_table(
+        "hext table 5-2",
+        format_table(
+            [
+                "chip",
+                "devices",
+                "flat calls",
+                "composes",
+                "back-end",
+                "% compose",
+                "paper flat",
+                "paper comp",
+                "paper %",
+            ],
+            body,
+            title=f"HEXT Table 5-2 (scale={DEFAULT_SCALE:g}): back-end analysis",
+        ),
+    )
+
+    # Composing dominates the back-end on average (paper: 72%).
+    mean_share = sum(shares) / len(shares)
+    assert mean_share > 50.0
+    # Compose calls far outnumber flat-extractor calls, as in the paper.
+    for row in rows:
+        assert row.hext_stats.compose_calls > row.hext_stats.flat_calls
+
+    benchmark.pedantic(
+        lambda lay: hext_extract(lay).stats.compose_calls,
+        args=(build_chip("cherry", DEFAULT_SCALE),),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""ACE section 4: the O(N^2) worst case.
+
+"The worst case occurs when N horizontal poly lines intersect N vertical
+diffusion lines, forming a mesh with N^2 transistors.  Since each of the
+N^2 transistors has to be found by the extractor, the complexity is at
+least N^2."  2N boxes in, N^2 devices out: time per *box* must blow up
+even though time per *device* stays sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, timed
+from repro.core import extract_report
+from repro.workloads import poly_diff_mesh
+
+SIZES = (8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def series():
+    rows = []
+    for n in SIZES:
+        run = timed(extract_report, poly_diff_mesh(n))
+        circuit = run.result.circuit
+        rows.append(
+            {
+                "n": n,
+                "boxes": 2 * n,
+                "devices": len(circuit.devices),
+                "seconds": run.seconds,
+            }
+        )
+    return rows
+
+
+def test_worst_case_mesh(benchmark, series, register_table):
+    body = [
+        [
+            row["n"],
+            row["boxes"],
+            row["devices"],
+            f"{row['seconds']:.3f}",
+            f"{row['seconds'] / row['boxes'] * 1e3:.2f}",
+            f"{row['seconds'] / row['devices'] * 1e6:.1f}",
+        ]
+        for row in series
+    ]
+    register_table(
+        "ace worst case mesh",
+        format_table(
+            ["n", "Boxes", "Devices", "Time(s)", "ms/box", "us/device"],
+            body,
+            title="ACE section 4 worst case: n x n poly/diffusion mesh",
+        ),
+    )
+
+    for row in series:
+        assert row["devices"] == row["n"] ** 2
+
+    # Quadratic in boxes: per-box time grows ~linearly with n ...
+    first, last = series[0], series[-1]
+    per_box_growth = (last["seconds"] / last["boxes"]) / (
+        first["seconds"] / first["boxes"]
+    )
+    n_growth = last["n"] / first["n"]
+    assert per_box_growth > n_growth / 2.5
+    # ... while per-device time stays bounded (output-dominated).
+    per_dev = [row["seconds"] / row["devices"] for row in series]
+    assert max(per_dev) / min(per_dev) < 4.0
+
+    benchmark.pedantic(
+        extract_report, args=(poly_diff_mesh(16),), rounds=3, iterations=1
+    )

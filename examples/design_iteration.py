@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The extract - check - fix loop the paper's conclusion describes.
+
+"It is not unusual to see a user with a 5,000 transistor chip go through
+a few iterations of extracting, simulating, and fixing bugs during a
+single two-hour session."  This example plays one such session: a layout
+with three planted bugs is extracted and statically checked; each
+iteration fixes what the checker found and re-extracts.
+
+Run:  python examples/design_iteration.py
+"""
+
+from repro import extract
+from repro.analysis import static_check
+from repro.cif import Label, Layout
+from repro.geometry import Box
+
+
+def draw(fix_ratio: bool, fix_short: bool, fix_gate: bool) -> Layout:
+    """A two-inverter layout with up to three planted bugs.
+
+    Bug 1 (ratio): the first inverter's pullup is drawn 4 lambda long
+    instead of 8, halving the 4:1 ratio restoring logic needs.
+    Bug 2 (short): a leftover metal strap ties OUT2's metal to GND.
+    Bug 3 (gate): the second pulldown's input poly is drawn 1 lambda
+    short of its contact, leaving the gate floating.
+    """
+    lam = 250
+
+    def box(symbol, layer, x1, y1, x2, y2):
+        symbol.add_box(layer, Box(x1 * lam, y1 * lam, x2 * lam, y2 * lam))
+
+    layout = Layout()
+    top = layout.top
+    for column, (fix_r, fix_g) in enumerate(
+        [(fix_ratio, True), (True, fix_gate)]
+    ):
+        x = column * 14
+        # Diffusion spine, rails, contacts.
+        box(top, "ND", x + 0, 1, x + 2, 29)
+        box(top, "NM", x - 4, 0, x + 6, 4)
+        box(top, "NC", x + 0, 1, x + 2, 3)
+        box(top, "NM", x - 4, 26, x + 6, 30)
+        box(top, "NC", x + 0, 27, x + 2, 29)
+        # Pulldown gate with its input contact from metal.
+        gate_left = x - 4 if fix_g else x - 1
+        box(top, "NP", gate_left, 6, x + 6, 8)
+        box(top, "NP", x - 4, 6, x - 2, 12)  # poly tab up to the contact
+        box(top, "NC", x - 4, 9, x - 2, 11)
+        box(top, "NM", x - 5, 8, x - 1, 12)
+        # Buried tie and depletion load.
+        box(top, "NP", x + 0, 13, x + 2, 16)
+        box(top, "NB", x + 0, 13, x + 2, 16)
+        load_top = 24 if fix_r else 20
+        box(top, "NP", x - 1, 16, x + 3, load_top)
+        box(top, "NI", x - 2, 15, x + 4, load_top + 1)
+        # Output metal.
+        box(top, "NC", x + 0, 9, x + 2, 11)
+        box(top, "NM", x + 0, 8, x + 10, 12)
+        top.add_label(Label(f"OUT{column + 1}", (x + 8) * lam, 10 * lam, "NM"))
+        top.add_label(Label("VDD", (x + 1) * lam, 28 * lam, "NM"))
+        top.add_label(Label("GND", (x + 1) * lam, 2 * lam, "NM"))
+        top.add_label(Label(f"IN{column + 1}", (x - 4) * lam, 10 * lam, "NM"))
+    if not fix_short:
+        # The leftover strap: OUT2 metal down into the GND rail.
+        box(top, "NM", 16, 2, 18, 9)
+    return layout
+
+
+def iteration(n: int, **fixes) -> int:
+    layout = draw(**fixes)
+    circuit = extract(layout)
+    report = static_check(circuit)
+    print(f"--- iteration {n}: extract ({len(circuit.devices)} devices) "
+          f"and check ---")
+    findings = report.errors + report.warnings
+    interesting = [
+        d for d in findings if d.rule not in ("floating-gate",)
+    ] + [
+        d for d in findings
+        if d.rule == "floating-gate"
+        and not any(f"IN" in name for name in _gate_names(circuit, d))
+    ]
+    if not interesting:
+        print("  clean!  ready for simulation")
+    for diag in interesting:
+        print(f"  {diag.severity.value}: [{diag.rule}] {diag.message}")
+    return len(interesting)
+
+
+def _gate_names(circuit, diag):
+    if diag.net is None:
+        return []
+    for net in circuit.nets:
+        if net.index == diag.net:
+            return net.names
+    return []
+
+
+def main() -> None:
+    print("a two-hour session, compressed:")
+    print()
+    iteration(1, fix_ratio=False, fix_short=False, fix_gate=False)
+    print("\n  ... fix the shorting strap found above ...\n")
+    iteration(2, fix_ratio=False, fix_short=True, fix_gate=False)
+    print("\n  ... lengthen the weak pullup, reconnect the gate ...\n")
+    remaining = iteration(3, fix_ratio=True, fix_short=True, fix_gate=True)
+    assert remaining == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""RC post-processing from extracted net geometry.
+
+ACE deliberately computes no capacitances or resistances itself -- "it
+was undesirable to embed any fixed notion of a circuit model into the
+extractor code" -- but with geometry output enabled, a post-processor
+has everything it needs.  This example extracts an inverter chain with
+geometry, estimates per-net parasitics, and shows the RC delay budget
+growing along the chain's output wires.
+
+Run:  python examples/rc_extraction.py
+"""
+
+from repro import extract
+from repro.analysis import ProcessModel, estimate_rc
+from repro.workloads import inverter_rows
+
+
+def main() -> None:
+    layout = inverter_rows(1, 6)
+    circuit = extract(layout, keep_geometry=True)
+    model = ProcessModel()  # ~2.5um NMOS unit values
+    rc = estimate_rc(circuit, model)
+
+    print("per-net parasitics (inverter chain, 6 stages):")
+    print(f"{'net':12s} {'C (fF)':>8s} {'R (ohm)':>9s} {'RC (ps)':>9s}  layers")
+    for net in circuit.nets:
+        entry = rc.get(net.index)
+        if entry is None:
+            continue
+        tau_ps = entry.capacitance_ff * entry.resistance_ohm / 1000.0
+        layers = ", ".join(
+            f"{layer}:{area:.0f}um2"
+            for layer, area in sorted(entry.area_by_layer.items())
+        )
+        print(
+            f"{net.label:12s} {entry.capacitance_ff:8.2f} "
+            f"{entry.resistance_ohm:9.2f} {tau_ps:9.3f}  {layers}"
+        )
+
+    total_c = sum(e.capacitance_ff for e in rc.values())
+    print(f"\ntotal node capacitance: {total_c:.1f} fF")
+    gnd = circuit.net_by_name("GND")
+    vdd = circuit.net_by_name("VDD")
+    print(
+        f"rail capacitance: VDD {rc[vdd.index].capacitance_ff:.1f} fF, "
+        f"GND {rc[gnd.index].capacitance_ff:.1f} fF"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: a reproduction of "ACE: A Circuit Extractor" (DAC 1983).
+
+A flat, edge-based circuit extractor for NMOS layouts, its hierarchical
+companion HEXT, the raster-scan and region-merge baselines it was
+benchmarked against, and the workload generators and harnesses that
+regenerate every table in the paper.
+
+Quickstart::
+
+    from repro import extract, workloads
+    from repro.wirelist import to_wirelist, write_wirelist
+
+    circuit = extract(workloads.inverter(), keep_geometry=True)
+    print(write_wirelist(to_wirelist(circuit, name="inverter")))
+"""
+
+from .core import Circuit, Device, Net, extract, extract_report
+from .tech import NMOS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Device",
+    "NMOS",
+    "Net",
+    "extract",
+    "extract_report",
+]

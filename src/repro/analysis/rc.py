@@ -1,0 +1,125 @@
+"""RC post-processing from net geometry.
+
+ACE "does not directly compute the capacitance and resistance for nets
+and devices, as it was undesirable to embed any fixed notion of a circuit
+model into the extractor code.  It is possible, however, to obtain a list
+of geometry that constitutes each net and device.  This information is
+enough for a post-processing program to compute capacitances and
+resistances."  (Section 2.)
+
+This module is that post-processing program: given a circuit extracted
+with ``keep_geometry=True`` and a :class:`ProcessModel` of per-layer unit
+values, it reports per-net capacitance and resistance estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.netlist import Circuit, Net
+from ..geometry import Box, normalize_region, union_area
+
+
+@dataclass(frozen=True)
+class ProcessModel:
+    """Per-layer electrical constants.
+
+    Units are deliberately simple: capacitance in fF per square micron,
+    sheet resistance in ohms per square.  Defaults approximate a 2.5um
+    NMOS process (Mead & Conway chapter 1 magnitudes).
+    """
+
+    #: fF per um^2 of area to substrate.
+    area_cap: dict = field(
+        default_factory=lambda: {"NM": 0.03, "NP": 0.05, "ND": 0.10}
+    )
+    #: ohms per square.
+    sheet_res: dict = field(
+        default_factory=lambda: {"NM": 0.05, "NP": 50.0, "ND": 30.0}
+    )
+    #: centimicrons per micron (CIF unit conversion).
+    units_per_micron: int = 100
+
+
+@dataclass(frozen=True, slots=True)
+class NetRC:
+    """Estimated parasitics for one net."""
+
+    net: int
+    capacitance_ff: float
+    resistance_ohm: float
+    area_by_layer: dict
+
+
+def estimate_rc(
+    circuit: Circuit, model: ProcessModel | None = None
+) -> dict[int, NetRC]:
+    """Per-net capacitance and resistance estimates.
+
+    Capacitance is summed per-layer area times unit capacitance.
+    Resistance is a lumped estimate per layer: sheet resistance times the
+    net's bounding-path squares (length/width of the layer region treated
+    as one wire), summed over layers -- crude, but exactly the kind of
+    model a 1983 post-processor applied, and monotone in wire length,
+    which is what the examples demonstrate.
+
+    Requires a circuit extracted with ``keep_geometry=True``.
+    """
+    model = model or ProcessModel()
+    results: dict[int, NetRC] = {}
+    for net in circuit.nets:
+        if not net.geometry:
+            continue
+        results[net.index] = _net_rc(net, model)
+    return results
+
+
+def _net_rc(net: Net, model: ProcessModel) -> NetRC:
+    by_layer: dict[str, list[Box]] = {}
+    for layer, box in net.geometry:
+        by_layer.setdefault(layer, []).append(box)
+
+    scale = model.units_per_micron
+    cap = 0.0
+    res = 0.0
+    areas: dict[str, float] = {}
+    for layer, boxes in by_layer.items():
+        area_um2 = union_area(boxes) / (scale * scale)
+        areas[layer] = area_um2
+        cap += area_um2 * model.area_cap.get(layer, 0.0)
+        rho = model.sheet_res.get(layer)
+        if rho is not None and area_um2 > 0:
+            squares = _path_squares(boxes)
+            res += rho * squares
+    return NetRC(
+        net=net.index,
+        capacitance_ff=cap,
+        resistance_ohm=res,
+        area_by_layer=areas,
+    )
+
+
+def _path_squares(boxes: list[Box]) -> float:
+    """Approximate wire squares: dominant extent over mean width.
+
+    The region's longer bounding-box side is taken as the electrical
+    path; area / length gives the mean width, and length / width the
+    squares.  Exact for straight wires, reasonable for L and T shapes.
+    """
+    region = normalize_region(boxes)
+    if not region:
+        return 0.0
+    xmin = min(b.xmin for b in region)
+    ymin = min(b.ymin for b in region)
+    xmax = max(b.xmax for b in region)
+    ymax = max(b.ymax for b in region)
+    length = max(xmax - xmin, ymax - ymin)
+    area = sum(b.area for b in region)
+    if area == 0 or length == 0:
+        return 0.0
+    width = area / length
+    return length / width
+
+
+def total_capacitance(rc: "dict[int, NetRC]") -> float:
+    return sum(entry.capacitance_ff for entry in rc.values())

@@ -1,0 +1,257 @@
+"""Static checking of extracted circuits.
+
+Section 1 of the paper lists the downstream tools a wirelist feeds; the
+static checker "performs ratio checks, detects malformed transistors, and
+checks for signals that are stuck at logical 0 or 1".  This module is
+that checker, operating directly on the extractor's Circuit model.
+
+NMOS ratio rule: for a ratioed inverter driven by a full level, the
+pullup length/width ratio divided by the pulldown's must be at least 4
+(Mead & Conway's k >= 4 for restoring logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..core.netlist import Circuit, Device
+
+
+class Severity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One static-check finding."""
+
+    severity: Severity
+    rule: str
+    message: str
+    device: int | None = None
+    net: int | None = None
+
+
+@dataclass
+class CheckReport:
+    """All findings for one circuit."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+
+#: Minimum pullup-to-pulldown impedance ratio for restoring NMOS logic.
+MIN_INVERTER_RATIO = 4.0
+
+
+def static_check(
+    circuit: Circuit,
+    *,
+    vdd_names: tuple[str, ...] = ("VDD", "VDD!", "Vdd"),
+    gnd_names: tuple[str, ...] = ("GND", "GND!", "Vss", "GROUND"),
+    min_ratio: float = MIN_INVERTER_RATIO,
+) -> CheckReport:
+    """Run every check over ``circuit``."""
+    report = CheckReport()
+    vdd, gnd = _find_rails(circuit, vdd_names, gnd_names)
+    _check_malformed(circuit, report)
+    _check_rails(circuit, report, vdd, gnd)
+    _check_ratios(circuit, report, vdd, gnd, min_ratio)
+    _check_floating(circuit, report, vdd, gnd)
+    return report
+
+
+def _find_rails(
+    circuit: Circuit,
+    vdd_names: tuple[str, ...],
+    gnd_names: tuple[str, ...],
+) -> tuple[set[int], set[int]]:
+    vdd: set[int] = set()
+    gnd: set[int] = set()
+    for net in circuit.nets:
+        if any(name in net.names for name in vdd_names):
+            vdd.add(net.index)
+        if any(name in net.names for name in gnd_names):
+            gnd.add(net.index)
+    return vdd, gnd
+
+
+def _check_malformed(circuit: Circuit, report: CheckReport) -> None:
+    for device in circuit.devices:
+        if device.gate is None:
+            report.diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "malformed-no-gate",
+                    f"device D{device.index} has a channel but no gate net",
+                    device=device.index,
+                )
+            )
+        if device.source is None or device.drain is None:
+            report.diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "malformed-terminals",
+                    f"device D{device.index} has "
+                    f"{len(device.terminals)} diffusion terminal(s); "
+                    f"a transistor needs two",
+                    device=device.index,
+                )
+            )
+        elif len(device.terminals) > 2:
+            report.diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "extra-terminals",
+                    f"device D{device.index} touches "
+                    f"{len(device.terminals)} diffusion nets",
+                    device=device.index,
+                )
+            )
+        if len(device.gates) > 1:
+            report.diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "multi-gate",
+                    f"device D{device.index} channel is crossed by "
+                    f"{len(device.gates)} distinct poly nets",
+                    device=device.index,
+                )
+            )
+
+
+def _check_rails(
+    circuit: Circuit, report: CheckReport, vdd: set[int], gnd: set[int]
+) -> None:
+    if vdd & gnd:
+        report.diagnostics.append(
+            Diagnostic(
+                Severity.ERROR,
+                "rail-short",
+                "a net carries both VDD and GND names: power short",
+                net=next(iter(vdd & gnd)),
+            )
+        )
+    if not vdd:
+        report.diagnostics.append(
+            Diagnostic(
+                Severity.WARNING, "no-vdd", "no net is named VDD"
+            )
+        )
+    if not gnd:
+        report.diagnostics.append(
+            Diagnostic(
+                Severity.WARNING, "no-gnd", "no net is named GND"
+            )
+        )
+    for device in circuit.devices:
+        sd = {device.source, device.drain}
+        if device.source is not None and device.source == device.drain:
+            continue  # gate-tied loads legitimately repeat a net
+        if sd <= vdd or sd <= gnd:
+            report.diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "shorted-device",
+                    f"device D{device.index} has both terminals on the "
+                    f"same rail",
+                    device=device.index,
+                )
+            )
+
+
+def _pullups_and_pulldowns(
+    circuit: Circuit, vdd: set[int], gnd: set[int]
+) -> tuple[dict[int, Device], dict[int, list[Device]]]:
+    """Depletion loads by output net; enhancement pulldowns by output."""
+    pullups: dict[int, Device] = {}
+    pulldowns: dict[int, list[Device]] = {}
+    for device in circuit.devices:
+        if device.source is None or device.drain is None:
+            continue
+        terminals = {device.source, device.drain}
+        if device.depletion and terminals & vdd:
+            output = next(iter(terminals - vdd), None)
+            if output is not None:
+                pullups[output] = device
+        elif not device.depletion and terminals & gnd:
+            output = next(iter(terminals - gnd), None)
+            if output is not None:
+                pulldowns.setdefault(output, []).append(device)
+    return pullups, pulldowns
+
+
+def _check_ratios(
+    circuit: Circuit,
+    report: CheckReport,
+    vdd: set[int],
+    gnd: set[int],
+    min_ratio: float,
+) -> None:
+    if not vdd or not gnd:
+        return
+    pullups, pulldowns = _pullups_and_pulldowns(circuit, vdd, gnd)
+    for output, load in pullups.items():
+        drivers = pulldowns.get(output)
+        if not drivers or not load.width or not load.length:
+            continue
+        z_up = load.length / load.width
+        # Series pulldown chains are not traced; the direct driver set
+        # approximates the worst single path.
+        for driver in drivers:
+            if not driver.width or not driver.length:
+                continue
+            z_down = driver.length / driver.width
+            ratio = z_up / z_down if z_down else float("inf")
+            if ratio < min_ratio:
+                report.diagnostics.append(
+                    Diagnostic(
+                        Severity.WARNING,
+                        "ratio",
+                        f"net N{output}: pullup/pulldown impedance ratio "
+                        f"{ratio:.2f} below {min_ratio:g} "
+                        f"(D{load.index} over D{driver.index})",
+                        device=driver.index,
+                        net=output,
+                    )
+                )
+
+
+def _check_floating(
+    circuit: Circuit, report: CheckReport, vdd: set[int], gnd: set[int]
+) -> None:
+    """Gates driven by nets no transistor can ever drive are stuck."""
+    drivable: set[int] = set(vdd) | set(gnd)
+    for device in circuit.devices:
+        for terminal in (device.source, device.drain):
+            if terminal is not None:
+                drivable.add(terminal)
+    for device in circuit.devices:
+        if device.gate is not None and device.gate not in drivable:
+            report.diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "floating-gate",
+                    f"device D{device.index} gate net N{device.gate} is "
+                    f"not driven by any source/drain or rail (stuck or "
+                    f"chip input)",
+                    device=device.index,
+                    net=device.gate,
+                )
+            )

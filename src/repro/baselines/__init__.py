@@ -1,0 +1,6 @@
+"""Baseline extractors the paper compares against (Table 5-2)."""
+
+from .polyflat import extract_polyflat
+from .raster import extract_raster
+
+__all__ = ["extract_polyflat", "extract_raster"]

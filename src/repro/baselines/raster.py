@@ -1,0 +1,243 @@
+"""Fixed-grid raster-scan extractor (the "Partlist" baseline).
+
+Partlist (Baker 1980, Wendorf 1980) examines the chip "in a raster-scan
+order (left to right, top to bottom) looking through an L-shaped window
+containing three raster elements" over a fixed lambda grid.  The paper's
+critique -- "a lot of time is wasted scanning over grid squares where no
+information is to be gained ... a raster-based extractor must visit each
+and every grid square spanned by the box" -- is exactly the property this
+reimplementation preserves: rows are stored run-encoded, but the
+L-window connectivity work runs **per occupied grid cell**, comparing
+each cell against its left and top neighbours.
+
+Empty cells are skipped via the run encoding (as Partlist's were); large
+boxes still cost area/lambda^2 instead of ACE's per-edge work.  The
+output is the same :class:`~repro.core.netlist.Circuit` model as ACE, so
+results can be checked for netlist equivalence.
+"""
+
+from __future__ import annotations
+
+from ..cif import Layout
+from ..core.assemble import assemble_circuit
+from ..core.netlist import Circuit
+from ..core.unionfind import UnionFind
+from ..frontend import instantiate
+from ..tech import NMOS, Technology
+
+# Layer-presence bits in a cell's mask.
+_METAL, _POLY, _DIFF, _CUT, _IMPL, _BURIED = 1, 2, 4, 8, 16, 32
+
+
+def extract_raster(
+    layout: Layout,
+    tech: Technology | None = None,
+    *,
+    grid: int | None = None,
+) -> Circuit:
+    """Extract ``layout`` by raster scan on a ``grid``-pitch lambda grid.
+
+    ``grid`` defaults to the technology lambda.  Geometry is expected to
+    be grid-aligned (the generators emit lambda grids); off-grid edges
+    are snapped outward, which can merge features closer than one grid
+    unit -- the constraint the paper notes fixed-grid extractors impose.
+    """
+    tech = tech or NMOS()
+    pitch = grid or tech.lambda_
+    boxes, labels = instantiate(layout)
+
+    bit_of = {
+        tech.conducting_layers[0].cif_name: _METAL,
+        tech.channel_layers[1].cif_name: _POLY,
+        tech.channel_layers[0].cif_name: _DIFF,
+        tech.contact_layer.cif_name: _CUT,
+        tech.depletion_marker.cif_name: _IMPL,
+        tech.buried_layer.cif_name: _BURIED,
+    }
+
+    stack = [(bit_of[layer], box) for layer, box in boxes if layer in bit_of]
+    if not stack:
+        return Circuit(nets=[], devices=[])
+    y_top = max(box.ymax for _, box in stack)
+    y_bot = min(box.ymin for _, box in stack)
+    stack.sort(key=lambda item: -item[1].ymax)
+
+    nets = UnionFind()
+    devs = UnionFind()
+    net_loc: dict[int, tuple[int, int]] = {}
+    net_names: dict[int, list[str]] = {}
+    dev_rec: dict[int, dict] = {}
+    unattached = []
+
+    labels_left = sorted(labels, key=lambda lb: -lb.y)
+    label_pos = 0
+
+    metal_name = tech.conducting_layers[0].cif_name
+    poly_name = tech.channel_layers[1].cif_name
+    diff_name = tech.channel_layers[0].cif_name
+
+    # Per-column state of the previous row (the top arm of the L-window).
+    prev_metal: dict[int, int] = {}
+    prev_poly: dict[int, int] = {}
+    prev_diff: dict[int, int] = {}
+    prev_chan: dict[int, int] = {}
+
+    cursor = 0
+    active: list = []
+    cell_area = pitch * pitch
+
+    def new_net(col: int, top: int) -> int:
+        net = nets.make()
+        net_loc[net] = (top, -col * pitch)
+        return net
+
+    row_top = -(-y_top // pitch) * pitch
+    bottom = y_bot // pitch * pitch
+    while row_top > bottom:
+        row_bot = row_top - pitch
+        while cursor < len(stack) and stack[cursor][1].ymax >= row_top:
+            active.append(stack[cursor])
+            cursor += 1
+        if active:
+            active = [item for item in active if item[1].ymin < row_top]
+
+        # Rasterize the row: per-cell layer masks over occupied columns.
+        mask: dict[int, int] = {}
+        for bit, box in active:
+            if box.ymin > row_bot:
+                continue
+            for col in range(box.xmin // pitch, -(-box.xmax // pitch)):
+                mask[col] = mask.get(col, 0) | bit
+
+        cur_metal: dict[int, int] = {}
+        cur_poly: dict[int, int] = {}
+        cur_diff: dict[int, int] = {}
+        cur_chan: dict[int, int] = {}
+
+        # The L-window pass, left to right over occupied cells only.
+        for col in sorted(mask):
+            bits = mask[col]
+            is_chan = (
+                bits & _DIFF and bits & _POLY and not bits & _BURIED
+            )
+            if bits & _METAL:
+                net = cur_metal.get(col - 1)
+                above = prev_metal.get(col)
+                if net is None:
+                    net = above if above is not None else new_net(col, row_top)
+                elif above is not None:
+                    net = nets.union(net, above)
+                cur_metal[col] = net
+            if bits & _POLY:  # poly conducts everywhere, channels included
+                net = cur_poly.get(col - 1)
+                above = prev_poly.get(col)
+                if net is None:
+                    net = above if above is not None else new_net(col, row_top)
+                elif above is not None:
+                    net = nets.union(net, above)
+                cur_poly[col] = net
+            if bits & _DIFF and not is_chan:
+                net = cur_diff.get(col - 1)
+                above = prev_diff.get(col)
+                if net is None:
+                    net = above if above is not None else new_net(col, row_top)
+                elif above is not None:
+                    net = nets.union(net, above)
+                cur_diff[col] = net
+            if is_chan:  # channel cells: track devices like nets
+                dev = cur_chan.get(col - 1)
+                above = prev_chan.get(col)
+                if dev is None:
+                    if above is not None:
+                        dev = above
+                    else:
+                        dev = devs.make()
+                        dev_rec[dev] = {
+                            "area": 0,
+                            "gates": set(),
+                            "terms": {},
+                            "loc": None,
+                            "impl": False,
+                        }
+                elif above is not None:
+                    dev = devs.union(dev, above)
+                cur_chan[col] = dev
+                rec = dev_rec[devs.find(dev)]
+                rec["area"] += cell_area
+                rec["gates"].add(cur_poly[col])
+                if bits & _IMPL:
+                    rec["impl"] = True
+                loc = (row_top, -col * pitch)
+                if rec["loc"] is None or loc > rec["loc"]:
+                    rec["loc"] = loc
+            if bits & _CUT:  # contact cut: union whatever conducts here
+                present = [
+                    table[col]
+                    for table in (cur_metal, cur_poly, cur_diff)
+                    if col in table
+                ]
+                for a, b in zip(present, present[1:]):
+                    nets.union(a, b)
+            if bits & _BURIED and bits & _POLY and bits & _DIFF:
+                nets.union(cur_poly[col], cur_diff[col])
+
+        # Terminal contacts: channel cells against adjacent diffusion.
+        for col, dev in cur_chan.items():
+            for dnet in (
+                cur_diff.get(col - 1),
+                cur_diff.get(col + 1),
+                prev_diff.get(col),
+            ):
+                if dnet is None:
+                    continue
+                rec = dev_rec[devs.find(dev)]
+                root = nets.find(dnet)
+                rec["terms"][root] = rec["terms"].get(root, 0) + pitch
+        for col, dnet in cur_diff.items():
+            above = prev_chan.get(col)
+            if above is not None:
+                rec = dev_rec[devs.find(above)]
+                root = nets.find(dnet)
+                rec["terms"][root] = rec["terms"].get(root, 0) + pitch
+
+        # Labels falling inside this row.
+        while label_pos < len(labels_left) and labels_left[label_pos].y >= row_bot:
+            label = labels_left[label_pos]
+            label_pos += 1
+            if label.y > row_top:
+                unattached.append(label)
+                continue
+            col = label.x // pitch
+            order = {
+                metal_name: (cur_metal,),
+                poly_name: (cur_poly,),
+                diff_name: (cur_diff,),
+            }.get(label.layer or "", (cur_metal, cur_poly, cur_diff))
+            net = None
+            for table in order:
+                net = table.get(col)
+                if net is None and label.x == col * pitch:
+                    net = table.get(col - 1)  # point on a cell edge
+                if net is not None:
+                    break
+            if net is None:
+                unattached.append(label)
+            else:
+                net_names.setdefault(net, []).append(label.name)
+
+        prev_metal, prev_poly, prev_diff, prev_chan = (
+            cur_metal,
+            cur_poly,
+            cur_diff,
+            cur_chan,
+        )
+        row_top = row_bot
+
+    warnings = [
+        f"label {label.name!r} at ({label.x}, {label.y}) "
+        f"matches no conducting geometry"
+        for label in unattached
+    ]
+    return assemble_circuit(
+        tech, nets, devs, net_loc, net_names, dev_rec, warnings
+    )

@@ -1,0 +1,27 @@
+"""Benchmark harness: timing, table formatting, and the suite runner."""
+
+from .harness import Timed, best_of, timed
+from .suite import (
+    DEFAULT_SCALE,
+    POLYFLAT_LIMIT,
+    RASTER_LIMIT,
+    SuiteRow,
+    build_suite,
+    run_suite,
+)
+from .tables import format_table, mmss, ratio_column
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "POLYFLAT_LIMIT",
+    "RASTER_LIMIT",
+    "SuiteRow",
+    "Timed",
+    "best_of",
+    "build_suite",
+    "format_table",
+    "mmss",
+    "ratio_column",
+    "run_suite",
+    "timed",
+]

@@ -1,0 +1,32 @@
+"""Timing helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class Timed:
+    """Result of timing one callable."""
+
+    result: object
+    seconds: float
+
+
+def timed(fn, *args, **kwargs) -> Timed:
+    """Run ``fn`` once under a wall-clock timer."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return Timed(result=result, seconds=time.perf_counter() - start)
+
+
+def best_of(n: int, fn, *args, **kwargs) -> Timed:
+    """Best (minimum) wall-clock of ``n`` runs; result from the last."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, n)):
+        run = timed(fn, *args, **kwargs)
+        result = run.result
+        best = min(best, run.seconds)
+    return Timed(result=result, seconds=best)

@@ -1,0 +1,96 @@
+"""Chip-suite runner shared by the table benchmarks.
+
+Builds the synthetic suite at a chosen scale and runs any of the
+extractors over it, collecting the columns Tables 5-1/5-2 (ACE) and
+5-1/5-2 (HEXT) report.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..analysis import layout_stats
+from ..baselines import extract_polyflat, extract_raster
+from ..cif import Layout
+from ..core import extract_report
+from ..hext import HextStats, hext_extract
+from ..workloads import CHIP_SPECS, build_chip
+from .harness import timed
+
+#: Default device-count scale for benchmark runs.  Overridable through
+#: the environment so `pytest benchmarks/` can be dialed up on faster
+#: machines: REPRO_BENCH_SCALE=0.25 pytest benchmarks/ ...
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.0625"))
+
+#: Chips small enough for the slow baselines at the default scale,
+#: mirroring the paper's '-' entries where Partlist/Cifplot gave up.
+RASTER_LIMIT = 30000
+POLYFLAT_LIMIT = 4000
+
+
+@dataclass
+class SuiteRow:
+    """Measurements for one chip."""
+
+    name: str
+    paper_devices: int
+    devices: int
+    boxes: int
+    ace_seconds: float
+    ace_stats: object
+    raster_seconds: float | None = None
+    polyflat_seconds: float | None = None
+    hext_stats: HextStats | None = None
+    hext_devices: int | None = None
+
+    @property
+    def devices_per_second(self) -> float:
+        return self.devices / self.ace_seconds if self.ace_seconds else 0.0
+
+    @property
+    def boxes_per_second(self) -> float:
+        return self.boxes / self.ace_seconds if self.ace_seconds else 0.0
+
+
+def build_suite(
+    scale: float = DEFAULT_SCALE, names: "tuple[str, ...] | None" = None
+) -> dict[str, Layout]:
+    selected = names or tuple(spec.name for spec in CHIP_SPECS)
+    return {name: build_chip(name, scale) for name in selected}
+
+
+def run_suite(
+    scale: float = DEFAULT_SCALE,
+    names: "tuple[str, ...] | None" = None,
+    *,
+    with_baselines: bool = False,
+    with_hext: bool = False,
+) -> list[SuiteRow]:
+    rows: list[SuiteRow] = []
+    for name, layout in build_suite(scale, names).items():
+        spec = next(s for s in CHIP_SPECS if s.name == name)
+        art = layout_stats(layout)
+        ace = timed(extract_report, layout)
+        report = ace.result
+        row = SuiteRow(
+            name=name,
+            paper_devices=spec.paper_devices,
+            devices=len(report.circuit.devices),
+            boxes=art.boxes,
+            ace_seconds=ace.seconds,
+            ace_stats=report.stats,
+        )
+        if with_baselines:
+            if row.devices <= RASTER_LIMIT:
+                row.raster_seconds = timed(extract_raster, layout).seconds
+            if row.devices <= POLYFLAT_LIMIT:
+                row.polyflat_seconds = timed(extract_polyflat, layout).seconds
+        if with_hext:
+            hext = timed(hext_extract, layout)
+            result = hext.result
+            circuit = result.circuit  # resolve, so timers fill in
+            row.hext_stats = result.stats
+            row.hext_devices = len(circuit.devices)
+        rows.append(row)
+    return rows

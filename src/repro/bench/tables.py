@@ -1,0 +1,62 @@
+"""ASCII table rendering for the benchmark harness.
+
+The benchmarks print tables in the same shape as the paper's, with a
+paper-reported column next to the measured one where applicable, so the
+reproduction can be eyeballed row by row.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+
+def format_table(
+    headers: "list[str]", rows: "list[list]", title: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = StringIO()
+    if title:
+        out.write(f"\n{title}\n")
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    out.write(line.rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rendered:
+        out.write(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            ).rstrip()
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(".", "", 1).replace("-", "", 1).replace(":", "")
+    return stripped.isdigit()
+
+
+def mmss(seconds: float) -> str:
+    """Render seconds as the paper's min:sec columns."""
+    total = round(seconds)
+    return f"{total // 60}:{total % 60:02d}"
+
+
+def ratio_column(values: "list[float]") -> list[str]:
+    """Each value relative to the first ('1.0x', '3.9x', ...)."""
+    if not values or values[0] == 0:
+        return ["-" for _ in values]
+    return [f"{v / values[0]:.1f}x" for v in values]

@@ -1,0 +1,25 @@
+"""CIF (Caltech Intermediate Form) substrate: lexer, parser, writer,
+and the in-memory layout database."""
+
+from .errors import CifError, CifSemanticError, CifSyntaxError
+from .layout import TOP_SYMBOL, Call, Label, Layout, Symbol
+from .lexer import Command, tokenize
+from .parser import parse, parse_file
+from .writer import write, write_file
+
+__all__ = [
+    "TOP_SYMBOL",
+    "Call",
+    "CifError",
+    "CifSemanticError",
+    "CifSyntaxError",
+    "Command",
+    "Label",
+    "Layout",
+    "Symbol",
+    "parse",
+    "parse_file",
+    "tokenize",
+    "write",
+    "write_file",
+]

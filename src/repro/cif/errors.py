@@ -1,0 +1,25 @@
+"""CIF error types."""
+
+from __future__ import annotations
+
+
+class CifError(Exception):
+    """Base class for CIF parsing and semantic errors."""
+
+
+class CifSyntaxError(CifError):
+    """Raised when the CIF text cannot be tokenized or parsed.
+
+    Carries the byte position so tools can point at the offending command.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CifSemanticError(CifError):
+    """Raised for structurally valid CIF that violates semantics
+    (undefined symbols, nested DS, calls forming a cycle, ...)."""

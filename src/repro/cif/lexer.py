@@ -1,0 +1,132 @@
+"""CIF 2.0 tokenizer.
+
+CIF is forgiving about separators: ``B4 2 1 3;``, ``B 4 2 1 3 ;`` and
+``Box length 4 width 2 at 1 3;`` all mean the same thing -- any run of
+characters that is not a digit, ``-``, ``(``, ``)`` or ``;`` separates
+numbers, and the first letter of a command is what selects it.  The lexer
+therefore produces a stream of raw *commands*: the command letter(s), the
+signed integers that follow, and (for ``L``, ``9`` and ``94``) the bare
+words, with comments stripped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import CifSyntaxError
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One semicolon-terminated CIF command.
+
+    Attributes:
+        letter: the selecting character ("B", "P", "W", "L", "D", "C",
+            "E", or a digit for user extensions).
+        text: the raw command text (letter included, ``;`` excluded).
+        position: byte offset of the command start, for error messages.
+    """
+
+    letter: str
+    text: str
+    position: int
+
+    def integers(self) -> list[int]:
+        """All signed integers in the command, in order of appearance.
+
+        CIF's definition of a number is a digit string; ``-`` directly
+        before a digit string negates it.
+        """
+        values: list[int] = []
+        i = 0
+        text = self.text
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch.isdigit() or (
+                ch == "-" and i + 1 < n and text[i + 1].isdigit()
+            ):
+                j = i + 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                values.append(int(text[i:j]))
+                i = j
+            else:
+                i += 1
+        return values
+
+    def words(self) -> list[str]:
+        """Whitespace-separated fields after the command letter(s).
+
+        Useful for symbolic commands (``L`` layer names, ``94`` labels)
+        when inspecting a token stream directly.
+        """
+        skip = 2 if self.letter == "94" else len(self.letter)
+        return self.text[skip:].split()
+
+
+def _strip_comments(text: str) -> str:
+    """Replace (possibly nested) parenthesized comments with spaces."""
+    out: list[str] = []
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            out.append(" ")
+        elif ch == ")":
+            if depth == 0:
+                raise CifSyntaxError("unbalanced ')' in CIF comment")
+            depth -= 1
+            out.append(" ")
+        else:
+            out.append(ch if depth == 0 else " ")
+    if depth != 0:
+        raise CifSyntaxError("unterminated CIF comment")
+    return "".join(out)
+
+
+def tokenize(text: str) -> list[Command]:
+    """Split CIF text into commands.
+
+    Stops at the ``E`` (end) command; trailing garbage after ``E`` is
+    ignored per the CIF specification.  Raises if no ``E`` terminates the
+    file, matching strict readers.
+    """
+    text = _strip_comments(text)
+    commands: list[Command] = []
+    pos = 0
+    n = len(text)
+    saw_end = False
+    while pos < n:
+        while pos < n and (text[pos].isspace() or text[pos] == ";"):
+            pos += 1
+        if pos >= n:
+            break
+        start = pos
+        letter = text[pos].upper()
+        if letter == "E":
+            # E need not be semicolon-terminated.
+            commands.append(Command("E", "E", start))
+            saw_end = True
+            break
+        end = text.find(";", pos)
+        if end == -1:
+            raise CifSyntaxError("command not terminated by ';'", start)
+        body = text[start:end].strip()
+        if not body:
+            pos = end + 1
+            continue
+        first = body[0].upper()
+        if first == "9" and len(body) > 1 and body[1] == "4":
+            letter_key = "94"
+        elif first.isdigit():
+            letter_key = first
+        elif first.isalpha():
+            letter_key = first
+        else:
+            raise CifSyntaxError(f"unrecognized command start {body[0]!r}", start)
+        commands.append(Command(letter_key, body, start))
+        pos = end + 1
+    if not saw_end:
+        raise CifSyntaxError("CIF file has no 'E' end command")
+    return commands

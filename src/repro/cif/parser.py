@@ -1,0 +1,257 @@
+"""CIF 2.0 parser: command stream to :class:`~repro.cif.layout.Layout`.
+
+Supported commands (Mead & Conway, section 4.5, plus the CMU ``94`` name
+extension from Sproull's "Names in CIF"):
+
+    DS n [a b];  DF;          symbol definition with distance scale a/b
+    C n T.. M.. R..;          symbol call under a transform list
+    L name;                   select mask layer
+    B len wid cx cy [dx dy];  box, optionally with a direction vector
+    P x1 y1 x2 y2 ...;        polygon
+    W w x1 y1 x2 y2 ...;      wire of width w
+    R d cx cy;                roundflash (approximated by a square)
+    94 name x y [layer];      net name label
+    0..9 ...;                 other user extensions (ignored)
+    E                         end
+
+Boxes with a non-axis direction vector and roundflashes are approximated
+as the paper's front-end does: snapped / fractured to manhattan boxes.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Box, Polygon, Transform
+from .errors import CifSemanticError, CifSyntaxError
+from .layout import Label, Layout, Symbol
+from .lexer import Command, tokenize
+
+
+def parse(text: str) -> Layout:
+    """Parse CIF text into a validated :class:`Layout`."""
+    return _Parser().parse(tokenize(text))
+
+
+def parse_file(path: str) -> Layout:
+    with open(path) as handle:
+        return parse(handle.read())
+
+
+class _Parser:
+    def __init__(self) -> None:
+        self.layout = Layout()
+        self.current: Symbol = self.layout.top
+        self.in_definition = False
+        self.scale_num = 1
+        self.scale_den = 1
+        self.layer: str | None = None
+
+    # -- helpers ---------------------------------------------------------
+
+    def _scaled(self, value: int) -> int:
+        if self.scale_num == self.scale_den:
+            return value
+        scaled, rem = divmod(value * self.scale_num, self.scale_den)
+        if rem:
+            raise CifSemanticError(
+                f"distance {value} does not scale to an integer by "
+                f"{self.scale_num}/{self.scale_den}"
+            )
+        return scaled
+
+    def _require_layer(self, command: Command) -> str:
+        if self.layer is None:
+            raise CifSemanticError(
+                f"geometry command before any L command: {command.text!r}"
+            )
+        return self.layer
+
+    # -- driver ----------------------------------------------------------
+
+    def parse(self, commands: list[Command]) -> Layout:
+        handlers = {
+            "D": self._definition,
+            "C": self._call,
+            "L": self._layer,
+            "B": self._box,
+            "P": self._polygon,
+            "W": self._wire,
+            "R": self._roundflash,
+            "94": self._label,
+        }
+        for command in commands:
+            if command.letter == "E":
+                break
+            handler = handlers.get(command.letter)
+            if handler is not None:
+                handler(command)
+            elif command.letter.isdigit():
+                continue  # other user extensions are legal and ignored
+            else:
+                raise CifSyntaxError(
+                    f"unknown command {command.text!r}", command.position
+                )
+        if self.in_definition:
+            raise CifSemanticError("DS without matching DF at end of file")
+        self.layout.validate()
+        return self.layout
+
+    # -- command handlers --------------------------------------------------
+
+    def _definition(self, command: Command) -> None:
+        kind = command.text[1].upper() if len(command.text) > 1 else ""
+        if kind == "S":
+            if self.in_definition:
+                raise CifSemanticError("nested DS is not permitted")
+            values = command.integers()
+            if not values:
+                raise CifSyntaxError("DS needs a symbol number", command.position)
+            number = values[0]
+            self.scale_num = values[1] if len(values) > 1 else 1
+            self.scale_den = values[2] if len(values) > 2 else 1
+            if self.scale_num <= 0 or self.scale_den <= 0:
+                raise CifSemanticError(f"bad DS scale {self.scale_num}/{self.scale_den}")
+            self.current = self.layout.define(number)
+            self.in_definition = True
+            # Layer selection persists across symbols in CIF, but relying
+            # on that is fragile; ACE's front-end resets it per symbol and
+            # our writer always emits an explicit L.
+            self.layer = None
+        elif kind == "F":
+            if not self.in_definition:
+                raise CifSemanticError("DF without matching DS")
+            self.current = self.layout.top
+            self.in_definition = False
+            self.scale_num = self.scale_den = 1
+            self.layer = None
+        elif kind == "D":
+            # DD n: delete definitions -- used by incremental editors,
+            # not by designs ACE consumes.
+            raise CifSemanticError("DD (delete definition) is not supported")
+        else:
+            raise CifSyntaxError(f"bad D command {command.text!r}", command.position)
+
+    def _call(self, command: Command) -> None:
+        text = command.text
+        values_iter = iter(_tokens_after(text, 1))
+        tokens = list(values_iter)
+        if not tokens or not _is_int(tokens[0]):
+            raise CifSyntaxError("C needs a symbol number", command.position)
+        symbol = int(tokens[0])
+        transform = Transform.identity()
+        i = 1
+        while i < len(tokens):
+            op = tokens[i].upper()
+            if op == "T":
+                if i + 2 >= len(tokens):
+                    raise CifSyntaxError("T needs two integers", command.position)
+                dx, dy = int(tokens[i + 1]), int(tokens[i + 2])
+                transform = transform.then(
+                    Transform.translation(self._scaled(dx), self._scaled(dy))
+                )
+                i += 3
+            elif op == "M":
+                if i + 1 >= len(tokens):
+                    raise CifSyntaxError("M needs an axis", command.position)
+                axis = tokens[i + 1].upper()
+                if axis == "X":
+                    transform = transform.then(Transform.mirror_x())
+                elif axis == "Y":
+                    transform = transform.then(Transform.mirror_y())
+                else:
+                    raise CifSyntaxError(f"bad mirror axis {axis!r}", command.position)
+                i += 2
+            elif op == "R":
+                if i + 2 >= len(tokens):
+                    raise CifSyntaxError("R needs two integers", command.position)
+                rx, ry = int(tokens[i + 1]), int(tokens[i + 2])
+                transform = transform.then(Transform.rotation(*_snap_direction(rx, ry)))
+                i += 3
+            else:
+                raise CifSyntaxError(
+                    f"bad transform token {tokens[i]!r}", command.position
+                )
+        self.current.add_call(symbol, transform)
+
+    def _layer(self, command: Command) -> None:
+        tokens = _tokens_after(command.text, 1)
+        if not tokens:
+            raise CifSyntaxError("L needs a layer name", command.position)
+        self.layer = tokens[0].upper()
+
+    def _box(self, command: Command) -> None:
+        layer = self._require_layer(command)
+        values = [self._scaled(v) for v in command.integers()]
+        if len(values) not in (4, 6):
+            raise CifSyntaxError(
+                f"B needs 4 or 6 integers, got {len(values)}", command.position
+            )
+        length, width, cx, cy = values[:4]
+        if len(values) == 6:
+            dx, dy = _snap_direction(values[4], values[5])
+            if dy != 0:  # direction along y swaps length and width
+                length, width = width, length
+        self.current.add_box(layer, Box.from_center(length, width, cx, cy))
+
+    def _polygon(self, command: Command) -> None:
+        layer = self._require_layer(command)
+        values = [self._scaled(v) for v in command.integers()]
+        if len(values) < 6 or len(values) % 2:
+            raise CifSyntaxError("P needs at least 3 coordinate pairs", command.position)
+        points = list(zip(values[0::2], values[1::2]))
+        self.current.add_polygon(layer, Polygon.from_points(points))
+
+    def _wire(self, command: Command) -> None:
+        layer = self._require_layer(command)
+        values = [self._scaled(v) for v in command.integers()]
+        if len(values) < 3 or (len(values) - 1) % 2:
+            raise CifSyntaxError("W needs a width and coordinate pairs", command.position)
+        width = values[0]
+        points = tuple(zip(values[1::2], values[2::2]))
+        self.current.add_wire(layer, width, points)
+
+    def _roundflash(self, command: Command) -> None:
+        layer = self._require_layer(command)
+        values = [self._scaled(v) for v in command.integers()]
+        if len(values) != 3:
+            raise CifSyntaxError("R needs diameter and center", command.position)
+        diameter, cx, cy = values
+        # The front-end approximates flashes by their bounding square;
+        # flashes are rare (pads) and the approximation only widens them.
+        self.current.add_box(layer, Box.from_center(diameter, diameter, cx, cy))
+
+    def _label(self, command: Command) -> None:
+        tokens = _tokens_after(command.text, 2)
+        if len(tokens) < 3:
+            raise CifSyntaxError("94 needs name, x and y", command.position)
+        name = tokens[0]
+        try:
+            x, y = self._scaled(int(tokens[1])), self._scaled(int(tokens[2]))
+        except ValueError:
+            raise CifSyntaxError(
+                f"94 coordinates must be integers: {command.text!r}",
+                command.position,
+            ) from None
+        layer = tokens[3].upper() if len(tokens) > 3 else None
+        self.current.add_label(Label(name, x, y, layer))
+
+
+def _tokens_after(text: str, skip_chars: int) -> list[str]:
+    return text[skip_chars:].replace(",", " ").split()
+
+
+def _is_int(token: str) -> bool:
+    return token.lstrip("-").isdigit() and token.lstrip("-") != ""
+
+
+def _snap_direction(dx: int, dy: int) -> tuple[int, int]:
+    """Snap a CIF direction vector to the nearest axis.
+
+    ACE handles only manhattan orientations after fracturing; off-axis
+    directions (legal CIF) are snapped to the dominant component, which
+    matches how the original front-end rasterized rotated boxes.
+    """
+    if dx == 0 and dy == 0:
+        return (1, 0)
+    if abs(dx) >= abs(dy):
+        return (1 if dx > 0 else -1, 0)
+    return (0, 1 if dy > 0 else -1)

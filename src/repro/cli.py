@@ -1,0 +1,150 @@
+"""Command-line interface: ``ace-extract``.
+
+Mirrors how ACE was driven at CMU: point it at a CIF file, get a wirelist
+on stdout (or to a file).  Options expose the paper's user-visible
+features: geometry output per net/device, the hierarchical extractor,
+extraction statistics, and the static checker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis import circuit_stats, static_check
+from .cif import parse_file
+from .core import extract_report
+from .hext import hext_extract
+from .hext.wirelist import to_hierarchical_wirelist
+from .tech import NMOS
+from .wirelist import to_wirelist, write_wirelist
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ace-extract",
+        description="Flat edge-based (and hierarchical) NMOS circuit "
+        "extraction from CIF layouts.",
+    )
+    parser.add_argument("cif", help="input CIF file")
+    parser.add_argument(
+        "-o", "--output", help="wirelist output file (default: stdout)"
+    )
+    parser.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="use the hierarchical extractor (HEXT) and emit a "
+        "hierarchical wirelist",
+    )
+    parser.add_argument(
+        "--geometry",
+        action="store_true",
+        help="include per-net and per-device geometry in the wirelist "
+        "(flat mode only; suppressed by default, as in the paper)",
+    )
+    parser.add_argument(
+        "--lambda",
+        dest="lambda_",
+        type=int,
+        default=None,
+        metavar="CENTIMICRONS",
+        help="process lambda in centimicrons (default 250)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print extraction statistics to stderr",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the static checker and print diagnostics to stderr",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="print an ASCII rendering of the artwork to stderr",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="PATH",
+        help="write an SVG rendering of the artwork to PATH",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    tech = NMOS(args.lambda_) if args.lambda_ else NMOS()
+    layout = parse_file(args.cif)
+    name = args.cif.rsplit("/", 1)[-1]
+
+    if args.plot or args.svg:
+        from .plot import ascii_plot, svg_plot
+
+        if args.plot:
+            print(ascii_plot(layout), file=sys.stderr)
+        if args.svg:
+            svg_plot(layout, args.svg)
+
+    started = time.perf_counter()
+    if args.hierarchical:
+        result = hext_extract(layout, tech)
+        circuit = result.circuit
+        wirelist = to_hierarchical_wirelist(result, name=name)
+        if args.stats:
+            stats = result.stats
+            print(
+                f"hext: {stats.flat_calls} flat calls, "
+                f"{stats.compose_calls} composes, "
+                f"{stats.memo_hits} memo hits, "
+                f"front-end {stats.frontend_seconds:.2f}s, "
+                f"back-end {stats.backend_seconds:.2f}s",
+                file=sys.stderr,
+            )
+    else:
+        report = extract_report(layout, tech, keep_geometry=args.geometry)
+        circuit = report.circuit
+        wirelist = to_wirelist(
+            circuit, name=name, include_geometry=args.geometry
+        )
+        if args.stats:
+            scan = report.stats
+            print(
+                f"ace: {scan.boxes_in} boxes, {scan.stops} scanline stops, "
+                f"mean active {scan.mean_active:.1f}, "
+                f"peak active {scan.peak_active}",
+                file=sys.stderr,
+            )
+    elapsed = time.perf_counter() - started
+
+    text = write_wirelist(wirelist)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+    if args.stats:
+        summary = circuit_stats(circuit)
+        rate = summary.devices / elapsed if elapsed else 0.0
+        print(
+            f"{summary.devices} devices, {summary.nets} nets in "
+            f"{elapsed:.2f}s ({rate:.0f} devices/sec)",
+            file=sys.stderr,
+        )
+    for warning in circuit.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    if args.check:
+        report = static_check(circuit)
+        for diag in report.diagnostics:
+            print(f"{diag.severity.value}: [{diag.rule}] {diag.message}", file=sys.stderr)
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

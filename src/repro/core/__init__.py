@@ -1,0 +1,31 @@
+"""ACE's back-end: the edge-based scanline extraction engine."""
+
+from .extractor import (
+    ExtractionReport,
+    extract,
+    extract_report,
+    extract_window,
+)
+from .netlist import CHANNEL, BoundaryRecord, Circuit, Device, Face, Net
+from .sizing import SizedDevice, size_device
+from .stats import PHASES, PhaseTimer, ScanStats
+from .unionfind import UnionFind
+
+__all__ = [
+    "CHANNEL",
+    "PHASES",
+    "BoundaryRecord",
+    "Circuit",
+    "Device",
+    "ExtractionReport",
+    "Face",
+    "Net",
+    "PhaseTimer",
+    "ScanStats",
+    "SizedDevice",
+    "UnionFind",
+    "extract",
+    "extract_report",
+    "extract_window",
+    "size_device",
+]

@@ -1,0 +1,123 @@
+"""Shared final assembly of a Circuit from extraction working state.
+
+All three extractors (ACE's scanline, the raster baseline, the region
+baseline) accumulate the same working state: net/device union-finds plus
+per-id attribute tables.  This module folds that state into the canonical
+:class:`~repro.core.netlist.Circuit` so net numbering, device ordering,
+and sizing conventions are identical across extractors -- a precondition
+for the netlist-equivalence tests.
+"""
+
+from __future__ import annotations
+
+from .netlist import Circuit, Device, Net
+from .sizing import size_device
+from .unionfind import UnionFind
+
+
+def assemble_circuit(
+    tech,
+    nets: UnionFind,
+    devs: UnionFind,
+    net_loc: "dict[int, tuple[int, int]]",
+    net_names: "dict[int, list[str]]",
+    dev_rec: "dict[int, dict]",
+    warnings: "list[str]",
+    net_geo: "dict[int, list] | None" = None,
+) -> Circuit:
+    """Fold working state into a Circuit.
+
+    ``net_loc`` maps net id to ``(ymax, -xmin)`` of its topmost-leftmost
+    geometry; ``dev_rec`` maps device id to a record with keys ``area``,
+    ``gates`` (net ids), ``terms`` (net id -> contact perimeter), ``loc``,
+    ``impl`` and optionally ``geo``.
+    """
+    names = nets.fold(net_names)
+    geometry = nets.fold(net_geo) if net_geo else {}
+    locations: dict[int, tuple[int, int]] = {}
+    for ident, loc in net_loc.items():
+        root = nets.find(ident)
+        if root not in locations or loc > locations[root]:
+            locations[root] = loc
+
+    roots = sorted(
+        locations, key=lambda r: (-locations[r][0], -locations[r][1], r)
+    )
+    index_of = {root: i + 1 for i, root in enumerate(roots)}
+    net_objs = []
+    for root in roots:
+        ymax, neg_xmin = locations[root]
+        seen: set[str] = set()
+        uniq = [n for n in names.get(root, []) if not (n in seen or seen.add(n))]
+        net_objs.append(
+            Net(
+                index=index_of[root],
+                names=uniq,
+                location=(-neg_xmin, ymax),
+                geometry=geometry.get(root, []),
+            )
+        )
+
+    folded: dict[int, dict] = {}
+    for ident, rec in dev_rec.items():
+        root = devs.find(ident)
+        into = folded.get(root)
+        if into is None or into is rec:
+            folded[root] = rec
+            continue
+        into["area"] += rec["area"]
+        into["gates"] |= rec["gates"]
+        for net, length in rec["terms"].items():
+            into["terms"][net] = into["terms"].get(net, 0) + length
+        if "geo" in into and "geo" in rec:
+            into["geo"].extend(rec["geo"])
+        if rec["loc"] is not None and (
+            into["loc"] is None or rec["loc"] > into["loc"]
+        ):
+            into["loc"] = rec["loc"]
+        into["impl"] = into["impl"] or rec["impl"]
+
+    order = sorted(
+        folded,
+        key=lambda r: (
+            (-folded[r]["loc"][0], -folded[r]["loc"][1])
+            if folded[r]["loc"]
+            else (0, 0),
+            r,
+        ),
+    )
+    devices = []
+    for i, root in enumerate(order):
+        rec = folded[root]
+        terms: dict[int, int] = {}
+        for net, length in rec["terms"].items():
+            idx = index_of.get(nets.find(net))
+            if idx is not None:
+                terms[idx] = terms.get(idx, 0) + length
+        gates = sorted(
+            {
+                index_of[nets.find(g)]
+                for g in rec["gates"]
+                if nets.find(g) in index_of
+            }
+        )
+        sized = size_device(rec["area"], terms)
+        loc = rec["loc"]
+        devices.append(
+            Device(
+                index=i,
+                kind=tech.device_name(rec["impl"]),
+                gate=gates[0] if gates else None,
+                source=sized.source,
+                drain=sized.drain,
+                length=sized.length,
+                width=sized.width,
+                area=rec["area"],
+                location=(-loc[1], loc[0]) if loc else None,
+                terminals=terms,
+                gates=gates,
+                geometry=list(rec.get("geo", [])),
+                depletion=rec["impl"],
+            )
+        )
+    return Circuit(nets=net_objs, devices=devices, warnings=list(warnings))

@@ -1,0 +1,109 @@
+"""The public extraction API.
+
+:func:`extract` is the whole of ACE: CIF text or a parsed layout in, a
+:class:`~repro.core.netlist.Circuit` out.  :func:`extract_window` is the
+modified ACE that HEXT calls per primitive window (it additionally
+captures the window's boundary records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cif import Layout, parse
+from ..frontend import GeometryStream
+from ..geometry import Box
+from ..tech import NMOS, Technology
+from .netlist import Circuit
+from .scanline import ScanlineEngine
+from .stats import PhaseTimer, ScanStats
+
+
+@dataclass
+class ExtractionReport:
+    """A circuit together with the run's timers and counters."""
+
+    circuit: Circuit
+    timer: PhaseTimer
+    stats: ScanStats
+    frontend_stats: object = None
+    options: dict = field(default_factory=dict)
+
+
+def extract(
+    source: "str | Layout",
+    tech: Technology | None = None,
+    *,
+    keep_geometry: bool = False,
+    resolution: int = 50,
+) -> Circuit:
+    """Extract the circuit from a CIF string or parsed layout.
+
+    Args:
+        source: CIF text, or an already parsed :class:`Layout`.
+        tech: process rules; defaults to standard NMOS.
+        keep_geometry: attach per-net artwork (needed for RC
+            post-processing and geometry output; off by default, as in
+            the paper's normal operation).
+        resolution: fracture resolution for non-manhattan geometry.
+
+    Returns:
+        The extracted :class:`Circuit`.
+    """
+    return extract_report(
+        source, tech, keep_geometry=keep_geometry, resolution=resolution
+    ).circuit
+
+
+def extract_report(
+    source: "str | Layout",
+    tech: Technology | None = None,
+    *,
+    keep_geometry: bool = False,
+    resolution: int = 50,
+    window: Box | None = None,
+) -> ExtractionReport:
+    """Like :func:`extract` but returns timers and counters as well."""
+    tech = tech or NMOS()
+    timer = PhaseTimer()
+    timer.start("frontend")
+    layout = parse(source) if isinstance(source, str) else source
+    stream = GeometryStream(layout, resolution=resolution)
+    engine = ScanlineEngine(
+        tech, keep_geometry=keep_geometry, window=window, timer=timer
+    )
+    circuit = engine.run(stream)
+    return ExtractionReport(
+        circuit=circuit,
+        timer=timer,
+        stats=engine.stats,
+        frontend_stats=stream.stats,
+        options={
+            "keep_geometry": keep_geometry,
+            "resolution": resolution,
+            "window": window,
+        },
+    )
+
+
+def extract_window(
+    layout: Layout,
+    window: Box,
+    tech: Technology | None = None,
+    *,
+    keep_geometry: bool = False,
+    resolution: int = 50,
+) -> Circuit:
+    """HEXT's modified ACE: extract a window and its boundary interface.
+
+    The layout is expected to contain only the window's clipped geometry;
+    ``window`` supplies the boundary against which interface records are
+    captured.
+    """
+    return extract_report(
+        layout,
+        tech,
+        keep_geometry=keep_geometry,
+        resolution=resolution,
+        window=window,
+    ).circuit

@@ -1,0 +1,124 @@
+"""Extraction result model: nets, devices, and the circuit they form.
+
+This is the back-end's output *before* wirelist formatting: canonical
+integer net indices, device records with computed sizes, and (in window
+mode) the boundary records HEXT's compose step consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..geometry import Box
+
+#: Pseudo-layer name used for transistor channels in boundary records and
+#: geometry tables.  Not a mask layer; chosen to be impossible as CIF.
+CHANNEL = "__channel__"
+
+
+class Face(str, Enum):
+    """Window boundary faces, named from inside the window."""
+
+    LEFT = "L"
+    RIGHT = "R"
+    TOP = "T"
+    BOTTOM = "B"
+
+
+@dataclass(frozen=True, slots=True)
+class BoundaryRecord:
+    """One conducting span (or channel span) touching a window face.
+
+    ``lo``/``hi`` are a y-range for LEFT/RIGHT faces and an x-range for
+    TOP/BOTTOM faces.  ``ident`` is a net index for conducting layers and
+    a device index for :data:`CHANNEL` records.
+    """
+
+    face: Face
+    layer: str
+    lo: int
+    hi: int
+    ident: int
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass
+class Net:
+    """An electrically connected region with no intervening transistor."""
+
+    index: int
+    names: list[str] = field(default_factory=list)
+    location: tuple[int, int] | None = None
+    geometry: list[tuple[str, Box]] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """Display name: the first user name, else N<index>."""
+        return self.names[0] if self.names else f"N{self.index}"
+
+
+@dataclass
+class Device:
+    """A transistor (or, when malformed, a transistor-like channel).
+
+    ``width`` is the mean of the source and drain contact-edge lengths and
+    ``length`` is channel area / width, exactly as in section 3 of the
+    paper.  ``terminals`` maps net index to total contact perimeter, kept
+    so HEXT can re-derive sizes after merging partial devices.
+    """
+
+    index: int
+    kind: str  # "nEnh" or "nDep"
+    gate: int | None
+    source: int | None
+    drain: int | None
+    length: float
+    width: float
+    area: int
+    location: tuple[int, int] | None
+    terminals: dict[int, int] = field(default_factory=dict)
+    gates: list[int] = field(default_factory=list)
+    geometry: list[Box] = field(default_factory=list)
+    touches_boundary: bool = False
+    depletion: bool = False
+
+    @property
+    def is_malformed(self) -> bool:
+        """True when the device is not a clean 3-terminal transistor."""
+        return (
+            self.gate is None
+            or self.source is None
+            or self.drain is None
+            or len(self.gates) > 1
+        )
+
+
+@dataclass
+class Circuit:
+    """A complete extraction result.
+
+    ``boundary`` is empty for whole-chip extraction and carries the window
+    interface records in HEXT's window mode.  ``warnings`` collects
+    non-fatal extraction oddities (unattached labels, floating devices).
+    """
+
+    nets: list[Net]
+    devices: list[Device]
+    boundary: list[BoundaryRecord] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def net_by_name(self, name: str) -> Net:
+        for net in self.nets:
+            if name in net.names:
+                return net
+        raise KeyError(f"no net named {name!r}")
+
+    def device_count(self) -> int:
+        return len(self.devices)
+
+    def stats_line(self) -> str:  # pragma: no cover - cosmetic
+        return f"{len(self.devices)} devices, {len(self.nets)} nets"

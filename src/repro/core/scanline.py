@@ -1,0 +1,772 @@
+"""The edge-based scanline back-end (section 3 of the paper).
+
+A scanline moves from the top of the chip to the bottom, pausing only at
+box top/bottom edges.  Between consecutive stops the layer state is
+constant -- a *strip*.  Per layer, an *active list* of disjoint, sorted
+x-intervals describes the strip; nets live in a union-find.
+
+The implementation follows Figure 3-2 step for step:
+
+  2.a  incoming geometry is sorted by x into per-layer newGeometry lists
+       (here: delivered sorted by the stream, inserted one by one);
+  2.b  new boxes merge into the active lists; overlapping or abutting
+       boxes on one layer union their nets; when merged boxes have
+       unequal bottoms, the deeper remainder is split off into a pending
+       buffer and re-enters when the scanline reaches its top;
+  2.c  devices: per strip, channel = diffusion AND poly AND NOT buried;
+       conducting diffusion = diffusion - channel; channels are tracked
+       exactly like nets (a union-find of device ids) and accumulate
+       area, gate nets, and terminal contact perimeter;
+  2.d  next stop = max over upcoming box tops and active bottoms.
+
+In *window mode* (HEXT's modified ACE) the engine also records every
+conducting span and channel span that touches the window boundary; those
+records become the window's interface.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, bisect_right
+
+from ..frontend.instantiate import PlacedLabel
+from ..frontend.stream import GeometryStream
+from ..geometry import Box
+from ..tech import Technology
+from .netlist import CHANNEL, BoundaryRecord, Circuit, Face
+from .sizing import size_device
+from .stats import PhaseTimer, ScanStats
+from .unionfind import UnionFind
+
+# Active-interval field indices (plain lists are measurably faster than
+# objects in this inner loop).
+_X1, _X2, _YBOT, _NET = 0, 1, 2, 3
+
+
+class ScanlineEngine:
+    """One extraction run over a geometry stream."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        *,
+        keep_geometry: bool = False,
+        window: Box | None = None,
+        timer: PhaseTimer | None = None,
+    ) -> None:
+        self.tech = tech
+        self.keep_geometry = keep_geometry
+        self.window = window
+        self.timer = timer or PhaseTimer()
+        self.stats = ScanStats()
+
+        self._metal = tech.conducting_layers[0].cif_name
+        self._poly = tech.channel_layers[1].cif_name
+        self._diff = tech.channel_layers[0].cif_name
+        self._contact = tech.contact_layer.cif_name
+        self._implant = tech.depletion_marker.cif_name
+        self._buried = tech.buried_layer.cif_name
+        #: layers whose active intervals carry net ids directly
+        self._net_layers = frozenset(
+            layer.cif_name
+            for layer in tech.conducting_layers
+            if layer.cif_name != self._diff
+        )
+        tracked = {
+            self._metal,
+            self._poly,
+            self._diff,
+            self._contact,
+            self._implant,
+            self._buried,
+        }
+        self._active: dict[str, list[list]] = {name: [] for name in tracked}
+        self._keys: dict[str, list[int]] = {name: [] for name in tracked}
+        self._ignored = {layer.cif_name for layer in tech.ignored_layers}
+
+        self._nets = UnionFind()
+        self._devs = UnionFind()
+        self._net_loc: dict[int, tuple[int, int]] = {}  # id -> (ymax, -xmin)
+        self._net_names: dict[int, list[str]] = {}
+        self._net_geo: dict[int, list[tuple[str, Box]]] = {}
+        self._dev: dict[int, dict] = {}  # device id -> attribute record
+
+        self._pending: list[tuple[int, int, str, int, int, int, int | None]] = []
+        self._pending_seq = 0
+        self._labels: list[PlacedLabel] = []
+        self._labels_taken = 0
+        self._unattached: list[PlacedLabel] = []
+        self._boundary: list[tuple[Face, str, int, int, int]] = []
+        self._warnings: list[str] = []
+        self._unknown_layers: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self, stream: GeometryStream) -> Circuit:
+        """Sweep the stream top to bottom and return the circuit."""
+        timer = self.timer
+        timer.start("frontend")
+        y = stream.next_top()
+        if self._pending:
+            top = -self._pending[0][0]
+            y = top if y is None else max(y, top)
+
+        prev_spans: dict[str, list[tuple[int, int, int]]] = {
+            layer: [] for layer in self._net_layers
+        }
+        prev_diff: list[tuple[int, int, int]] = []
+        prev_channels: list[tuple[int, int, int]] = []
+
+        while y is not None:
+            self.stats.stops += 1
+            timer.start("insert")
+            self._expire(y)
+            timer.start("frontend")
+            new_boxes = stream.fetch(y)
+            timer.start("insert")
+            self._enter_continuations(y)
+            for layer, box in new_boxes:
+                self.stats.boxes_in += 1
+                self._insert(
+                    layer, box.xmin, box.xmax, box.ymin, None, prev_spans, box
+                )
+            y_next = self._next_stop(stream, y)
+            if y_next is None:
+                break
+            timer.start("devices")
+            prev_spans, prev_diff, prev_channels = self._process_strip(
+                y_next, y, prev_spans, prev_diff, prev_channels, stream
+            )
+            timer.start("frontend")
+            y = y_next
+
+        timer.start("output")
+        circuit = self._finalize()
+        timer.stop()
+        return circuit
+
+    def _next_stop(self, stream: GeometryStream, y: int) -> int | None:
+        candidates: list[int] = []
+        top = stream.next_top()
+        if top is not None:
+            candidates.append(top)
+        if self._pending:
+            candidates.append(-self._pending[0][0])
+        for intervals in self._active.values():
+            for interval in intervals:
+                candidates.append(interval[_YBOT])
+        if not candidates:
+            return None
+        y_next = max(candidates)
+        if y_next >= y:  # pragma: no cover - sweep invariant
+            raise AssertionError(f"scanline failed to advance: {y_next} >= {y}")
+        return y_next
+
+    # ------------------------------------------------------------------
+    # active-list maintenance (steps 2.a / 2.b)
+    # ------------------------------------------------------------------
+
+    def _expire(self, y: int) -> None:
+        """Drop intervals whose bottom edge coincides with the scanline."""
+        for layer, intervals in self._active.items():
+            if any(iv[_YBOT] == y for iv in intervals):
+                kept = [iv for iv in intervals if iv[_YBOT] != y]
+                self._active[layer] = kept
+                self._keys[layer] = [iv[_X1] for iv in kept]
+
+    def _enter_continuations(self, y: int) -> None:
+        """Re-insert buffered lower portions whose top is the scanline."""
+        pending = self._pending
+        while pending and -pending[0][0] == y:
+            _, _, layer, x1, x2, ybot, net = heapq.heappop(pending)
+            self._insert(layer, x1, x2, ybot, net, None, None)
+
+    def _insert(
+        self,
+        layer: str,
+        x1: int,
+        x2: int,
+        ybot: int,
+        net: int | None,
+        prev_spans: dict[str, list[tuple[int, int, int]]] | None,
+        box: Box | None,
+    ) -> None:
+        """Merge one box (or continuation) into a layer's active list.
+
+        ``net`` is None for fresh geometry (a net is allocated on demand
+        for net-carrying layers) and pre-bound for continuations.  ``box``
+        is the original artwork box for geometry/location bookkeeping and
+        None for continuations, whose upper part was already recorded.
+        """
+        intervals = self._active.get(layer)
+        if intervals is None:
+            if layer not in self._ignored and layer not in self._unknown_layers:
+                self._unknown_layers.add(layer)
+                self._warnings.append(f"ignoring geometry on unknown layer {layer}")
+            return
+        keys = self._keys[layer]
+        carries_net = layer in self._net_layers
+
+        if carries_net:
+            if net is None:
+                net = self._nets.make()
+                self.stats.nets_created += 1
+            if prev_spans is not None:
+                # Vertical adjacency: new geometry starting exactly where
+                # the strip above ended joins the net above it.
+                for px1, px2, pnet in prev_spans[layer]:
+                    if px1 >= x2:
+                        break
+                    if px2 > x1:
+                        net = self._nets.union(net, pnet)
+            if box is not None:
+                self._touch_net(net, box.xmin, box.ymax)
+                if self.keep_geometry:
+                    self._net_geo.setdefault(net, []).append((layer, box))
+        else:
+            net = None
+
+        # Locate the run of intervals that overlap or abut [x1, x2].
+        lo = bisect_left(keys, x1)
+        if lo > 0 and intervals[lo - 1][_X2] >= x1:
+            lo -= 1
+        hi = bisect_right(keys, x2, lo=lo)
+        if lo == hi:
+            intervals.insert(lo, [x1, x2, ybot, net])
+            keys.insert(lo, x1)
+            return
+
+        # Merge the new box with intervals[lo:hi] (step 2.b).  The merged
+        # interval lives until the *earliest* bottom; the deeper remainder
+        # of every taller piece re-enters from the pending buffer.
+        self.stats.merges += 1
+        pieces = intervals[lo:hi]
+        new_x1 = min(x1, pieces[0][_X1])
+        new_x2 = max(x2, pieces[-1][_X2])
+        max_bot = ybot
+        for piece in pieces:
+            if piece[_YBOT] > max_bot:
+                max_bot = piece[_YBOT]
+            if carries_net:
+                net = self._nets.union(net, piece[_NET])
+        for piece in pieces:
+            if piece[_YBOT] < max_bot:
+                self._push_pending(
+                    layer, piece[_X1], piece[_X2], max_bot, piece[_YBOT], net
+                )
+        if ybot < max_bot:
+            self._push_pending(layer, x1, x2, max_bot, ybot, net)
+        intervals[lo:hi] = [[new_x1, new_x2, max_bot, net]]
+        keys[lo:hi] = [new_x1]
+
+    def _push_pending(
+        self, layer: str, x1: int, x2: int, top: int, ybot: int, net: int | None
+    ) -> None:
+        self.stats.splits += 1
+        self._pending_seq += 1
+        heapq.heappush(
+            self._pending, (-top, self._pending_seq, layer, x1, x2, ybot, net)
+        )
+
+    # ------------------------------------------------------------------
+    # strip processing (step 2.c)
+    # ------------------------------------------------------------------
+
+    def _process_strip(
+        self,
+        y_lo: int,
+        y_hi: int,
+        prev_spans: dict[str, list[tuple[int, int, int]]],
+        prev_diff: list[tuple[int, int, int]],
+        prev_channels: list[tuple[int, int, int]],
+        stream: GeometryStream,
+    ) -> tuple[
+        dict[str, list[tuple[int, int, int]]],
+        list[tuple[int, int, int]],
+        list[tuple[int, int, int]],
+    ]:
+        height = y_hi - y_lo
+        nets = self._nets
+        find = nets.find
+
+        total_active = sum(len(ivs) for ivs in self._active.values())
+        self.stats.observe_active(total_active)
+        if total_active:
+            self.stats.strips += 1
+
+        nd = [(iv[_X1], iv[_X2]) for iv in self._active[self._diff]]
+        np_ = self._active[self._poly]
+        nb = [(iv[_X1], iv[_X2]) for iv in self._active[self._buried]]
+        ni = [(iv[_X1], iv[_X2]) for iv in self._active[self._implant]]
+
+        # Channels: diffusion AND poly AND NOT buried, remembering the
+        # poly interval that forms each gate.
+        channels: list[tuple[int, int, int]] = []  # (x1, x2, poly net id)
+        if nd and np_:
+            for x1, x2, poly_net in _intersect_with_net(nd, np_):
+                for cx1, cx2 in _subtract_spans([(x1, x2)], nb):
+                    channels.append((cx1, cx2, poly_net))
+
+        # Conducting diffusion: diffusion minus channels.
+        cond_bare = _subtract_spans(nd, [(c[0], c[1]) for c in channels])
+
+        # Assign diffusion nets by vertical adjacency to the strip above.
+        cond: list[tuple[int, int, int]] = []
+        for x1, x2 in cond_bare:
+            net = None
+            for px1, px2, pnet in prev_diff:
+                if px1 >= x2:
+                    break
+                if px2 > x1:
+                    net = pnet if net is None else nets.union(net, pnet)
+            if net is None:
+                net = nets.make()
+                self.stats.nets_created += 1
+            self._touch_net(net, x1, y_hi)
+            if self.keep_geometry:
+                self._net_geo.setdefault(net, []).append(
+                    (self._diff, Box(x1, y_lo, x2, y_hi))
+                )
+            cond.append((x1, x2, net))
+
+        # Devices: channel spans inherit device identity from above.
+        strip_channels: list[tuple[int, int, int]] = []
+        for x1, x2, poly_net in channels:
+            dev = None
+            for px1, px2, pdev in prev_channels:
+                if px1 >= x2:
+                    break
+                if px2 > x1:
+                    dev = pdev if dev is None else self._devs.union(dev, pdev)
+            if dev is None:
+                dev = self._devs.make()
+                self.stats.devices_created += 1
+                self._dev[dev] = {
+                    "area": 0,
+                    "gates": set(),
+                    "terms": {},
+                    "geo": [],
+                    "loc": None,
+                    "impl": False,
+                }
+            rec = self._dev[self._devs.find(dev)]
+            rec["area"] += (x2 - x1) * height
+            rec["gates"].add(find(poly_net))
+            rec["geo"].append(Box(x1, y_lo, x2, y_hi))
+            loc = (y_hi, -x1)
+            if rec["loc"] is None or loc > rec["loc"]:
+                rec["loc"] = loc
+            if ni and _overlaps_any(x1, x2, ni):
+                rec["impl"] = True
+            strip_channels.append((x1, x2, dev))
+
+        # Terminal contacts.
+        if strip_channels:
+            # horizontal: conducting diffusion abutting a channel sideways
+            for cx1, cx2, dev in strip_channels:
+                for dx1, dx2, dnet in cond:
+                    if dx2 == cx1 or dx1 == cx2:
+                        self._add_terminal(dev, dnet, height)
+            # vertical: channel below conducting diffusion of the strip above
+            for cx1, cx2, dev in strip_channels:
+                for px1, px2, pnet in prev_diff:
+                    if px1 >= cx2:
+                        break
+                    overlap = min(cx2, px2) - max(cx1, px1)
+                    if overlap > 0:
+                        self._add_terminal(dev, pnet, overlap)
+        if prev_channels and cond:
+            # vertical: conducting diffusion below a channel of the strip above
+            for dx1, dx2, dnet in cond:
+                for px1, px2, pdev in prev_channels:
+                    if px1 >= dx2:
+                        break
+                    overlap = min(dx2, px2) - max(dx1, px1)
+                    if overlap > 0:
+                        self._add_terminal(pdev, dnet, overlap)
+
+        # Contact cuts union conducting nets wherever the layers overlap
+        # both each other and the cut (pointwise, not per cut span).
+        nc = self._active[self._contact]
+        if nc:
+            metal = self._active[self._metal]
+            for cut in nc:
+                cx1, cx2 = cut[_X1], cut[_X2]
+                present: list[tuple[int, int, int]] = []
+                for iv in metal:
+                    if iv[_X1] < cx2 and iv[_X2] > cx1:
+                        present.append(
+                            (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                        )
+                for iv in np_:
+                    if iv[_X1] < cx2 and iv[_X2] > cx1:
+                        present.append(
+                            (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                        )
+                for dx1, dx2, dnet in cond:
+                    if dx1 < cx2 and dx2 > cx1:
+                        present.append((max(dx1, cx1), min(dx2, cx2), dnet))
+                present.sort()
+                for i, (a1, a2, anet) in enumerate(present):
+                    for b1, b2, bnet in present[i + 1 :]:
+                        if b1 >= a2:
+                            break
+                        nets.union(anet, bnet)
+
+        # Buried contacts union poly and diffusion where all three meet.
+        if nb and cond:
+            for bx1, bx2 in nb:
+                for iv in np_:
+                    px1, px2 = max(iv[_X1], bx1), min(iv[_X2], bx2)
+                    if px1 >= px2:
+                        continue
+                    for dx1, dx2, dnet in cond:
+                        if dx1 < px2 and dx2 > px1:
+                            nets.union(iv[_NET], dnet)
+
+        self._attach_labels(y_lo, y_hi, cond, stream)
+
+        if self.window is not None:
+            self._capture_boundary(y_lo, y_hi, cond, strip_channels)
+
+        new_prev = {
+            layer: [(iv[_X1], iv[_X2], iv[_NET]) for iv in self._active[layer]]
+            for layer in self._net_layers
+        }
+        return new_prev, cond, strip_channels
+
+    def _add_terminal(self, dev: int, net: int, length: int) -> None:
+        rec = self._dev[self._devs.find(dev)]
+        root = self._nets.find(net)
+        rec["terms"][root] = rec["terms"].get(root, 0) + length
+
+    def _touch_net(self, net: int, xmin: int, ymax: int) -> None:
+        loc = (ymax, -xmin)
+        current = self._net_loc.get(net)
+        if current is None or loc > current:
+            self._net_loc[net] = loc
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+
+    def _attach_labels(
+        self,
+        y_lo: int,
+        y_hi: int,
+        cond: list[tuple[int, int, int]],
+        stream: GeometryStream,
+    ) -> None:
+        fresh = stream.labels()
+        if len(fresh) > self._labels_taken:
+            self._labels.extend(fresh[self._labels_taken :])
+            self._labels_taken = len(fresh)
+        if not self._labels:
+            return
+        remaining: list[PlacedLabel] = []
+        for label in self._labels:
+            if label.y > y_hi:
+                self._unattached.append(label)
+            elif label.y < y_lo:
+                remaining.append(label)
+            else:
+                net = self._net_at_point(label, cond)
+                if net is None:
+                    self._unattached.append(label)
+                else:
+                    self._net_names.setdefault(net, []).append(label.name)
+        self._labels = remaining
+
+    def _net_at_point(
+        self, label: PlacedLabel, cond: list[tuple[int, int, int]]
+    ) -> int | None:
+        layers: tuple[str, ...]
+        if label.layer:
+            layers = (label.layer,)
+        else:
+            layers = (self._metal, self._poly, self._diff)
+        x = label.x
+        for layer in layers:
+            if layer == self._diff:
+                for x1, x2, net in cond:
+                    if x1 <= x <= x2:
+                        return net
+            elif layer in self._net_layers:
+                for iv in self._active[layer]:
+                    if iv[_X1] <= x <= iv[_X2]:
+                        return iv[_NET]
+        return None
+
+    # ------------------------------------------------------------------
+    # window boundary capture (HEXT's modified ACE)
+    # ------------------------------------------------------------------
+
+    def _capture_boundary(
+        self,
+        y_lo: int,
+        y_hi: int,
+        cond: list[tuple[int, int, int]],
+        strip_channels: list[tuple[int, int, int]],
+    ) -> None:
+        window = self.window
+        assert window is not None
+        records = self._boundary
+
+        def sides(layer: str, x1: int, x2: int, ident: int) -> None:
+            if x1 == window.xmin:
+                records.append((Face.LEFT, layer, y_lo, y_hi, ident))
+            if x2 == window.xmax:
+                records.append((Face.RIGHT, layer, y_lo, y_hi, ident))
+
+        for layer in self._net_layers:
+            for iv in self._active[layer]:
+                sides(layer, iv[_X1], iv[_X2], iv[_NET])
+        for x1, x2, net in cond:
+            sides(self._diff, x1, x2, net)
+        for x1, x2, dev in strip_channels:
+            sides(CHANNEL, x1, x2, dev)
+
+        if y_hi == window.ymax:
+            for layer in self._net_layers:
+                for iv in self._active[layer]:
+                    records.append(
+                        (Face.TOP, layer, iv[_X1], iv[_X2], iv[_NET])
+                    )
+            for x1, x2, net in cond:
+                records.append((Face.TOP, self._diff, x1, x2, net))
+            for x1, x2, dev in strip_channels:
+                records.append((Face.TOP, CHANNEL, x1, x2, dev))
+        if y_lo == window.ymin:
+            for layer in self._net_layers:
+                for iv in self._active[layer]:
+                    records.append(
+                        (Face.BOTTOM, layer, iv[_X1], iv[_X2], iv[_NET])
+                    )
+            for x1, x2, net in cond:
+                records.append((Face.BOTTOM, self._diff, x1, x2, net))
+            for x1, x2, dev in strip_channels:
+                records.append((Face.BOTTOM, CHANNEL, x1, x2, dev))
+
+    # ------------------------------------------------------------------
+    # finalize (step 3)
+    # ------------------------------------------------------------------
+
+    def _finalize(self) -> Circuit:
+        from .netlist import Device, Net
+
+        nets = self._nets
+        for label in self._labels:  # below all geometry
+            self._unattached.append(label)
+        self._labels = []
+
+        names = nets.fold(self._net_names)
+        geometry = nets.fold(self._net_geo) if self.keep_geometry else {}
+        locations: dict[int, tuple[int, int]] = {}
+        for ident, loc in self._net_loc.items():
+            root = nets.find(ident)
+            if root not in locations or loc > locations[root]:
+                locations[root] = loc
+
+        # Canonical net order: topmost, then leftmost, location first.
+        roots = sorted(
+            locations,
+            key=lambda r: (-locations[r][0], -locations[r][1], r),
+        )
+        index_of = {root: i + 1 for i, root in enumerate(roots)}
+
+        net_objs = []
+        for root in roots:
+            ymax, neg_xmin = locations[root]
+            seen: set[str] = set()
+            uniq = [
+                n
+                for n in names.get(root, [])
+                if not (n in seen or seen.add(n))
+            ]
+            net_objs.append(
+                Net(
+                    index=index_of[root],
+                    names=uniq,
+                    location=(-neg_xmin, ymax),
+                    geometry=geometry.get(root, []),
+                )
+            )
+
+        # Fold device records by device root.
+        dev_roots: dict[int, dict] = {}
+        for ident, rec in self._dev.items():
+            root = self._devs.find(ident)
+            into = dev_roots.get(root)
+            if into is None or into is rec:
+                dev_roots[root] = rec
+                continue
+            into["area"] += rec["area"]
+            into["gates"] |= rec["gates"]
+            for net, length in rec["terms"].items():
+                into["terms"][net] = into["terms"].get(net, 0) + length
+            into["geo"].extend(rec["geo"])
+            if rec["loc"] is not None and (
+                into["loc"] is None or rec["loc"] > into["loc"]
+            ):
+                into["loc"] = rec["loc"]
+            into["impl"] = into["impl"] or rec["impl"]
+
+        boundary_devs = {
+            ident
+            for _, layer, _, _, ident in self._boundary
+            if layer == CHANNEL
+        }
+        boundary_dev_roots = {self._devs.find(d) for d in boundary_devs}
+
+        devices = []
+        dev_index_of: dict[int, int] = {}
+        order = sorted(
+            dev_roots,
+            key=lambda r: (
+                (-dev_roots[r]["loc"][0], -dev_roots[r]["loc"][1])
+                if dev_roots[r]["loc"]
+                else (0, 0),
+                r,
+            ),
+        )
+        warnings = list(self._warnings)
+        for i, root in enumerate(order):
+            rec = dev_roots[root]
+            terms = {}
+            for net, length in rec["terms"].items():
+                net_root = nets.find(net)
+                idx = index_of.get(net_root)
+                if idx is not None:
+                    terms[idx] = terms.get(idx, 0) + length
+            gate_indices = sorted(
+                {index_of[nets.find(g)] for g in rec["gates"] if nets.find(g) in index_of}
+            )
+            sized = size_device(rec["area"], terms)
+            loc = rec["loc"]
+            device = Device(
+                index=i,
+                kind=self.tech.device_name(rec["impl"]),
+                gate=gate_indices[0] if gate_indices else None,
+                source=sized.source,
+                drain=sized.drain,
+                length=sized.length,
+                width=sized.width,
+                area=rec["area"],
+                location=(-loc[1], loc[0]) if loc else None,
+                terminals=terms,
+                gates=gate_indices,
+                geometry=rec["geo"],
+                touches_boundary=root in boundary_dev_roots,
+                depletion=rec["impl"],
+            )
+            devices.append(device)
+            dev_index_of[root] = i
+            if device.is_malformed and not device.touches_boundary:
+                warnings.append(
+                    f"malformed transistor at {device.location}: "
+                    f"{len(gate_indices)} gate nets, {len(terms)} terminals"
+                )
+
+        for label in self._unattached:
+            warnings.append(
+                f"label {label.name!r} at ({label.x}, {label.y}) "
+                f"matches no conducting geometry"
+            )
+
+        boundary = []
+        for face, layer, lo, hi, ident in self._boundary:
+            if layer == CHANNEL:
+                mapped = dev_index_of.get(self._devs.find(ident))
+            else:
+                mapped = index_of.get(nets.find(ident))
+            if mapped is not None:
+                boundary.append(BoundaryRecord(face, layer, lo, hi, mapped))
+
+        return Circuit(
+            nets=net_objs,
+            devices=devices,
+            boundary=_coalesce_boundary(boundary),
+            warnings=warnings,
+        )
+
+
+# ----------------------------------------------------------------------
+# span helpers (disjoint sorted span lists)
+# ----------------------------------------------------------------------
+
+
+def _intersect_with_net(
+    spans: list[tuple[int, int]], intervals: list[list]
+) -> list[tuple[int, int, int]]:
+    """Intersect bare spans with net-carrying intervals (both sorted)."""
+    out: list[tuple[int, int, int]] = []
+    i = j = 0
+    while i < len(spans) and j < len(intervals):
+        a1, a2 = spans[i]
+        iv = intervals[j]
+        b1, b2 = iv[_X1], iv[_X2]
+        lo, hi = max(a1, b1), min(a2, b2)
+        if lo < hi:
+            out.append((lo, hi, iv[_NET]))
+        if a2 <= b2:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _subtract_spans(
+    spans: list[tuple[int, int]], holes: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Spans minus holes; inputs sorted and disjoint, output likewise."""
+    if not holes:
+        return list(spans)
+    out: list[tuple[int, int]] = []
+    for lo, hi in spans:
+        pos = lo
+        for hlo, hhi in holes:
+            if hhi <= pos:
+                continue
+            if hlo >= hi:
+                break
+            if hlo > pos:
+                out.append((pos, hlo))
+            pos = max(pos, hhi)
+            if pos >= hi:
+                break
+        if pos < hi:
+            out.append((pos, hi))
+    return out
+
+
+def _overlaps_any(x1: int, x2: int, spans: list[tuple[int, int]]) -> bool:
+    for lo, hi in spans:
+        if lo >= x2:
+            return False
+        if hi > x1:
+            return True
+    return False
+
+
+def _coalesce_boundary(records: list[BoundaryRecord]) -> list[BoundaryRecord]:
+    """Join per-strip boundary records that continue one another."""
+    records.sort(key=lambda r: (r.face.value, r.layer, r.ident, r.lo))
+    out: list[BoundaryRecord] = []
+    for rec in records:
+        prev = out[-1] if out else None
+        if (
+            prev is not None
+            and prev.face == rec.face
+            and prev.layer == rec.layer
+            and prev.ident == rec.ident
+            and prev.hi >= rec.lo
+        ):
+            if rec.hi > prev.hi:
+                out[-1] = BoundaryRecord(
+                    prev.face, prev.layer, prev.lo, rec.hi, prev.ident
+                )
+        else:
+            out.append(rec)
+    return out

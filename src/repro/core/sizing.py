@@ -1,0 +1,54 @@
+"""Transistor length/width computation (section 3 of the paper).
+
+*"The source edge length of a transistor is defined to be the length of
+the perimeter along which the source net and the channel touch.  The
+width of the transistor is then computed as the mean of the source and
+drain edge lengths.  The length of the transistor is computed as the area
+of the channel divided by the width."*
+
+The extractor hands us the channel area and a map from terminal net to
+total contact perimeter; everything else is arithmetic plus conventions
+for the degenerate cases (fewer than two terminals, extra terminals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SizedDevice:
+    """The outcome of sizing one channel region."""
+
+    source: int | None
+    drain: int | None
+    width: float
+    length: float
+
+
+def size_device(area: int, terminals: "dict[int, int]") -> SizedDevice:
+    """Size a channel of ``area`` with the given net -> perimeter map.
+
+    The two largest-perimeter terminals become source and drain (source
+    is the larger; ties break toward the lower net index so results are
+    deterministic).  Extra terminals -- a channel touched by three or
+    more diffusion nets -- do not contribute to the width, matching the
+    two-terminal model of the paper; the static checker flags them.
+    """
+    if area < 0:
+        raise ValueError("channel area cannot be negative")
+    ranked = sorted(terminals.items(), key=lambda item: (-item[1], item[0]))
+    if len(ranked) >= 2:
+        (source, p_source), (drain, p_drain) = ranked[0], ranked[1]
+        width = (p_source + p_drain) / 2
+    elif len(ranked) == 1:
+        # Single-terminal channel: a MOS capacitor or a malformed device.
+        # Use the one contact edge as the width so the length stays
+        # meaningful for the checker's report.
+        (source, p_source) = ranked[0]
+        drain = None
+        width = float(p_source)
+    else:
+        return SizedDevice(source=None, drain=None, width=0.0, length=0.0)
+    length = area / width if width else 0.0
+    return SizedDevice(source=source, drain=drain, width=width, length=length)

@@ -1,0 +1,75 @@
+"""Extraction statistics: phase timers and scanline counters.
+
+The paper reports a coarse distribution of extraction time (section 5:
+40% parse/sort, 15% list insertion, 20% device computation, 10% storage/
+IO/init, 15% miscellaneous) and an expected-complexity analysis in terms
+of scanline stops and active-list length.  This module is how the
+benchmarks observe both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Phase keys, mirroring the paper's breakdown.
+PHASES = ("frontend", "insert", "devices", "output", "misc")
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per extraction phase."""
+
+    seconds: dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in PHASES}
+    )
+    _started: float = 0.0
+    _active: str | None = None
+
+    def start(self, phase: str) -> None:
+        now = time.perf_counter()
+        if self._active is not None:
+            self.seconds[self._active] += now - self._started
+        self._active = phase
+        self._started = now
+
+    def stop(self) -> None:
+        if self._active is not None:
+            self.seconds[self._active] += time.perf_counter() - self._started
+            self._active = None
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def percentages(self) -> dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {phase: 0.0 for phase in self.seconds}
+        return {
+            phase: 100.0 * value / total for phase, value in self.seconds.items()
+        }
+
+
+@dataclass
+class ScanStats:
+    """Counters for the complexity claims of section 4."""
+
+    boxes_in: int = 0  #: primitive boxes received from the front-end
+    stops: int = 0  #: scanline stops (loop iterations)
+    strips: int = 0  #: non-empty strips processed
+    active_samples: int = 0  #: sum of active-list lengths over stops
+    peak_active: int = 0  #: max total active-list length
+    nets_created: int = 0
+    devices_created: int = 0
+    merges: int = 0  #: interval merge operations
+    splits: int = 0  #: continuation splits of taller boxes
+
+    @property
+    def mean_active(self) -> float:
+        return self.active_samples / self.stops if self.stops else 0.0
+
+    def observe_active(self, total_active: int) -> None:
+        self.active_samples += total_active
+        if total_active > self.peak_active:
+            self.peak_active = total_active

@@ -1,0 +1,12 @@
+"""Front-end: CIF instantiation and the sorted top-to-bottom stream."""
+
+from .instantiate import PlacedLabel, instantiate, symbol_bboxes
+from .stream import GeometryStream, StreamStats
+
+__all__ = [
+    "GeometryStream",
+    "PlacedLabel",
+    "StreamStats",
+    "instantiate",
+    "symbol_bboxes",
+]

@@ -1,0 +1,153 @@
+"""Axis-aligned integer boxes, the primitive unit of CIF artwork.
+
+All coordinates are integers in CIF centimicrons (1/100 micron).  A box is
+half-open in neither axis conceptually -- CIF boxes are closed regions --
+but overlap predicates distinguish *positive-area* overlap (which conducts)
+from mere edge/corner contact (which, between strips, conducts only along
+an edge of positive length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A rectangle with sides parallel to the coordinate axes.
+
+    Invariant: ``xmin < xmax`` and ``ymin < ymax`` (boxes have positive
+    area).  Use :meth:`from_center` for CIF-style length/width/center
+    construction.
+    """
+
+    xmin: int
+    ymin: int
+    xmax: int
+    ymax: int
+
+    def __post_init__(self) -> None:
+        if self.xmin >= self.xmax or self.ymin >= self.ymax:
+            raise ValueError(
+                f"degenerate box ({self.xmin}, {self.ymin}, "
+                f"{self.xmax}, {self.ymax})"
+            )
+
+    @classmethod
+    def from_center(cls, length: int, width: int, cx: int, cy: int) -> "Box":
+        """Build a box the way a CIF ``B`` command specifies it.
+
+        ``length`` is the x extent, ``width`` the y extent, and
+        ``(cx, cy)`` the center.  CIF centers may put edges on half-integer
+        coordinates only if length/width parity disagrees with the center;
+        callers are expected to supply consistent values (the CIF parser
+        validates this).
+        """
+        if length <= 0 or width <= 0:
+            raise ValueError(f"non-positive box dimensions {length}x{width}")
+        if (length % 2) or (width % 2):
+            # Preserve integer coordinates by doubling is the classic CIF
+            # trick; here we simply require even extents about an integer
+            # center, matching Mead-Conway lambda grids.
+            raise ValueError(
+                f"odd box extent {length}x{width} cannot center on the "
+                f"integer grid at ({cx}, {cy})"
+            )
+        hx, hy = length // 2, width // 2
+        return cls(cx - hx, cy - hy, cx + hx, cy + hy)
+
+    # -- basic measures ------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Extent along x."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> int:
+        """Extent along y."""
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2, (self.ymin + self.ymax) / 2)
+
+    # -- predicates ----------------------------------------------------
+
+    def overlaps(self, other: "Box") -> bool:
+        """True if the two boxes share positive area."""
+        return (
+            self.xmin < other.xmax
+            and other.xmin < self.xmax
+            and self.ymin < other.ymax
+            and other.ymin < self.ymax
+        )
+
+    def touches(self, other: "Box") -> bool:
+        """True if the boxes share positive area *or* abut along an edge
+        of positive length.  Corner-only contact returns False: a single
+        shared point does not conduct."""
+        x_overlap = min(self.xmax, other.xmax) - max(self.xmin, other.xmin)
+        y_overlap = min(self.ymax, other.ymax) - max(self.ymin, other.ymin)
+        return (x_overlap > 0 and y_overlap >= 0) or (
+            x_overlap >= 0 and y_overlap > 0
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed-region containment (boundary points count)."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_box(self, other: "Box") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    # -- constructive operations ----------------------------------------
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping region, or None when overlap has no area."""
+        xmin = max(self.xmin, other.xmin)
+        ymin = max(self.ymin, other.ymin)
+        xmax = min(self.xmax, other.xmax)
+        ymax = min(self.ymax, other.ymax)
+        if xmin < xmax and ymin < ymax:
+            return Box(xmin, ymin, xmax, ymax)
+        return None
+
+    def union_bbox(self, other: "Box") -> "Box":
+        """Bounding box of the pair (not a geometric union)."""
+        return Box(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def translated(self, dx: int, dy: int) -> "Box":
+        return Box(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def clipped(self, clip: "Box") -> "Box | None":
+        """Alias of :meth:`intersection`, named for window slicing."""
+        return self.intersection(clip)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box[{self.xmin},{self.ymin} .. {self.xmax},{self.ymax}]"
+
+
+def bounding_box(boxes: "list[Box] | tuple[Box, ...]") -> Box:
+    """Bounding box of a non-empty collection of boxes."""
+    if not boxes:
+        raise ValueError("bounding_box of empty collection")
+    return Box(
+        min(b.xmin for b in boxes),
+        min(b.ymin for b in boxes),
+        max(b.xmax for b in boxes),
+        max(b.ymax for b in boxes),
+    )

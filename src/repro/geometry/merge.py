@@ -1,0 +1,124 @@
+"""Region algebra over box collections.
+
+Nets and channels accumulate geometry as loose, overlapping box lists; the
+utilities here canonicalize those lists so areas, perimeters, and equality
+checks are well defined regardless of how the region was assembled.
+"""
+
+from __future__ import annotations
+
+from .box import Box
+
+
+def normalize_region(boxes: "list[Box]") -> list[Box]:
+    """Canonical slab decomposition of the union of ``boxes``.
+
+    The result is a disjoint set of boxes covering exactly the same
+    region, cut at every distinct y where any input box starts or stops,
+    with maximal x-runs inside each slab, then vertically coalesced.  Two
+    box lists cover the same region iff their normalizations are equal.
+    """
+    if not boxes:
+        return []
+    ys = sorted({b.ymin for b in boxes} | {b.ymax for b in boxes})
+    out: list[Box] = []
+    for y0, y1 in zip(ys, ys[1:]):
+        spans = sorted(
+            (b.xmin, b.xmax) for b in boxes if b.ymin < y1 and b.ymax > y0
+        )
+        if not spans:
+            continue
+        cur_lo, cur_hi = spans[0]
+        for lo, hi in spans[1:]:
+            if lo <= cur_hi:
+                cur_hi = max(cur_hi, hi)
+            else:
+                out.append(Box(cur_lo, y0, cur_hi, y1))
+                cur_lo, cur_hi = lo, hi
+        out.append(Box(cur_lo, y0, cur_hi, y1))
+    return _coalesce(out)
+
+
+def _coalesce(boxes: list[Box]) -> list[Box]:
+    boxes = sorted(boxes, key=lambda b: (b.xmin, b.xmax, b.ymin))
+    merged: list[Box] = []
+    for box in boxes:
+        if (
+            merged
+            and merged[-1].xmin == box.xmin
+            and merged[-1].xmax == box.xmax
+            and merged[-1].ymax == box.ymin
+        ):
+            merged[-1] = Box(box.xmin, merged[-1].ymin, box.xmax, box.ymax)
+        else:
+            merged.append(box)
+    merged.sort(key=lambda b: (b.ymin, b.xmin))
+    return merged
+
+
+def union_area(boxes: "list[Box]") -> int:
+    """Area of the union of ``boxes`` (overlap counted once)."""
+    return sum(b.area for b in normalize_region(boxes))
+
+
+def regions_equal(a: "list[Box]", b: "list[Box]") -> bool:
+    """True when the two box lists cover exactly the same region."""
+    return normalize_region(a) == normalize_region(b)
+
+
+def subtract_region(boxes: "list[Box]", holes: "list[Box]") -> list[Box]:
+    """The region covered by ``boxes`` but not by ``holes``."""
+    if not boxes:
+        return []
+    if not holes:
+        return normalize_region(boxes)
+    ys = sorted(
+        {b.ymin for b in boxes}
+        | {b.ymax for b in boxes}
+        | {h.ymin for h in holes}
+        | {h.ymax for h in holes}
+    )
+    out: list[Box] = []
+    for y0, y1 in zip(ys, ys[1:]):
+        keep = _merge_spans(
+            [(b.xmin, b.xmax) for b in boxes if b.ymin < y1 and b.ymax > y0]
+        )
+        if not keep:
+            continue
+        cut = _merge_spans(
+            [(h.xmin, h.xmax) for h in holes if h.ymin < y1 and h.ymax > y0]
+        )
+        for lo, hi in _subtract_spans(keep, cut):
+            out.append(Box(lo, y0, hi, y1))
+    return _coalesce(out)
+
+
+def _merge_spans(spans: "list[tuple[int, int]]") -> list[tuple[int, int]]:
+    spans.sort()
+    merged: list[tuple[int, int]] = []
+    for lo, hi in spans:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _subtract_spans(
+    keep: "list[tuple[int, int]]", cut: "list[tuple[int, int]]"
+) -> list[tuple[int, int]]:
+    result: list[tuple[int, int]] = []
+    for lo, hi in keep:
+        pos = lo
+        for clo, chi in cut:
+            if chi <= pos or clo >= hi:
+                continue
+            if clo > pos:
+                result.append((pos, clo))
+            pos = max(pos, chi)
+            if pos >= hi:
+                break
+        if pos < hi:
+            result.append((pos, hi))
+    return result

@@ -1,0 +1,92 @@
+"""Simple polygons on the integer grid.
+
+CIF ``P`` commands describe arbitrary simple polygons.  ACE's front-end
+never hands polygons to the back-end: everything is fractured into
+axis-aligned boxes first (:mod:`repro.geometry.fracture`).  This module
+holds the polygon value type and the point-sampling predicates the
+fracturer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .box import Box
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon given by its vertex ring (implicitly closed).
+
+    Vertices are integer points.  The ring may wind in either direction;
+    degenerate (fewer than 3 distinct vertices, or zero-area) polygons are
+    rejected.
+    """
+
+    vertices: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("polygon needs at least 3 vertices")
+        if abs(self.signed_area2()) == 0:
+            raise ValueError("polygon has zero area")
+
+    @classmethod
+    def from_points(cls, points: "list[tuple[int, int]]") -> "Polygon":
+        return cls(tuple((int(x), int(y)) for x, y in points))
+
+    @classmethod
+    def rectangle(cls, box: Box) -> "Polygon":
+        return cls(
+            (
+                (box.xmin, box.ymin),
+                (box.xmax, box.ymin),
+                (box.xmax, box.ymax),
+                (box.xmin, box.ymax),
+            )
+        )
+
+    def signed_area2(self) -> int:
+        """Twice the signed area (shoelace); positive when CCW."""
+        total = 0
+        pts = self.vertices
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            total += x1 * y2 - x2 * y1
+        return total
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area2()) / 2
+
+    def bbox(self) -> Box:
+        xs = [x for x, _ in self.vertices]
+        ys = [y for _, y in self.vertices]
+        return Box(min(xs), min(ys), max(xs), max(ys))
+
+    def is_manhattan(self) -> bool:
+        """True when every edge is axis-parallel (exact fracture possible)."""
+        pts = self.vertices
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            if x1 != x2 and y1 != y2:
+                return False
+        return True
+
+    def crossings_at(self, y: float) -> list[float]:
+        """Sorted x coordinates where edges cross the horizontal line ``y``.
+
+        Horizontal edges are ignored; sampling at mid-slab heights (never
+        at a vertex y) keeps the even-odd pairing well defined.
+        """
+        xs: list[float] = []
+        pts = self.vertices
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            if y1 == y2:
+                continue
+            lo, hi = (y1, y2) if y1 < y2 else (y2, y1)
+            if lo < y < hi:
+                xs.append(x1 + (x2 - x1) * (y - y1) / (y2 - y1))
+        xs.sort()
+        return xs

@@ -1,0 +1,33 @@
+"""HEXT: the hierarchical circuit extractor built on modified ACE."""
+
+from .compose import compose
+from .extractor import HextResult, HextStats, hext_extract, resolve
+from .incremental import IncrementalExtractor, IncrementalStats
+from .fragment import (
+    CHANNEL,
+    ChildRef,
+    DeviceRec,
+    Fragment,
+    IfaceRec,
+    Placed,
+)
+from .windows import Content, WindowPlanner, content_key
+
+__all__ = [
+    "CHANNEL",
+    "ChildRef",
+    "Content",
+    "DeviceRec",
+    "Fragment",
+    "HextResult",
+    "HextStats",
+    "IncrementalExtractor",
+    "IncrementalStats",
+    "IfaceRec",
+    "Placed",
+    "WindowPlanner",
+    "compose",
+    "content_key",
+    "hext_extract",
+    "resolve",
+]

@@ -1,0 +1,324 @@
+"""HEXT: the hierarchical circuit extractor.
+
+Driver for the three-step process of section 2:
+
+1. find all distinct non-overlapping windows (front-end, with the memo
+   table recognizing redundant windows);
+2. extract each unique window with the modified flat extractor, which
+   also computes its boundary interface;
+3. combine windows bottom-to-top, left-to-right with Compose.
+
+The result is a :class:`Fragment` tree mirroring the hierarchical
+wirelist; :func:`resolve` expands it (cost linear in devices, as the
+paper notes for flattening) into the same :class:`Circuit` model flat ACE
+produces, so the two extractors can be checked for netlist equivalence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..cif import Layout, parse
+from ..core.assemble import assemble_circuit
+from ..core.extractor import extract_report
+from ..core.netlist import CHANNEL as CORE_CHANNEL
+from ..core.netlist import Circuit
+from ..core.unionfind import UnionFind
+from ..geometry import Box
+from ..tech import NMOS, Technology
+from .compose import compose
+from .fragment import CHANNEL, DeviceRec, Fragment, IfaceRec, Placed
+from .windows import Content, WindowPlanner
+
+
+@dataclass
+class HextStats:
+    """Counters and timers for Tables 5-1 and 5-2."""
+
+    flat_calls: int = 0  #: calls to the (modified) flat extractor
+    compose_calls: int = 0
+    memo_hits: int = 0
+    windows_seen: int = 0  #: windows considered (including memo hits)
+    unique_windows: int = 0
+    frontend_seconds: float = 0.0  #: subdivision + canonicalization
+    flat_seconds: float = 0.0
+    compose_seconds: float = 0.0
+    resolve_seconds: float = 0.0
+
+    @property
+    def backend_seconds(self) -> float:
+        return self.flat_seconds + self.compose_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.frontend_seconds + self.backend_seconds + self.resolve_seconds
+
+    @property
+    def compose_share(self) -> float:
+        """Fraction of back-end time spent composing (Table 5-2)."""
+        backend = self.backend_seconds
+        return self.compose_seconds / backend if backend else 0.0
+
+
+@dataclass
+class HextResult:
+    """Fragment tree plus statistics; circuit is resolved on demand."""
+
+    fragment: Fragment
+    origin: tuple[int, int]
+    stats: HextStats
+    tech: Technology
+    _circuit: Circuit | None = field(default=None, repr=False)
+
+    @property
+    def circuit(self) -> Circuit:
+        if self._circuit is None:
+            start = time.perf_counter()
+            self._circuit = resolve(self.fragment, self.origin, self.tech)
+            self.stats.resolve_seconds += time.perf_counter() - start
+        return self._circuit
+
+
+def hext_extract(
+    source: "str | Layout",
+    tech: Technology | None = None,
+    *,
+    resolution: int = 50,
+) -> HextResult:
+    """Hierarchically extract a CIF string or parsed layout."""
+    tech = tech or NMOS()
+    layout = parse(source) if isinstance(source, str) else source
+    stats = HextStats()
+    planner_start = time.perf_counter()
+    planner = WindowPlanner(layout, resolution)
+    top = planner.top_content()
+    stats.frontend_seconds += time.perf_counter() - planner_start
+    extractor = _Extractor(planner, tech, stats, resolution)
+    fragment = extractor.window(top)
+    return HextResult(
+        fragment=fragment,
+        origin=(top.region.xmin, top.region.ymin),
+        stats=stats,
+        tech=tech,
+    )
+
+
+class _Extractor:
+    def __init__(
+        self,
+        planner: WindowPlanner,
+        tech: Technology,
+        stats: HextStats,
+        resolution: int,
+    ) -> None:
+        self.planner = planner
+        self.tech = tech
+        self.stats = stats
+        self.resolution = resolution
+        self.memo: dict[object, Fragment] = {}
+
+    def window(self, content: Content) -> Fragment:
+        """Fragment for a window, via the memo table."""
+        start = time.perf_counter()
+        self.stats.windows_seen += 1
+        key = self.planner.key(content)
+        cached = self.memo.get(key)
+        self.stats.frontend_seconds += time.perf_counter() - start
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        fragment = self._build(content)
+        self.memo[key] = fragment
+        self.stats.unique_windows += 1
+        return fragment
+
+    def _build(self, content: Content) -> Fragment:
+        if content.is_primitive():
+            start = time.perf_counter()
+            fragment = self._extract_primitive(content)
+            self.stats.flat_seconds += time.perf_counter() - start
+            self.stats.flat_calls += 1
+            return fragment
+
+        start = time.perf_counter()
+        subwindows = self.planner.subdivide(content)
+        # Composition order: lower-left corner, bottom to top then left
+        # to right (section 3).
+        subwindows.sort(key=lambda w: (w.region.ymin, w.region.xmin))
+        self.stats.frontend_seconds += time.perf_counter() - start
+
+        ox, oy = content.region.xmin, content.region.ymin
+        placed: list[Placed] = []
+        for sub in subwindows:
+            fragment = self.window(sub)
+            placed.append(
+                Placed(fragment, sub.region.xmin - ox, sub.region.ymin - oy)
+            )
+        if not placed:
+            return _empty_fragment(content.region)
+        acc = placed[0]
+        for nxt in placed[1:]:
+            start = time.perf_counter()
+            merged = compose(acc, nxt, self.tech)
+            self.stats.compose_seconds += time.perf_counter() - start
+            self.stats.compose_calls += 1
+            acc = Placed(merged, 0, 0)
+        if acc.dx or acc.dy:
+            # Single sub-window: re-anchor it to this window's origin by
+            # wrapping (content differs, so the fragment must not mutate).
+            return _wrap_fragment(acc)
+        return acc.fragment
+
+    def _extract_primitive(self, content: Content) -> Fragment:
+        """Run the modified flat extractor over a geometry-only window."""
+        ox, oy = content.region.xmin, content.region.ymin
+        window = Box(
+            0, 0, content.region.width, content.region.height
+        )
+        layout = Layout()
+        for layer, box in content.geometry:
+            layout.top.add_box(layer, box.translated(-ox, -oy))
+        for label in content.labels:
+            from ..cif.layout import Label
+
+            layout.top.add_label(
+                Label(label.name, label.x - ox, label.y - oy, label.layer)
+            )
+        circuit = extract_report(
+            layout, self.tech, resolution=self.resolution, window=window
+        ).circuit
+        return _circuit_to_fragment(circuit, window)
+
+
+def _empty_fragment(region: Box) -> Fragment:
+    return Fragment(
+        region=(Box(0, 0, region.width, region.height),), net_count=0
+    )
+
+
+def _wrap_fragment(placed: Placed) -> Fragment:
+    from .fragment import ChildRef
+
+    return Fragment(
+        region=tuple(placed.region_rects()),
+        net_count=placed.fragment.net_count,
+        children=(ChildRef(placed.fragment, placed.dx, placed.dy, 0),),
+        interface=tuple(placed.interface_records()),
+        partials=tuple(
+            rec.shifted(placed.dx, placed.dy, 0)
+            for rec in placed.fragment.partials
+        ),
+    )
+
+
+def _circuit_to_fragment(circuit: Circuit, window: Box) -> Fragment:
+    """Adapt the modified flat extractor's output to a Fragment."""
+    fixed_of = {"L": window.xmin, "R": window.xmax, "T": window.ymax, "B": window.ymin}
+    complete: list[DeviceRec] = []
+    partial: list[DeviceRec] = []
+    partial_id: dict[int, int] = {}  # circuit device index -> partial id
+    for device in circuit.devices:
+        rec = DeviceRec(
+            area=device.area,
+            terms={net - 1: p for net, p in device.terminals.items()},
+            gates={g - 1 for g in device.gates},
+            impl=device.depletion,
+            loc=(device.location[1], -device.location[0])
+            if device.location
+            else None,
+        )
+        if device.touches_boundary:
+            partial_id[device.index] = len(partial)
+            partial.append(rec)
+        else:
+            complete.append(rec)
+
+    interface = []
+    for rec in circuit.boundary:
+        if rec.layer == CORE_CHANNEL:
+            mapped = partial_id.get(rec.ident)
+            if mapped is None:
+                continue  # coalesced away; device completed internally
+            interface.append(
+                IfaceRec(
+                    rec.face.value, CHANNEL, fixed_of[rec.face.value],
+                    rec.lo, rec.hi, mapped,
+                )
+            )
+        else:
+            interface.append(
+                IfaceRec(
+                    rec.face.value, rec.layer, fixed_of[rec.face.value],
+                    rec.lo, rec.hi, rec.ident - 1,
+                )
+            )
+
+    net_names = {
+        net.index - 1: list(net.names) for net in circuit.nets if net.names
+    }
+    net_locs = {
+        net.index - 1: (net.location[1], -net.location[0])
+        for net in circuit.nets
+        if net.location
+    }
+    return Fragment(
+        region=(window,),
+        net_count=len(circuit.nets),
+        net_names=net_names,
+        net_locs=net_locs,
+        devices=tuple(complete),
+        partials=tuple(partial),
+        interface=tuple(interface),
+    )
+
+
+def resolve(
+    fragment: Fragment, origin: tuple[int, int], tech: Technology
+) -> Circuit:
+    """Expand a fragment tree into a flat Circuit (linear in devices)."""
+    nets = UnionFind()
+    for _ in range(fragment.net_count):
+        nets.make()
+    net_loc: dict[int, tuple[int, int]] = {}
+    net_names: dict[int, list[str]] = {}
+    devs = UnionFind()
+    dev_rec: dict[int, dict] = {}
+
+    def add_device(rec: DeviceRec, base: int, ox: int, oy: int) -> None:
+        ident = devs.make()
+        dev_rec[ident] = {
+            "area": rec.area,
+            "gates": {base + g for g in rec.gates},
+            "terms": {base + n: p for n, p in rec.terms.items()},
+            "loc": (rec.loc[0] + oy, rec.loc[1] - ox) if rec.loc else None,
+            "impl": rec.impl,
+        }
+
+    stack: list[tuple[Fragment, int, int, int]] = [
+        (fragment, 0, origin[0], origin[1])
+    ]
+    while stack:
+        frag, base, ox, oy = stack.pop()
+        for a, b in frag.equivalences:
+            nets.union(base + a, base + b)
+        for ident, names in frag.net_names.items():
+            net_names.setdefault(base + ident, []).extend(names)
+        for ident, (ymax, neg_xmin) in frag.net_locs.items():
+            key = (ymax + oy, neg_xmin - ox)
+            current = net_loc.get(base + ident)
+            if current is None or key > current:
+                net_loc[base + ident] = key
+        for rec in frag.devices:
+            add_device(rec, base, ox, oy)
+        for child in frag.children:
+            stack.append(
+                (child.fragment, base + child.net_offset, ox + child.dx, oy + child.dy)
+            )
+    # Channels still on the chip boundary are legitimate devices.
+    for rec in fragment.partials:
+        add_device(rec, 0, origin[0], origin[1])
+
+    return assemble_circuit(
+        tech, nets, devs, net_loc, net_names, dev_rec, warnings=[]
+    )

@@ -1,0 +1,115 @@
+"""Incremental extraction: re-extract only what changed.
+
+The ACE paper closes with: "The edge-based algorithms are well suited
+for hierarchical and incremental extractors.  A modified version of ACE
+is used as a part of an experimental hierarchical extractor being
+developed at CMU."  HEXT is that extractor; this module adds the
+*incremental* half: the window memo table persists across extraction
+runs, so re-extracting an edited chip only pays for windows whose
+content actually changed -- everything else is recognized as redundant
+against the previous session's table.
+
+Because fragments are immutable and keyed purely by window content, the
+persistent table needs no invalidation: an edit changes a window's key,
+misses the cache, and is re-extracted; stale entries are simply never
+looked up again (``prune()`` drops entries unused in the latest run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cif import Layout, parse
+from ..tech import NMOS, Technology
+from .extractor import HextResult, HextStats, _Extractor
+from .windows import Content, WindowPlanner
+
+
+@dataclass
+class IncrementalStats:
+    """Cross-run reuse accounting for the latest extraction."""
+
+    windows_seen: int
+    reused_from_previous: int  #: memo hits on entries from earlier runs
+    reused_within_run: int  #: ordinary same-run redundancy
+    freshly_extracted: int  #: unique windows built this run
+
+    @property
+    def reuse_fraction(self) -> float:
+        if not self.windows_seen:
+            return 0.0
+        return (
+            self.reused_from_previous + self.reused_within_run
+        ) / self.windows_seen
+
+
+class IncrementalExtractor:
+    """A HEXT front door whose memo table survives between calls."""
+
+    def __init__(
+        self, tech: Technology | None = None, *, resolution: int = 50
+    ) -> None:
+        self.tech = tech or NMOS()
+        self.resolution = resolution
+        self._memo: dict[object, object] = {}
+        self._last_used: set[object] = set()
+        self.last_stats: IncrementalStats | None = None
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def extract(self, source: "str | Layout") -> HextResult:
+        """Extract, reusing any window seen in previous calls."""
+        layout = parse(source) if isinstance(source, str) else source
+        previous_keys = frozenset(self._memo)
+        stats = HextStats()
+        planner = WindowPlanner(layout, self.resolution)
+        extractor = _Extractor(planner, self.tech, stats, self.resolution)
+        extractor.memo = self._memo
+
+        used: set[object] = set()
+        counters = {"previous": 0, "within": 0}
+        original_window = extractor.window
+
+        def tracking_window(content: Content):
+            key = planner.key(content)
+            used.add(key)
+            if key in self._memo:
+                if key in previous_keys:
+                    counters["previous"] += 1
+                else:
+                    counters["within"] += 1
+            return original_window(content)
+
+        extractor.window = tracking_window  # type: ignore[method-assign]
+        top = planner.top_content()
+        fragment = extractor.window(top)
+        self._last_used = used
+
+        self.last_stats = IncrementalStats(
+            windows_seen=stats.windows_seen,
+            reused_from_previous=counters["previous"],
+            reused_within_run=counters["within"],
+            freshly_extracted=stats.unique_windows,
+        )
+        return HextResult(
+            fragment=fragment,
+            origin=(top.region.xmin, top.region.ymin),
+            stats=stats,
+            tech=self.tech,
+        )
+
+    def prune(self) -> int:
+        """Drop cache entries not used by the latest extraction.
+
+        Returns the number of entries removed.  Useful for long editing
+        sessions where abandoned cell revisions would otherwise pile up.
+        """
+        stale = [key for key in self._memo if key not in self._last_used]
+        for key in stale:
+            del self._memo[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._memo.clear()
+        self._last_used.clear()

@@ -1,0 +1,5 @@
+"""Layout plotting: ASCII and SVG renderers."""
+
+from .render import LAYER_COLORS, ascii_plot, plot_legend, svg_plot
+
+__all__ = ["LAYER_COLORS", "ascii_plot", "plot_legend", "svg_plot"]

@@ -1,0 +1,181 @@
+"""Layout rendering: ASCII art for terminals, SVG for everything else.
+
+Cifplot -- the Berkeley comparator of Table 5-2 -- was first of all a
+*plotter* that happened to extract; a reproduction of this toolchain
+deserves the plot half too.  Both renderers work from the fully
+instantiated artwork, so what you see is exactly what the extractor
+analyzes (fractured polygons, expanded hierarchy and all).
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..cif import Layout
+from ..frontend import instantiate
+
+#: Mead-Conway-ish layer colors for SVG (fill, opacity).
+LAYER_COLORS = {
+    "ND": ("#1f9d2f", 0.55),  # diffusion: green
+    "NP": ("#d42a2a", 0.55),  # poly: red
+    "NM": ("#2a52d4", 0.40),  # metal: blue
+    "NC": ("#111111", 0.90),  # contact cut: black
+    "NI": ("#d4b72a", 0.35),  # implant: yellow
+    "NB": ("#8a5a2a", 0.60),  # buried: brown
+    "NG": ("#777777", 0.30),  # overglass: grey
+}
+
+#: ASCII cell characters by descending precedence.  A cell showing 'T'
+#: is a transistor channel (diffusion under poly, no buried).
+_ASCII_RULES = (
+    (frozenset({"NC"}), "X"),
+    (frozenset({"NB", "NP", "ND"}), "B"),
+    (frozenset({"NP", "ND"}), "T"),
+    (frozenset({"NP"}), "p"),
+    (frozenset({"ND"}), "d"),
+    (frozenset({"NM"}), "m"),
+    (frozenset({"NI"}), "i"),
+    (frozenset({"NB"}), "b"),
+    (frozenset({"NG"}), "g"),
+)
+
+
+def ascii_plot(
+    layout: Layout, *, width: int = 72, show_labels: bool = True
+) -> str:
+    """Render the layout as a character grid.
+
+    One character per sampled cell, picked by layer precedence: ``X``
+    contact cut, ``B`` buried contact, ``T`` transistor channel, ``p``
+    poly, ``d`` diffusion, ``m`` metal, ``i`` implant.  Labels are
+    overprinted when they fit.
+    """
+    boxes, labels = instantiate(layout)
+    if not boxes:
+        return "(empty layout)\n"
+    xmin = min(b.xmin for _, b in boxes)
+    xmax = max(b.xmax for _, b in boxes)
+    ymin = min(b.ymin for _, b in boxes)
+    ymax = max(b.ymax for _, b in boxes)
+    span_x = xmax - xmin
+    span_y = ymax - ymin
+    # Terminal cells are ~2x taller than wide; halve the row count.
+    step = max(1, -(-span_x // width))
+    cols = -(-span_x // step)
+    rows = max(1, -(-span_y // (step * 2)))
+
+    grid = [[" "] * cols for _ in range(rows)]
+    sets: list[list[set]] = [[set() for _ in range(cols)] for _ in range(rows)]
+    for layer, box in boxes:
+        c0 = max(0, (box.xmin - xmin) // step)
+        c1 = min(cols, -(-(box.xmax - xmin) // step))
+        r0 = max(0, (ymax - box.ymax) // (step * 2))
+        r1 = min(rows, -(-(ymax - box.ymin) // (step * 2)))
+        for r in range(r0, r1):
+            for c in range(c0, c1):
+                sets[r][c].add(layer)
+
+    for r in range(rows):
+        for c in range(cols):
+            present = sets[r][c]
+            if not present:
+                continue
+            for needed, char in _ASCII_RULES:
+                if needed <= present:
+                    grid[r][c] = char
+                    break
+
+    if show_labels:
+        for label in labels:
+            c = min(cols - 1, max(0, (label.x - xmin) // step))
+            r = min(rows - 1, max(0, (ymax - label.y) // (step * 2)))
+            for k, ch in enumerate(label.name):
+                if c + k < cols:
+                    grid[r][c + k] = ch
+
+    out = StringIO()
+    for row in grid:
+        out.write("".join(row).rstrip() + "\n")
+    return out.getvalue()
+
+
+def svg_plot(
+    layout: Layout,
+    path: str | None = None,
+    *,
+    scale: float = 0.05,
+    show_labels: bool = True,
+) -> str:
+    """Render the layout as an SVG document; optionally write it out.
+
+    ``scale`` maps CIF centimicrons to SVG user units (default: 0.05,
+    i.e. one lambda of a 2.5 micron process is 12.5 units).
+    """
+    boxes, labels = instantiate(layout)
+    if boxes:
+        xmin = min(b.xmin for _, b in boxes)
+        xmax = max(b.xmax for _, b in boxes)
+        ymin = min(b.ymin for _, b in boxes)
+        ymax = max(b.ymax for _, b in boxes)
+    else:
+        xmin = ymin = 0
+        xmax = ymax = 1
+    pad = max(1.0, (xmax - xmin) * scale * 0.03)
+    width = (xmax - xmin) * scale + 2 * pad
+    height = (ymax - ymin) * scale + 2 * pad
+
+    def tx(x: int) -> float:
+        return (x - xmin) * scale + pad
+
+    def ty(y: int) -> float:
+        # SVG y grows downward; CIF y grows upward.
+        return (ymax - y) * scale + pad
+
+    out = StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.1f}" height="{height:.1f}" '
+        f'viewBox="0 0 {width:.1f} {height:.1f}">\n'
+    )
+    out.write(
+        f'<rect x="0" y="0" width="{width:.1f}" height="{height:.1f}" '
+        f'fill="#f8f6ef"/>\n'
+    )
+    # Draw in a fixed layer order so the stack reads correctly.
+    order = ("NI", "ND", "NP", "NB", "NM", "NC", "NG")
+    ranked = sorted(
+        boxes,
+        key=lambda item: order.index(item[0]) if item[0] in order else 99,
+    )
+    for layer, box in ranked:
+        fill, opacity = LAYER_COLORS.get(layer, ("#999999", 0.4))
+        out.write(
+            f'<rect x="{tx(box.xmin):.1f}" y="{ty(box.ymax):.1f}" '
+            f'width="{box.width * scale:.1f}" '
+            f'height="{box.height * scale:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity}">'
+            f"<title>{layer} {box.xmin},{box.ymin}..{box.xmax},{box.ymax}"
+            f"</title></rect>\n"
+        )
+    if show_labels:
+        font = max(4.0, 8 * scale / 0.05)
+        for label in labels:
+            out.write(
+                f'<text x="{tx(label.x):.1f}" y="{ty(label.y):.1f}" '
+                f'font-size="{font:.1f}" font-family="monospace" '
+                f'fill="#222">{label.name}</text>\n'
+            )
+    out.write("</svg>\n")
+    text = out.getvalue()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def plot_legend() -> str:
+    """The ASCII character legend, for example output."""
+    return (
+        "legend: T transistor channel  B buried contact  X contact cut\n"
+        "        d diffusion  p poly  m metal  i implant\n"
+    )

@@ -1,0 +1,5 @@
+"""Schematic entry and layout-vs-schematic (LVS) comparison."""
+
+from .entry import Schematic, lvs
+
+__all__ = ["Schematic", "lvs"]

@@ -1,0 +1,174 @@
+"""Schematic entry for layout-vs-schematic comparison.
+
+Section 1 of the paper: "If a circuit's schematic diagram is available
+to the designer, it can be compared to the extracted circuit: if the two
+are equivalent, the layout corresponds to the original circuit."  This
+module is the schematic side of that check -- a small netlist-entry API
+with NMOS gate-level helpers -- plus :func:`lvs`, which runs the
+comparison against an extracted circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.netlist import Circuit
+from ..wirelist.compare import ComparisonReport, compare_netlists
+from ..wirelist.flatten import FlatCircuit, FlatDevice, circuit_to_flat
+
+
+@dataclass
+class Schematic:
+    """A hand-entered NMOS netlist.
+
+    Nets are referred to by name; ``VDD`` and ``GND`` exist implicitly.
+    Devices are added either directly (:meth:`enhancement`,
+    :meth:`depletion`) or through ratioed-gate helpers (:meth:`inverter`,
+    :meth:`nand`, :meth:`nor`), which instantiate the standard
+    load-plus-pulldown structures the extractor will find in the layout.
+    """
+
+    name: str = "schematic"
+    _devices: list[tuple[str, str, str, str]] = field(default_factory=list)
+    _nets: dict[str, int] = field(default_factory=dict)
+    _anon: int = 0
+
+    def net(self, name: str | None = None) -> str:
+        """Declare (or create an anonymous) net; returns its name."""
+        if name is None:
+            self._anon += 1
+            name = f"_anon{self._anon}"
+        if name not in self._nets:
+            self._nets[name] = len(self._nets)
+        return name
+
+    # -- primitive devices ---------------------------------------------
+
+    def enhancement(self, gate: str, source: str, drain: str) -> "Schematic":
+        self._devices.append(
+            ("nEnh", self.net(gate), self.net(source), self.net(drain))
+        )
+        return self
+
+    def depletion(self, gate: str, source: str, drain: str) -> "Schematic":
+        self._devices.append(
+            ("nDep", self.net(gate), self.net(source), self.net(drain))
+        )
+        return self
+
+    # -- ratioed NMOS gates -----------------------------------------------
+
+    def load(self, output: str, vdd: str = "VDD") -> "Schematic":
+        """The standard depletion pullup: gate tied to the output."""
+        return self.depletion(gate=output, source=vdd, drain=output)
+
+    def inverter(
+        self, input_: str, output: str, vdd: str = "VDD", gnd: str = "GND"
+    ) -> "Schematic":
+        self.load(output, vdd)
+        return self.enhancement(gate=input_, source=output, drain=gnd)
+
+    def nand(
+        self,
+        inputs: "list[str]",
+        output: str,
+        vdd: str = "VDD",
+        gnd: str = "GND",
+    ) -> "Schematic":
+        """Series pulldown chain under one load.
+
+        ``inputs`` are ordered from the output toward ground -- the
+        stacking order is electrically symmetric for logic but *is* part
+        of the netlist topology, and LVS will flag a layout whose series
+        order differs from the schematic's.
+        """
+        if not inputs:
+            raise ValueError("nand needs at least one input")
+        self.load(output, vdd)
+        node = output
+        for input_ in inputs[:-1]:
+            nxt = self.net()
+            self.enhancement(gate=input_, source=node, drain=nxt)
+            node = nxt
+        return self.enhancement(gate=inputs[-1], source=node, drain=gnd)
+
+    def nor(
+        self,
+        inputs: "list[str]",
+        output: str,
+        vdd: str = "VDD",
+        gnd: str = "GND",
+    ) -> "Schematic":
+        """Parallel pulldowns under one load."""
+        if not inputs:
+            raise ValueError("nor needs at least one input")
+        self.load(output, vdd)
+        for input_ in inputs:
+            self.enhancement(gate=input_, source=output, drain=gnd)
+        return self
+
+    def pass_transistor(self, gate: str, a: str, b: str) -> "Schematic":
+        return self.enhancement(gate=gate, source=a, drain=b)
+
+    # -- conversion -------------------------------------------------------
+
+    @property
+    def device_count(self) -> int:
+        return len(self._devices)
+
+    def to_flat(self, named: "tuple[str, ...] | None" = None) -> FlatCircuit:
+        """Flatten to the comparator's netlist form.
+
+        ``named`` selects which net names anchor the comparison; by
+        default every non-anonymous net name is kept.  Restricting it to
+        the external ports makes the check tolerant of internal-name
+        differences.
+        """
+        flat = FlatCircuit()
+        ids = dict(self._nets)
+        for kind, gate, source, drain in self._devices:
+            flat.devices.append(
+                FlatDevice(kind, ids[gate], ids[source], ids[drain])
+            )
+        for name, ident in ids.items():
+            if name.startswith("_anon"):
+                continue
+            if named is not None and name not in named:
+                continue
+            flat.net_names.setdefault(ident, []).append(name)
+        flat.net_count = len(ids)
+        return flat
+
+
+def lvs(
+    layout_circuit: "Circuit | FlatCircuit",
+    schematic: Schematic,
+    *,
+    ports: "tuple[str, ...] | None" = None,
+) -> ComparisonReport:
+    """Layout vs schematic: are the two netlists equivalent?
+
+    ``ports`` optionally restricts name-anchoring to the listed nets (the
+    chip's external connections); otherwise every name both sides share
+    is required to match.
+    """
+    extracted = (
+        layout_circuit
+        if isinstance(layout_circuit, FlatCircuit)
+        else circuit_to_flat(layout_circuit)
+    )
+    reference = schematic.to_flat(named=ports)
+    if ports is not None:
+        extracted = _restrict_names(extracted, ports)
+    return compare_netlists(extracted, reference)
+
+
+def _restrict_names(flat: FlatCircuit, ports: "tuple[str, ...]") -> FlatCircuit:
+    out = FlatCircuit()
+    out.devices = list(flat.devices)
+    out.net_count = flat.net_count
+    for net, names in flat.net_names.items():
+        kept = [n for n in names if n in ports]
+        if kept:
+            out.net_names[net] = kept
+    return out

@@ -1,0 +1,17 @@
+"""Switch-level simulation of extracted NMOS circuits."""
+
+from .switchlevel import (
+    HIGH,
+    LOW,
+    UNKNOWN,
+    SimulationResult,
+    SwitchSimulator,
+)
+
+__all__ = [
+    "HIGH",
+    "LOW",
+    "SimulationResult",
+    "SwitchSimulator",
+    "UNKNOWN",
+]

@@ -1,0 +1,33 @@
+"""NMOS technology description: layers and device-formation rules."""
+
+from .layers import (
+    ALL_LAYERS,
+    BURIED,
+    CONTACT,
+    DIFFUSION,
+    GLASS,
+    IMPLANT,
+    METAL,
+    POLY,
+    Layer,
+    is_known_layer,
+    layer_by_name,
+)
+from .nmos import DEFAULT_LAMBDA, NMOS, Technology
+
+__all__ = [
+    "ALL_LAYERS",
+    "BURIED",
+    "CONTACT",
+    "DEFAULT_LAMBDA",
+    "DIFFUSION",
+    "GLASS",
+    "IMPLANT",
+    "METAL",
+    "NMOS",
+    "POLY",
+    "Layer",
+    "Technology",
+    "is_known_layer",
+    "layer_by_name",
+]

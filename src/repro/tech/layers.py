@@ -1,0 +1,64 @@
+"""Mask layer definitions.
+
+A :class:`Layer` is a lightweight named constant; the NMOS process wiring
+(which layers conduct, which form devices) lives in
+:mod:`repro.tech.nmos`.  Layers are identified by their CIF short names
+(``ND``, ``NP``, ...), following Mead & Conway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Layer:
+    """A mask layer.
+
+    Attributes:
+        cif_name: the CIF ``L`` command name, e.g. ``"ND"``.
+        description: human-readable layer role.
+        conducting: True when geometry on this layer carries signals and
+            therefore participates in net formation.
+    """
+
+    cif_name: str
+    description: str
+    conducting: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.cif_name
+
+
+# The Mead-Conway NMOS layer set used by ACE.
+DIFFUSION = Layer("ND", "diffusion", conducting=True)
+POLY = Layer("NP", "polysilicon", conducting=True)
+METAL = Layer("NM", "metal", conducting=True)
+CONTACT = Layer("NC", "contact cut", conducting=False)
+IMPLANT = Layer("NI", "depletion implant", conducting=False)
+BURIED = Layer("NB", "buried contact", conducting=False)
+GLASS = Layer("NG", "overglass opening", conducting=False)
+
+ALL_LAYERS: tuple[Layer, ...] = (
+    DIFFUSION,
+    POLY,
+    METAL,
+    CONTACT,
+    IMPLANT,
+    BURIED,
+    GLASS,
+)
+
+_BY_NAME = {layer.cif_name: layer for layer in ALL_LAYERS}
+
+
+def layer_by_name(cif_name: str) -> Layer:
+    """Look up a layer by CIF name; raises KeyError for unknown layers."""
+    try:
+        return _BY_NAME[cif_name]
+    except KeyError:
+        raise KeyError(f"unknown CIF layer {cif_name!r}") from None
+
+
+def is_known_layer(cif_name: str) -> bool:
+    return cif_name in _BY_NAME

@@ -1,0 +1,84 @@
+"""The NMOS process rules ACE extracts against.
+
+ACE deliberately embeds no circuit *model* (capacitance, resistance), but
+it does embed the NMOS *topology* rules:
+
+* **Channel formation** -- diffusion AND poly AND NOT buried is a
+  transistor channel; the channel interrupts conduction on the diffusion
+  layer (section 3: the four "interacting layers" are diffusion, poly,
+  buried and implant).
+* **Device type** -- implant over the channel makes a depletion device,
+  otherwise enhancement.
+* **Contacts** -- a contact cut unions the nets of every conducting layer
+  present under it (metal-poly or metal-diffusion in practice; a butting
+  contact unions all three).
+* **Buried contacts** -- buried over poly AND diffusion unions the poly
+  and diffusion nets (and, by the channel rule, suppresses the channel).
+
+The lambda value only matters to the raster baseline (grid pitch) and the
+workload generators; ACE itself is grid-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import layers
+from .layers import Layer
+
+#: Default lambda in CIF centimicrons (2.5 micron process, Mead-Conway).
+DEFAULT_LAMBDA = 250
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A bundle of process rules; NMOS() is the only instance ACE ships.
+
+    Kept as a value object (rather than module constants) so tests and the
+    HEXT back-end can construct reduced-layer variants.
+    """
+
+    name: str = "nmos"
+    lambda_: int = DEFAULT_LAMBDA
+    conducting_layers: tuple[Layer, ...] = (
+        layers.METAL,
+        layers.POLY,
+        layers.DIFFUSION,
+    )
+    channel_layers: tuple[Layer, Layer] = (layers.DIFFUSION, layers.POLY)
+    channel_blocker: Layer = layers.BURIED
+    depletion_marker: Layer = layers.IMPLANT
+    contact_layer: Layer = layers.CONTACT
+    buried_layer: Layer = layers.BURIED
+    ignored_layers: tuple[Layer, ...] = (layers.GLASS,)
+    #: Transistor part names used in wirelists, by depletion flag.
+    device_names: dict = field(
+        default_factory=lambda: {False: "nEnh", True: "nDep"}
+    )
+
+    def all_layers(self) -> tuple[Layer, ...]:
+        seen: list[Layer] = []
+        for layer in (
+            *self.conducting_layers,
+            *self.channel_layers,
+            self.channel_blocker,
+            self.depletion_marker,
+            self.contact_layer,
+            self.buried_layer,
+            *self.ignored_layers,
+        ):
+            if layer not in seen:
+                seen.append(layer)
+        return tuple(seen)
+
+    def is_relevant(self, layer: Layer) -> bool:
+        """Layers the extractor must track (everything but ignored)."""
+        return layer not in self.ignored_layers
+
+    def device_name(self, depletion: bool) -> str:
+        return self.device_names[depletion]
+
+
+def NMOS(lambda_: int = DEFAULT_LAMBDA) -> Technology:
+    """The standard NMOS technology at the given lambda."""
+    return Technology(lambda_=lambda_)

@@ -1,0 +1,173 @@
+"""Netlist comparison ("if the two are equivalent, the layout corresponds
+to the original circuit" -- section 1 of the paper).
+
+Equivalence is tested by Weisfeiler-Leman color refinement over the
+bipartite device/net graph of the two circuits refined *jointly*, so
+color identifiers are comparable across them.  Net names anchor the
+refinement (a net named VDD can only match a net named VDD); source and
+drain are treated as interchangeable, since extraction order must not
+matter.  WL refinement is a complete decision procedure for the circuit
+classes exercised here (anchored, sparse); for pathological symmetric
+meshes it is a sound over-approximation: unequal multisets always mean
+non-equivalent circuits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .flatten import FlatCircuit
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of a netlist comparison."""
+
+    equivalent: bool
+    reason: str = ""
+    device_counts: tuple[int, int] = (0, 0)
+    net_counts: tuple[int, int] = (0, 0)
+
+
+def netlists_equivalent(a: FlatCircuit, b: FlatCircuit) -> bool:
+    return compare_netlists(a, b).equivalent
+
+
+def compare_netlists(a: FlatCircuit, b: FlatCircuit) -> ComparisonReport:
+    """Compare two flat circuits; see module docstring for semantics."""
+    counts = (len(a.devices), len(b.devices))
+    net_counts = (_used_nets(a), _used_nets(b))
+    if counts[0] != counts[1]:
+        return ComparisonReport(
+            False,
+            f"device counts differ: {counts[0]} vs {counts[1]}",
+            counts,
+            net_counts,
+        )
+    if net_counts[0] != net_counts[1]:
+        return ComparisonReport(
+            False,
+            f"net counts differ: {net_counts[0]} vs {net_counts[1]}",
+            counts,
+            net_counts,
+        )
+
+    colors_a, colors_b = _joint_refinement(a, b)
+    if Counter(colors_a[0]) != Counter(colors_b[0]):
+        diff = _first_difference(colors_a[0], colors_b[0])
+        return ComparisonReport(
+            False, f"device structure differs ({diff})", counts, net_counts
+        )
+    if Counter(colors_a[1]) != Counter(colors_b[1]):
+        return ComparisonReport(False, "net structure differs", counts, net_counts)
+    return ComparisonReport(True, "", counts, net_counts)
+
+
+def _used_nets(flat: FlatCircuit) -> int:
+    used = set()
+    for device in flat.devices:
+        for net in (device.gate, device.source, device.drain):
+            if net is not None:
+                used.add(net)
+    return len(used)
+
+
+def _joint_refinement(a: FlatCircuit, b: FlatCircuit):
+    """Refine both circuits with a shared color table.
+
+    Returns ``((device_colors_a, net_colors_a), (device_colors_b,
+    net_colors_b))`` where colors are small ints comparable across the
+    two circuits.
+    """
+    sides = (a, b)
+    # Initial net colors: sorted name tuple (names anchor the match).
+    table: dict[object, int] = {}
+
+    def intern(key: object) -> int:
+        color = table.get(key)
+        if color is None:
+            color = len(table)
+            table[key] = color
+        return color
+
+    net_colors = []
+    dev_colors = []
+    for flat in sides:
+        nets: dict[int, tuple] = {}
+        for device in flat.devices:
+            for net in (device.gate, device.source, device.drain):
+                if net is not None:
+                    nets.setdefault(net, ())
+        for net, names in flat.net_names.items():
+            nets[net] = tuple(sorted(names))
+        net_colors.append({net: intern(("net", key)) for net, key in nets.items()})
+        dev_colors.append([intern(("dev", d.kind)) for d in flat.devices])
+
+    def distinct() -> int:
+        values = set()
+        for side in (0, 1):
+            values.update(dev_colors[side])
+            values.update(net_colors[side].values())
+        return len(values)
+
+    rounds = 0
+    previous_distinct = distinct()
+    while True:
+        rounds += 1
+        new_dev_colors = []
+        for side, flat in enumerate(sides):
+            nc = net_colors[side]
+            colors = []
+            for device in flat.devices:
+                gate = nc.get(device.gate, -1)
+                sd = tuple(
+                    sorted(
+                        (nc.get(device.source, -1), nc.get(device.drain, -1))
+                    )
+                )
+                colors.append(
+                    intern(("dev", dev_colors[side][len(colors)], gate, sd))
+                )
+            new_dev_colors.append(colors)
+        new_net_colors = []
+        for side, flat in enumerate(sides):
+            incident: dict[int, list[tuple[int, str]]] = {
+                net: [] for net in net_colors[side]
+            }
+            for i, device in enumerate(flat.devices):
+                color = new_dev_colors[side][i]
+                if device.gate is not None:
+                    incident[device.gate].append((color, "g"))
+                if device.source is not None:
+                    incident[device.source].append((color, "sd"))
+                if device.drain is not None:
+                    incident[device.drain].append((color, "sd"))
+            new_net_colors.append(
+                {
+                    net: intern(
+                        ("net", net_colors[side][net], tuple(sorted(edges)))
+                    )
+                    for net, edges in incident.items()
+                }
+            )
+        dev_colors = new_dev_colors
+        net_colors = new_net_colors
+        now_distinct = distinct()
+        if now_distinct == previous_distinct or rounds > max(
+            8, len(a.devices).bit_length() * 4
+        ):
+            break
+        previous_distinct = now_distinct
+
+    return (
+        (dev_colors[0], list(net_colors[0].values())),
+        (dev_colors[1], list(net_colors[1].values())),
+    )
+
+
+def _first_difference(colors_a: list[int], colors_b: list[int]) -> str:
+    ca, cb = Counter(colors_a), Counter(colors_b)
+    only_a = sum((ca - cb).values())
+    only_b = sum((cb - ca).values())
+    return f"{only_a} device class(es) only in first, {only_b} only in second"

@@ -1,0 +1,119 @@
+"""Data model for the CMU hierarchical wirelist format.
+
+The format (Frank, Ebeling & Sproull, CMU VLSI document V085) represents
+circuits as *parts* and *nets* with a LISP-like syntax.  A flat ACE
+wirelist is a single ``DefPart`` containing primitive transistor parts
+and net declarations (Figure 3-4 of the paper); a HEXT wirelist nests
+window ``DefPart``s that instantiate one another and equate nets across
+their boundaries (Figure 2-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Export lists of the primitive NMOS transistor parts.
+PRIMITIVE_PARTS = {
+    "nEnh": ("Source", "Gate", "Drain"),
+    "nDep": ("Source", "Gate", "Drain"),
+}
+
+
+@dataclass
+class DeviceInstance:
+    """A primitive transistor instance inside a DefPart."""
+
+    kind: str  # "nEnh" | "nDep"
+    inst_name: str  # D0, D1, ...
+    gate: str | None
+    source: str | None
+    drain: str | None
+    location: tuple[int, int] | None = None
+    length: float | None = None
+    width: float | None = None
+    channel_cif: str | None = None
+
+    def terminal(self, role: str) -> str | None:
+        return {"Gate": self.gate, "Source": self.source, "Drain": self.drain}[
+            role
+        ]
+
+
+@dataclass
+class SubpartInstance:
+    """An instance of another DefPart (HEXT window composition)."""
+
+    part: str
+    inst_name: str
+    net_map: dict[str, str] = field(default_factory=dict)  # child -> parent
+    loc_offset: tuple[int, int] | None = None
+
+
+@dataclass
+class NetDecl:
+    """A ``(Net name alias... (Location x y) (CIF "..."))`` declaration.
+
+    ``names`` holds the canonical name first, then aliases; a two-name
+    declaration with no attributes is a pure equivalence, as used in the
+    hierarchical format.
+    """
+
+    names: list[str]
+    location: tuple[int, int] | None = None
+    cif: str | None = None
+
+    @property
+    def canonical(self) -> str:
+        return self.names[0]
+
+
+@dataclass
+class DefPart:
+    """One circuit fragment definition."""
+
+    name: str
+    exports: list[str] = field(default_factory=list)
+    devices: list[DeviceInstance] = field(default_factory=list)
+    subparts: list[SubpartInstance] = field(default_factory=list)
+    nets: list[NetDecl] = field(default_factory=list)
+    locals_: list[str] = field(default_factory=list)
+
+    def all_net_names(self) -> set[str]:
+        names: set[str] = set(self.exports) | set(self.locals_)
+        for decl in self.nets:
+            names.update(decl.names)
+        for device in self.devices:
+            for net in (device.gate, device.source, device.drain):
+                if net is not None:
+                    names.add(net)
+        for sub in self.subparts:
+            names.update(sub.net_map.values())
+        return names
+
+
+@dataclass
+class Wirelist:
+    """A complete wirelist: DefParts in definition order plus a top part.
+
+    ``top`` names the DefPart instantiated as the chip (the trailing
+    ``(Part Window3 (Name Top))`` of Figure 2-2); for flat wirelists it is
+    simply the single DefPart.
+    """
+
+    name: str
+    defparts: list[DefPart] = field(default_factory=list)
+    top: str | None = None
+
+    def defpart(self, name: str) -> DefPart:
+        for part in self.defparts:
+            if part.name == name:
+                return part
+        raise KeyError(f"no DefPart named {name!r}")
+
+    @property
+    def top_part(self) -> DefPart:
+        if self.top is not None:
+            return self.defpart(self.top)
+        if not self.defparts:
+            raise ValueError("empty wirelist")
+        return self.defparts[-1]

@@ -1,0 +1,155 @@
+"""Emit wirelists in the CMU LISP-like syntax, and build them from
+extraction results.
+
+:func:`to_wirelist` converts a :class:`~repro.core.netlist.Circuit` into
+the flat single-DefPart form of Figure 3-4; :func:`write_wirelist`
+renders any :class:`Wirelist` (flat or hierarchical) as text.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..core.netlist import Circuit
+from ..geometry import Box
+from .model import (
+    PRIMITIVE_PARTS,
+    DefPart,
+    DeviceInstance,
+    NetDecl,
+    Wirelist,
+)
+
+
+def to_wirelist(
+    circuit: Circuit, name: str = "chip", include_geometry: bool = True
+) -> Wirelist:
+    """Build the flat wirelist for an extracted circuit.
+
+    Net names follow the paper: the canonical name is ``N<index>`` with
+    user-defined names listed as aliases.  Geometry (channel and net CIF
+    strings) is included when the circuit was extracted with
+    ``keep_geometry`` and ``include_geometry`` is left on.
+    """
+    part = DefPart(name=name)
+    net_name = {net.index: f"N{net.index}" for net in circuit.nets}
+
+    for i, device in enumerate(circuit.devices):
+        channel_cif = None
+        if include_geometry and device.geometry:
+            channel_cif = geometry_to_cif(
+                [("__channel__", box) for box in device.geometry],
+                channel_layer=True,
+            )
+        part.devices.append(
+            DeviceInstance(
+                kind=device.kind,
+                inst_name=f"D{i}",
+                gate=net_name.get(device.gate) if device.gate else None,
+                source=net_name.get(device.source) if device.source else None,
+                drain=net_name.get(device.drain) if device.drain else None,
+                location=device.location,
+                length=device.length,
+                width=device.width,
+                channel_cif=channel_cif,
+            )
+        )
+
+    for net in circuit.nets:
+        cif = None
+        if include_geometry and net.geometry:
+            cif = geometry_to_cif(net.geometry)
+        part.nets.append(
+            NetDecl(
+                names=[net_name[net.index], *net.names],
+                location=net.location,
+                cif=cif,
+            )
+        )
+
+    # The flat format of Figure 3-4 lists every net as Local; user names
+    # appear as aliases in the Net declarations.
+    part.locals_ = [net_name[net.index] for net in circuit.nets]
+    return Wirelist(name=name, defparts=[part], top=name)
+
+
+def geometry_to_cif(
+    geometry: "list[tuple[str, Box]]", channel_layer: bool = False
+) -> str:
+    """Render a geometry list as the inline CIF strings the format uses.
+
+    The paper prints ``L NX`` for channel geometry (a pseudo-layer) and
+    the real mask layer otherwise.
+    """
+    chunks: list[str] = []
+    for layer, box in geometry:
+        name = "NX" if channel_layer else layer
+        cx2, cy2 = box.xmin + box.xmax, box.ymin + box.ymax
+        # Box centers landing on half coordinates are doubled per CIF
+        # convention; our lambda grids keep them integral in practice.
+        chunks.append(
+            f"L {name}; B L{box.width} W{box.height} "
+            f"C{cx2 // 2} {cy2 // 2};"
+        )
+    return " ".join(chunks)
+
+
+def write_wirelist(wirelist: Wirelist) -> str:
+    """Render a wirelist as text in the CMU format."""
+    out = StringIO()
+    out.write(f'(DefPart "{wirelist.name}"\n')
+    for kind, exports in PRIMITIVE_PARTS.items():
+        out.write(f" (DefPart {kind} (Export {' '.join(exports)}))\n")
+    for part in wirelist.defparts:
+        if len(wirelist.defparts) == 1 and part.name == wirelist.name:
+            _write_body(out, part, indent=" ")
+        else:
+            out.write(f" (DefPart {part.name}\n")
+            out.write(f"  (Exports {' '.join(part.exports)} )\n")
+            _write_body(out, part, indent="  ")
+            out.write(" )\n")
+    if wirelist.top is not None and len(wirelist.defparts) > 1:
+        out.write(f" (Part {wirelist.top} (Name Top))\n")
+    out.write(")\n")
+    return out.getvalue()
+
+
+def _write_body(out: StringIO, part: DefPart, indent: str) -> None:
+    for device in part.devices:
+        out.write(f"{indent}(Part {device.kind} (InstName {device.inst_name})")
+        if device.location:
+            out.write(f" (Location {device.location[0]} {device.location[1]})")
+        out.write("\n")
+        out.write(
+            f"{indent} (T Gate {device.gate or 'NONE'})"
+            f" (T Source {device.source or 'NONE'})"
+            f" (T Drain {device.drain or 'NONE'})\n"
+        )
+        if device.length is not None and device.width is not None:
+            out.write(
+                f"{indent} (Channel (Length {_num(device.length)}) "
+                f"(Width {_num(device.width)})"
+            )
+            if device.channel_cif:
+                out.write(f'\n{indent}  ( CIF " {device.channel_cif} ")')
+            out.write(")")
+        out.write(")\n")
+    for sub in part.subparts:
+        out.write(f"{indent}(Part {sub.part} (Name {sub.inst_name})")
+        if sub.loc_offset:
+            out.write(f" (LocOffset {sub.loc_offset[0]} {sub.loc_offset[1]})")
+        out.write(")\n")
+        for child, parent in sub.net_map.items():
+            out.write(f"{indent}(Net {sub.inst_name}/{child} {parent})\n")
+    for decl in part.nets:
+        out.write(f"{indent}(Net {' '.join(decl.names)}")
+        if decl.location:
+            out.write(f" (Location {decl.location[0]} {decl.location[1]})")
+        if decl.cif:
+            out.write(f'\n{indent} ( CIF " {decl.cif} ")')
+        out.write(")\n")
+    out.write(f"{indent}(Local {' '.join(part.locals_)} )\n")
+
+
+def _num(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.2f}"

@@ -1,0 +1,54 @@
+"""Synthetic workload generators standing in for the paper's chips."""
+
+from .arrays import (
+    CELL_PITCH,
+    inverter_rows,
+    mirrored_array,
+    transistor_array,
+)
+from .builder import LayoutBuilder, SymbolBuilder
+from .cells import (
+    CHAIN_CELL_SIZE,
+    INVERTER_SIZE,
+    build_chain_inverter_cell,
+    build_inverter_cell,
+    build_nand2_cell,
+    build_transistor_cell,
+    inverter,
+    nand2,
+    single_transistor,
+)
+from .chips import CHIP_SPECS, SPEC_BY_NAME, ChipSpec, build_chip, chip_suite
+from .memory import BIT_PITCH, dram_column
+from .mesh import poly_diff_mesh
+from .model import random_squares
+from .pla import PlaSpec, pla
+
+__all__ = [
+    "CELL_PITCH",
+    "CHAIN_CELL_SIZE",
+    "CHIP_SPECS",
+    "INVERTER_SIZE",
+    "SPEC_BY_NAME",
+    "ChipSpec",
+    "LayoutBuilder",
+    "SymbolBuilder",
+    "build_chain_inverter_cell",
+    "build_chip",
+    "build_inverter_cell",
+    "build_nand2_cell",
+    "build_transistor_cell",
+    "BIT_PITCH",
+    "dram_column",
+    "chip_suite",
+    "inverter",
+    "inverter_rows",
+    "mirrored_array",
+    "nand2",
+    "PlaSpec",
+    "pla",
+    "poly_diff_mesh",
+    "random_squares",
+    "single_transistor",
+    "transistor_array",
+]

@@ -1,0 +1,133 @@
+"""Regular array workloads (the testram-style designs).
+
+HEXT's Table 4-1 measures "a square array containing N identical cells,
+where N is an even power of 2 (the array is constructed as a complete
+binary tree with the leaves forming the N cells)"; the basic cell is a
+single transistor formed by the overlap of diffusion and polysilicon.
+:func:`transistor_array` builds exactly that structure.
+"""
+
+from __future__ import annotations
+
+from ..cif import Layout
+from ..geometry import Transform
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder
+from .cells import CHAIN_CELL_SIZE, build_chain_inverter_cell, build_transistor_cell
+
+#: Transistor-cell pitch in lambda (cell is 8x8, abutted).
+CELL_PITCH = 8
+
+
+def transistor_array(
+    n_side: int, lambda_: int = DEFAULT_LAMBDA, *, hierarchical: bool = True
+) -> Layout:
+    """An ``n_side`` x ``n_side`` array of one-transistor cells.
+
+    With ``hierarchical=True`` (the default) the array is a complete
+    binary tree of symbols, doubling alternately in x and y, which is the
+    ideal case for a hierarchical extractor.  With ``hierarchical=False``
+    every cell is called directly from the top -- same artwork, no
+    exploitable structure.
+
+    The array forms a diffusion/poly mesh: ``n_side`` poly rows crossing
+    ``n_side`` diffusion columns, one transistor per cell.
+    """
+    if n_side < 1 or (n_side & (n_side - 1)):
+        raise ValueError(f"n_side must be a power of two, got {n_side}")
+    builder = LayoutBuilder(lambda_)
+    cell = build_transistor_cell(builder)
+    if not hierarchical:
+        for i in range(n_side):
+            for j in range(n_side):
+                builder.top.call(cell, i * CELL_PITCH, j * CELL_PITCH)
+        return builder.done()
+
+    # Complete binary tree: level k holds 2^k cells; doubling direction
+    # alternates so blocks stay near-square.
+    current = cell
+    width, height = CELL_PITCH, CELL_PITCH
+    cells = 1
+    while cells < n_side * n_side:
+        parent = builder.new_symbol()
+        parent.call(current, 0, 0)
+        if width <= height:
+            parent.call(current, width, 0)
+            width *= 2
+        else:
+            parent.call(current, 0, height)
+            height *= 2
+        current = parent
+        cells *= 2
+    builder.top.call(current, 0, 0)
+    return builder.done()
+
+
+def inverter_rows(
+    rows: int,
+    cols: int,
+    lambda_: int = DEFAULT_LAMBDA,
+    *,
+    row_gap: int = 2,
+    shared_symbols: bool = True,
+) -> Layout:
+    """Rows of abutted inverter-chain cells (a shift-register block).
+
+    Each row is an inverter chain of ``cols`` stages; rows are
+    electrically independent (per-row rails).  2 transistors per cell.
+    With ``shared_symbols`` a single cell symbol is reused (regular
+    layout); otherwise each row gets its own row symbol but reuses the
+    cell, a middle ground the chip generators build on.
+    """
+    builder = LayoutBuilder(lambda_)
+    cell = build_chain_inverter_cell(builder)
+    pitch_x, cell_h = CHAIN_CELL_SIZE
+    pitch_y = cell_h + row_gap
+
+    if shared_symbols:
+        row = builder.new_symbol()
+        for j in range(cols):
+            row.call(cell, j * pitch_x, 0)
+        for i in range(rows):
+            builder.top.call(row, 0, i * pitch_y)
+    else:
+        for i in range(rows):
+            row = builder.new_symbol()
+            for j in range(cols):
+                row.call(cell, j * pitch_x, 0)
+            builder.top.call(row, 0, i * pitch_y)
+    top = builder.top
+    for i in range(rows):
+        base = i * pitch_y
+        top.label(f"GND", 5, base + 2, "NM")
+        top.label(f"VDD", 5, base + 24, "NM")
+        top.label(f"IN{i}", 1, base + 10, "NM")
+        top.label(f"OUT{i}", cols * pitch_x - 3, base + 10, "NM")
+    return builder.done()
+
+
+def mirrored_array(
+    n_side: int, lambda_: int = DEFAULT_LAMBDA
+) -> Layout:
+    """A transistor array where alternate columns are mirrored.
+
+    Exercises non-identity call transforms through the whole stack (the
+    mesh cell is x-symmetric, so the netlist matches the plain array).
+    """
+    if n_side < 1:
+        raise ValueError("n_side must be positive")
+    builder = LayoutBuilder(lambda_)
+    cell = build_transistor_cell(builder)
+    for i in range(n_side):
+        for j in range(n_side):
+            if i % 2:
+                transform = Transform.mirror_x().then(
+                    Transform.translation(
+                        builder.scale((i + 1) * CELL_PITCH),
+                        builder.scale(j * CELL_PITCH),
+                    )
+                )
+                builder.top.symbol.add_call(cell.number, transform)
+            else:
+                builder.top.call(cell, i * CELL_PITCH, j * CELL_PITCH)
+    return builder.done()

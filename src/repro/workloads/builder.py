@@ -1,0 +1,77 @@
+"""Small helper for constructing layouts programmatically.
+
+Workload generators build :class:`~repro.cif.Layout` objects directly
+(rather than printing CIF text) and rely on the writer when a CIF file is
+wanted.  Coordinates in the generators are in lambda; the builder scales
+to centimicrons so the same cells work at any process size.
+"""
+
+from __future__ import annotations
+
+from ..cif import Label, Layout, Symbol
+from ..geometry import Box, Transform
+from ..tech import DEFAULT_LAMBDA
+
+
+class LayoutBuilder:
+    """Builds a layout in lambda units."""
+
+    def __init__(self, lambda_: int = DEFAULT_LAMBDA) -> None:
+        self.layout = Layout()
+        self.lambda_ = lambda_
+        self._next_symbol = 1
+
+    def new_symbol(self) -> "SymbolBuilder":
+        number = self._next_symbol
+        self._next_symbol += 1
+        return SymbolBuilder(self, self.layout.define(number))
+
+    @property
+    def top(self) -> "SymbolBuilder":
+        return SymbolBuilder(self, self.layout.top)
+
+    def scale(self, value: int) -> int:
+        return value * self.lambda_
+
+    def done(self) -> Layout:
+        self.layout.validate()
+        return self.layout
+
+
+class SymbolBuilder:
+    """Adds geometry to one symbol, in lambda units."""
+
+    def __init__(self, owner: LayoutBuilder, symbol: Symbol) -> None:
+        self._owner = owner
+        self.symbol = symbol
+
+    @property
+    def number(self) -> int:
+        return self.symbol.number
+
+    def box(self, layer: str, x1: int, y1: int, x2: int, y2: int) -> "SymbolBuilder":
+        s = self._owner.scale
+        self.symbol.add_box(layer, Box(s(x1), s(y1), s(x2), s(y2)))
+        return self
+
+    def label(
+        self, name: str, x: int, y: int, layer: str | None = None
+    ) -> "SymbolBuilder":
+        s = self._owner.scale
+        self.symbol.add_label(Label(name, s(x), s(y), layer))
+        return self
+
+    def call(
+        self,
+        callee: "SymbolBuilder | int",
+        dx: int = 0,
+        dy: int = 0,
+        transform: Transform | None = None,
+    ) -> "SymbolBuilder":
+        s = self._owner.scale
+        number = callee.number if isinstance(callee, SymbolBuilder) else callee
+        placed = (transform or Transform.identity()).then(
+            Transform.translation(s(dx), s(dy))
+        )
+        self.symbol.add_call(number, placed)
+        return self

@@ -1,0 +1,169 @@
+"""Leaf cells used throughout the examples, tests, and chip generators.
+
+The inverter here reproduces the structure of Figure 3-3 of the paper: an
+enhancement pulldown gated by the input poly, a depletion pullup whose
+gate is tied to the output through a buried contact, metal VDD/GND rails,
+and labels naming the four nets.
+"""
+
+from __future__ import annotations
+
+from ..cif import Layout
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder, SymbolBuilder
+
+#: Inverter cell footprint in lambda (width, height), rails included.
+INVERTER_SIZE = (10, 30)
+
+
+def build_inverter_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """Define the inverter as a symbol inside ``builder``'s layout.
+
+    Local coordinates run x in [-4, 6] and y in [0, 30] lambda.  Exports:
+    VDD rail (metal, top), GND rail (metal, bottom), IN (poly, extends to
+    both cell edges), OUT (diffusion, mid).  The 2x2 pulldown under the
+    8x2 depletion load gives the canonical 4:1 NMOS inverter ratio.
+    """
+    cell = builder.new_symbol()
+    # Diffusion spine from GND contact to VDD contact.
+    cell.box("ND", 0, 1, 2, 29)
+    # GND rail, contact to diffusion bottom.
+    cell.box("NM", -4, 0, 6, 4)
+    cell.box("NC", 0, 1, 2, 3)
+    # Enhancement gate: poly crossing the spine, reaching the cell edges.
+    cell.box("NP", -4, 6, 6, 8)
+    # Depletion pullup: buried contact ties the gate poly to the output.
+    cell.box("NP", 0, 13, 2, 16)  # poly tab down to the buried contact
+    cell.box("NB", 0, 13, 2, 16)
+    cell.box("NP", -1, 16, 3, 24)  # depletion gate, 8 lambda long
+    cell.box("NI", -2, 15, 4, 25)  # implant makes it a depletion device
+    # VDD rail, contact to diffusion top.
+    cell.box("NC", 0, 27, 2, 29)
+    cell.box("NM", -4, 26, 6, 30)
+    # Net names.
+    cell.label("VDD", 1, 28, "NM")
+    cell.label("GND", 1, 2, "NM")
+    cell.label("OUT", 1, 10, "ND")
+    cell.label("IN", -3, 7, "NP")
+    return cell
+
+
+def inverter(lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """A standalone inverter chip (one cell instantiated at the origin)."""
+    builder = LayoutBuilder(lambda_)
+    cell = build_inverter_cell(builder)
+    builder.top.call(cell, 0, 0)
+    return builder.done()
+
+
+#: Chain-cell footprint in lambda (width, height).
+CHAIN_CELL_SIZE = (10, 26)
+
+
+def build_chain_inverter_cell(
+    builder: LayoutBuilder,
+    *,
+    gate_y: int = 6,
+    load_length: int = 4,
+) -> SymbolBuilder:
+    """An inverter cell that composes into chains by horizontal abutment.
+
+    Footprint x in [0, 10], y in [0, 26] lambda.  The input arrives as
+    metal at the left edge (dropping onto the gate poly through a
+    contact); the output leaves as metal at the right edge, so placing
+    cells at 10-lambda pitch builds an inverter chain.  VDD/GND rails run
+    the full width and abut as well.
+
+    ``gate_y`` (pulldown gate bottom, 5..7) and ``load_length`` (pullup
+    channel length in lambda, 3..5) jitter the artwork without changing
+    the circuit -- the chip generators use this to make layouts that are
+    *structurally* irregular, which is what defeats hierarchical
+    extraction (HEXT paper, section 5).
+    """
+    if not 5 <= gate_y <= 7:
+        raise ValueError(f"gate_y {gate_y} outside jitter range 5..7")
+    if not 3 <= load_length <= 5:
+        raise ValueError(f"load_length {load_length} outside jitter range 3..5")
+    cell = builder.new_symbol()
+    dep_top = 16 + load_length
+    # Diffusion spine.
+    cell.box("ND", 4, 1, 6, 25)
+    # GND rail and contact.
+    cell.box("NM", 0, 0, 10, 4)
+    cell.box("NC", 4, 1, 6, 3)
+    # Input: metal stub at the left edge, contact down to the gate poly.
+    cell.box("NM", 0, 8, 3, 12)
+    cell.box("NC", 1, 9, 3, 11)
+    cell.box("NP", 1, gate_y, 3, 11)  # poly tab under the input contact
+    # Pulldown gate crossing the spine.
+    cell.box("NP", 1, gate_y, 7, gate_y + 2)
+    # Output: contact from the spine onto metal reaching the right edge.
+    cell.box("NC", 4, 9, 6, 11)
+    cell.box("NM", 4, 8, 10, 12)
+    # Depletion pullup with buried gate-source tie.
+    cell.box("NP", 4, 13, 6, 16)
+    cell.box("NB", 4, 13, 6, 16)
+    cell.box("NP", 3, 16, 7, dep_top)
+    cell.box("NI", 2, 15, 8, dep_top + 1)
+    # VDD rail and contact.
+    cell.box("NC", 4, 22, 6, 24)
+    cell.box("NM", 0, 22, 10, 26)
+    return cell
+
+
+def build_nand2_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """A two-input NAND: series pulldowns under one depletion load.
+
+    Local coordinates x in [-6, 8], y in [0, 30] lambda.  Inputs A and B
+    are the two poly gates (labeled at the left ends); OUT is the
+    diffusion between the upper gate and the load; rails as usual.
+    """
+    cell = builder.new_symbol()
+    cell.box("ND", 0, 1, 2, 29)
+    cell.box("NM", -6, 0, 8, 4)
+    cell.box("NC", 0, 1, 2, 3)
+    # Series gates A (lower) and B (upper).
+    cell.box("NP", -6, 6, 8, 8)
+    cell.box("NP", -6, 10, 8, 12)
+    # Buried tie and an 8-lambda load (ratio 2 per driver; the series
+    # pair presents 2 squares, keeping the 4:1 composite ratio).
+    cell.box("NP", 0, 15, 2, 18)
+    cell.box("NB", 0, 15, 2, 18)
+    cell.box("NP", -1, 18, 3, 26)
+    cell.box("NI", -2, 17, 4, 27)
+    cell.box("NC", 0, 27, 2, 29)
+    cell.box("NM", -6, 26, 8, 30)
+    cell.label("VDD", 1, 28, "NM")
+    cell.label("GND", 1, 2, "NM")
+    cell.label("A", -5, 7, "NP")
+    cell.label("B", -5, 11, "NP")
+    cell.label("OUT", 1, 13, "ND")
+    return cell
+
+
+def nand2(lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """A standalone two-input NAND gate chip."""
+    builder = LayoutBuilder(lambda_)
+    cell = build_nand2_cell(builder)
+    builder.top.call(cell, 0, 0)
+    return builder.done()
+
+
+def build_transistor_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """The minimal cell of HEXT's Table 4-1: one transistor.
+
+    A horizontal poly line crossing a vertical diffusion line, entirely
+    inside the cell, with both lines reaching the cell boundary so that
+    abutting cells connect.  Cell footprint: 8 x 8 lambda.
+    """
+    cell = builder.new_symbol()
+    cell.box("ND", 3, 0, 5, 8)
+    cell.box("NP", 0, 3, 8, 5)
+    return cell
+
+
+def single_transistor(lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    builder = LayoutBuilder(lambda_)
+    cell = build_transistor_cell(builder)
+    builder.top.call(cell, 0, 0)
+    return builder.done()

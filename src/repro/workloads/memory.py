@@ -1,0 +1,44 @@
+"""A functional one-transistor dynamic memory column.
+
+The testram chip of Table 5-1 is a memory array; this generator draws a
+*working* version of its storage principle: each bit is an access
+transistor between a shared bitline and an isolated diffusion storage
+node, gated by its own wordline.  With the simulator's charge-retention
+model the column actually stores data, closing the loop from artwork to
+verified memory behaviour.
+"""
+
+from __future__ import annotations
+
+from ..cif import Layout
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder
+
+#: Vertical pitch per bit, lambda.
+BIT_PITCH = 10
+
+
+def dram_column(bits: int, lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """``bits`` one-transistor cells hanging off one bitline.
+
+    Nets: ``BL`` (the bitline), ``WL0..WLn-1`` (poly wordlines), and
+    ``S0..Sn-1`` (the floating storage nodes).  Each access transistor
+    is the crossing of a wordline with its bit's diffusion branch.
+    """
+    if bits < 1:
+        raise ValueError("a memory column needs at least one bit")
+    builder = LayoutBuilder(lambda_)
+    top = builder.top
+    height = bits * BIT_PITCH
+    # Shared bitline.
+    top.box("ND", 0, 0, 2, height)
+    top.label("BL", 1, 1, "ND")
+    for i in range(bits):
+        base = i * BIT_PITCH + 2
+        # Diffusion branch: bitline -> access channel -> storage node.
+        top.box("ND", 2, base, 12, base + 2)
+        # Wordline: vertical poly crossing the branch.
+        top.box("NP", 5, base - 2, 7, base + 4)
+        top.label(f"WL{i}", 6, base + 3, "NP")
+        top.label(f"S{i}", 11, base + 1, "ND")
+    return builder.done()

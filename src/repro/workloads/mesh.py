@@ -1,0 +1,36 @@
+"""The worst-case workload of section 4.
+
+*"The worst case occurs when N horizontal poly lines intersect N vertical
+diffusion lines, forming a mesh with N^2 transistors."*  2N boxes in,
+N^2 devices out -- quadratic in boxes for any extractor, since every
+transistor must be reported.
+"""
+
+from __future__ import annotations
+
+from ..cif import Layout
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder
+
+#: Line pitch in lambda: 2-lambda lines on a 6-lambda grid.
+LINE_WIDTH = 2
+LINE_PITCH = 6
+
+
+def poly_diff_mesh(n: int, lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """``n`` horizontal poly lines crossing ``n`` vertical diffusion lines.
+
+    Produces exactly ``2 n`` boxes and ``n**2`` transistors (every
+    crossing is a channel; the diffusion segments between crossings are
+    the sources/drains).
+    """
+    if n < 1:
+        raise ValueError("mesh size must be positive")
+    builder = LayoutBuilder(lambda_)
+    span = (n - 1) * LINE_PITCH + LINE_WIDTH + 4
+    top = builder.top
+    for i in range(n):
+        base = 2 + i * LINE_PITCH
+        top.box("NP", 0, base, span, base + LINE_WIDTH)
+        top.box("ND", base, 0, base + LINE_WIDTH, span)
+    return builder.done()

@@ -1,0 +1,206 @@
+"""A programmable logic array generator.
+
+PLAs were *the* structured-logic workhorse of Mead-Conway NMOS design,
+and exactly the kind of generated layout ACE's users extracted.  This
+generator programs a NOR-NOR PLA from product terms:
+
+* the **AND plane** has one horizontal product-term row per product --
+  a metal line with a depletion pullup at its left end -- and a pair of
+  vertical poly columns per input (true and complement rails, labeled
+  ``IN<i>`` / ``NIN<i>``; the caller drives them dual-rail).  A
+  programmed cell is a horizontal diffusion stub from the row down to a
+  ground column, gated by the *opposite* rail of the required literal,
+  so the row stays high exactly when the product term is satisfied;
+* the **OR plane** is the same structure transposed: each product row
+  continues rightward as poly, gating vertical diffusion stubs that pull
+  the per-output node column low; the node is pulled up at the top, so
+  the column carries NOR of the selected products, labeled ``NOUT<o>``
+  (active-low OR, as in real NMOS PLAs before the output buffers).
+
+:class:`PlaSpec` carries the program and computes expected logic values,
+so the simulator's reading of the *extracted* netlist can be checked
+against the specification -- layout, extraction, and simulation agreeing
+on a truth table is the whole toolchain working at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cif import Layout
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder
+
+# AND-plane geometry (lambda), per input group of width 20:
+#   x+0..2   row-metal contact zone (true-rail stubs)
+#   x+4..6   poly true rail
+#   x+8..10  ground diffusion column
+#   x+12..14 poly complement rail
+#   x+16..18 row-metal contact zone (complement-rail stubs)
+_IN_GROUP_W = 20
+#: OR-plane group width per output.
+_OUT_GROUP_W = 16
+#: Vertical pitch per product row.
+_ROW_PITCH = 14
+
+
+@dataclass(frozen=True)
+class PlaSpec:
+    """A PLA program: products over inputs, outputs over products.
+
+    ``products[p]`` maps input index to the required value (True: the
+    input must be 1 for the product to hold).  ``outputs[o]`` is the set
+    of product indices ORed into output ``o``.
+    """
+
+    num_inputs: int
+    products: tuple
+    outputs: tuple
+
+    def __post_init__(self) -> None:
+        for product in self.products:
+            for index in product:
+                if not 0 <= index < self.num_inputs:
+                    raise ValueError(f"product references input {index}")
+        for terms in self.outputs:
+            for p in terms:
+                if not 0 <= p < len(self.products):
+                    raise ValueError(f"output references product {p}")
+
+    def product_value(self, inputs: "tuple[int, ...]") -> list[int]:
+        return [
+            int(all(inputs[i] == int(v) for i, v in product.items()))
+            for product in self.products
+        ]
+
+    def expected(self, inputs: "tuple[int, ...]") -> list[int]:
+        """Active-low outputs: NOUT[o] = NOR of the selected products."""
+        values = self.product_value(inputs)
+        return [
+            int(not any(values[p] for p in terms)) for terms in self.outputs
+        ]
+
+
+def pla(
+    spec: PlaSpec, lambda_: int = DEFAULT_LAMBDA
+) -> Layout:
+    """Generate the layout for ``spec``.
+
+    Net labels: ``IN<i>``/``NIN<i>`` on the input rails, ``NOUT<o>`` on
+    the output node columns, ``VDD``/``GND`` on the supply rails.
+    """
+    builder = LayoutBuilder(lambda_)
+    top = builder.top
+    n_in = spec.num_inputs
+    n_rows = len(spec.products)
+    n_out = len(spec.outputs)
+
+    and_w = n_in * _IN_GROUP_W
+    or_x0 = and_w + 4  # row metal->poly handoff zone starts here
+    or_w = n_out * _OUT_GROUP_W
+    rows_top = n_rows * _ROW_PITCH
+
+    # --- product rows: metal line + left depletion pullup ------------
+    for p in range(n_rows):
+        y = p * _ROW_PITCH + 8
+        # Row metal from the pullup contact into the OR-plane handoff.
+        top.box("NM", -2, y - 1, or_x0 + 4, y + 3)
+        # Pullup: VDD diffusion column (far left) -> depletion -> row.
+        top.box("ND", -16, y, 2, y + 2)
+        top.box("NP", -12, y - 2, -8, y + 4)  # 4-lambda gate
+        top.box("NI", -13, y - 2, -7, y + 4)
+        top.box("NP", -6, y, -4, y + 2)  # gate-to-row poly tie
+        top.box("NB", -6, y, -4, y + 2)
+        top.box("NP", -12, y + 2, -4, y + 4)  # poly bridge gate<->tie
+        top.box("NC", 0, y, 2, y + 2)  # row-metal contact
+        # Row handoff to OR-plane poly (spans every output's stub slot).
+        top.box("NP", or_x0, y, or_x0 + 6 + or_w - 8, y + 2)
+        top.box("NC", or_x0 + 1, y, or_x0 + 3, y + 2)
+
+    # --- left VDD diffusion column with metal feed --------------------
+    top.box("ND", -16, 6, -14, rows_top + 4)
+    top.box("NM", -20, rows_top + 2, -10, rows_top + 6)
+    top.box("NC", -16, rows_top + 2, -14, rows_top + 4)
+    top.label("VDD", -15, rows_top + 5, "NM")
+
+    # --- input rails and AND-plane ground columns ----------------------
+    rail_top = rows_top + 4
+    for i in range(n_in):
+        x = i * _IN_GROUP_W
+        top.box("NP", x + 4, -8, x + 6, rail_top)
+        top.label(f"IN{i}", x + 5, -7, "NP")
+        top.box("NP", x + 12, -8, x + 14, rail_top)
+        top.label(f"NIN{i}", x + 13, -7, "NP")
+        top.box("ND", x + 8, -4, x + 10, rail_top)
+
+    # --- AND-plane programmed cells ------------------------------------
+    for p, product in enumerate(spec.products):
+        y = p * _ROW_PITCH + 8
+        for i, required in product.items():
+            x = i * _IN_GROUP_W
+            if required:
+                # Gate on the complement rail: row falls unless IN=1.
+                top.box("ND", x + 8, y, x + 18, y + 2)
+                top.box("NC", x + 16, y, x + 18, y + 2)
+            else:
+                # Gate on the true rail: row falls unless IN=0.
+                top.box("ND", x + 0, y, x + 10, y + 2)
+                top.box("NC", x + 0, y, x + 2, y + 2)
+
+    # --- OR plane -------------------------------------------------------
+    or_cols_x0 = or_x0 + 6
+    for o in range(n_out):
+        ox = or_cols_x0 + o * _OUT_GROUP_W
+        # Output node: vertical metal column (crosses poly rows freely).
+        top.box("NM", ox + 0, 4, ox + 2, rows_top + 10)
+        top.label(f"NOUT{o}", ox + 1, 5, "NM")
+        # Ground column: vertical metal, joined to the bottom GND rail.
+        top.box("NM", ox + 8, -8, ox + 10, rows_top + 2)
+        # Top pullup: VDD rail -> depletion -> output node.
+        y = rows_top + 10
+        top.box("ND", ox + 4, y - 6, ox + 6, y + 10)
+        top.box("NP", ox + 2, y, ox + 8, y + 4)  # 4-lambda gate (vertical stub)
+        top.box("NI", ox + 2, y - 1, ox + 8, y + 5)
+        top.box("NP", ox + 4, y - 4, ox + 6, y - 2)  # tie
+        top.box("NB", ox + 4, y - 4, ox + 6, y - 2)
+        top.box("NP", ox + 6, y - 4, ox + 8, y + 2)  # bridge
+        top.box("NC", ox + 4, y - 6, ox + 6, y - 4)  # to output node arm
+        top.box("ND", ox + 0, y - 6, ox + 6, y - 4)
+        top.box("NC", ox + 0, y - 6, ox + 2, y - 4)
+        top.box("NC", ox + 4, y + 8, ox + 6, y + 10)  # to VDD rail
+
+    # VDD rail across the OR-plane top.
+    if n_out:
+        top.box(
+            "NM",
+            or_cols_x0 - 2,
+            rows_top + 18,
+            or_cols_x0 + n_out * _OUT_GROUP_W,
+            rows_top + 22,
+        )
+        top.label("VDD", or_cols_x0, rows_top + 20, "NM")
+
+    # --- OR-plane programmed cells ---------------------------------------
+    for o, terms in enumerate(spec.outputs):
+        ox = or_cols_x0 + o * _OUT_GROUP_W
+        for p in terms:
+            y = p * _ROW_PITCH + 8
+            # Vertical stub gated by the product-term poly row.
+            top.box("ND", ox + 4, y - 4, ox + 6, y + 6)
+            # Top arm to the output node column.
+            top.box("ND", ox + 0, y + 4, ox + 6, y + 6)
+            top.box("NC", ox + 0, y + 4, ox + 2, y + 6)
+            # Bottom arm to the ground column.
+            top.box("ND", ox + 4, y - 4, ox + 10, y - 2)
+            top.box("NC", ox + 8, y - 4, ox + 10, y - 2)
+
+    # --- bottom GND rail ----------------------------------------------
+    right_end = or_cols_x0 + max(1, n_out) * _OUT_GROUP_W
+    top.box("NM", -4, -8, right_end, -4)
+    top.label("GND", 0, -6, "NM")
+    for i in range(n_in):
+        x = i * _IN_GROUP_W
+        top.box("NC", x + 8, -4, x + 10, -2)
+        top.box("NM", x + 7, -5, x + 11, -1)
+
+    return builder.done()

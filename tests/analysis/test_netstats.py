@@ -1,0 +1,47 @@
+"""Circuit and layout statistics."""
+
+from repro import extract
+from repro.analysis import circuit_stats, layout_stats
+from repro.workloads import inverter, inverter_rows, poly_diff_mesh
+
+
+class TestCircuitStats:
+    def test_inverter(self, inverter_layout):
+        stats = circuit_stats(extract(inverter_layout))
+        assert stats.devices == 2
+        assert stats.enhancement == 1
+        assert stats.depletion == 1
+        assert stats.nets == 4
+        assert stats.named_nets == 4
+        assert stats.malformed == 0
+
+    def test_rows(self):
+        stats = circuit_stats(extract(inverter_rows(2, 3)))
+        assert stats.devices == 12
+        assert stats.enhancement == 6
+        assert stats.depletion == 6
+
+    def test_as_row_keys(self, inverter_layout):
+        row = circuit_stats(extract(inverter_layout)).as_row()
+        assert set(row) == {
+            "devices",
+            "enhancement",
+            "depletion",
+            "nets",
+            "named_nets",
+            "malformed",
+        }
+
+
+class TestLayoutStats:
+    def test_mesh_boxes(self):
+        stats = layout_stats(poly_diff_mesh(5))
+        assert stats.boxes == 10
+        assert stats.boxes_by_layer == {"NP": 5, "ND": 5}
+        assert stats.boxes_thousands == 0.01
+
+    def test_inverter_layers(self):
+        stats = layout_stats(inverter())
+        assert stats.boxes_by_layer["NM"] == 2
+        assert stats.boxes_by_layer["NC"] == 2
+        assert stats.width > 0 and stats.height > 0

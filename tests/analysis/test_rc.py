@@ -1,0 +1,72 @@
+"""RC post-processing from net geometry."""
+
+import pytest
+
+from repro import extract
+from repro.analysis import ProcessModel, estimate_rc, total_capacitance
+from repro.cif import Label, Layout
+from repro.geometry import Box
+from repro.workloads import inverter
+
+
+def _wire_layout(length_um: int):
+    layout = Layout()
+    # A metal wire 'length_um' microns long, 2.5um (lambda) wide.
+    layout.top.add_box("NM", Box(0, 0, length_um * 100, 250))
+    layout.top.add_label(Label("W", 50, 100, "NM"))
+    return layout
+
+
+class TestCapacitance:
+    def test_area_times_unit_cap(self):
+        circuit = extract(_wire_layout(100), keep_geometry=True)
+        rc = estimate_rc(circuit)
+        (entry,) = rc.values()
+        # 100um x 2.5um at 0.03 fF/um^2.
+        assert entry.capacitance_ff == pytest.approx(100 * 2.5 * 0.03)
+
+    def test_longer_wire_more_cap(self):
+        short = estimate_rc(extract(_wire_layout(10), keep_geometry=True))
+        long = estimate_rc(extract(_wire_layout(100), keep_geometry=True))
+        assert total_capacitance(long) > total_capacitance(short)
+
+    def test_layer_mix(self):
+        circuit = extract(inverter(), keep_geometry=True)
+        rc = estimate_rc(circuit)
+        vdd = next(
+            entry
+            for net_index, entry in rc.items()
+            if "VDD" in circuit.nets[net_index - 1].names
+        )
+        assert "NM" in vdd.area_by_layer
+        assert vdd.capacitance_ff > 0
+
+
+class TestResistance:
+    def test_wire_squares(self):
+        circuit = extract(_wire_layout(100), keep_geometry=True)
+        (entry,) = estimate_rc(circuit).values()
+        # 100um / 2.5um = 40 squares of metal at 0.05 ohm/sq.
+        assert entry.resistance_ohm == pytest.approx(40 * 0.05)
+
+    def test_poly_much_more_resistive(self):
+        layout = Layout()
+        layout.top.add_box("NM", Box(0, 0, 10000, 250))
+        layout.top.add_box("NP", Box(0, 1000, 10000, 1250))
+        circuit = extract(layout, keep_geometry=True)
+        rc = estimate_rc(circuit)
+        values = sorted(e.resistance_ohm for e in rc.values())
+        assert values[1] / values[0] == pytest.approx(50.0 / 0.05)
+
+
+class TestModel:
+    def test_requires_geometry(self):
+        circuit = extract(inverter())  # keep_geometry off
+        assert estimate_rc(circuit) == {}
+
+    def test_custom_model(self):
+        circuit = extract(_wire_layout(10), keep_geometry=True)
+        model = ProcessModel(area_cap={"NM": 1.0}, sheet_res={"NM": 0.0})
+        (entry,) = estimate_rc(circuit, model).values()
+        assert entry.capacitance_ff == pytest.approx(10 * 2.5)
+        assert entry.resistance_ohm == 0.0

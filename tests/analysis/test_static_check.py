@@ -1,0 +1,131 @@
+"""Static checker rules."""
+
+import pytest
+
+from repro import extract
+from repro.analysis import Severity, static_check
+from repro.cif import Label, Layout
+from repro.geometry import Box
+from repro.workloads import inverter
+
+
+def _layout(boxes, labels=()):
+    layout = Layout()
+    for layer, x1, y1, x2, y2 in boxes:
+        layout.top.add_box(layer, Box(x1, y1, x2, y2))
+    for name, x, y, layer in labels:
+        layout.top.add_label(Label(name, x, y, layer))
+    return layout
+
+
+class TestCleanDesign:
+    def test_inverter_passes(self):
+        report = static_check(extract(inverter()))
+        assert report.ok
+        assert report.by_rule("ratio") == []
+
+    def test_no_rails_warns(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10)]))
+        report = static_check(circuit)
+        assert report.by_rule("no-vdd")
+        assert report.by_rule("no-gnd")
+
+
+class TestMalformed:
+    def test_dead_end_channel_flagged(self):
+        circuit = extract(
+            _layout([("ND", 10, 0, 14, 12), ("NP", 0, 10, 24, 20)])
+        )
+        report = static_check(circuit)
+        assert not report.ok
+        assert report.by_rule("malformed-terminals")
+
+
+class TestRails:
+    def test_rail_short_detected(self):
+        circuit = extract(
+            _layout(
+                [("NM", 0, 0, 100, 10)],
+                labels=[("VDD", 5, 5, "NM"), ("GND", 95, 5, "NM")],
+            )
+        )
+        report = static_check(circuit)
+        assert report.by_rule("rail-short")
+        assert not report.ok
+
+    def test_device_shorted_across_rail(self):
+        # Source and drain land on two *distinct* nets both named GND
+        # (separate ground rails): a useless, shorting transistor.
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 0, 0, 4, 30),
+                    ("NP", -4, 12, 8, 18),
+                    ("NM", -10, 0, 10, 4),
+                    ("NC", 0, 1, 4, 3),
+                    ("NM", -10, 26, 10, 30),
+                    ("NC", 0, 27, 4, 29),
+                ],
+                labels=[("GND", -8, 2, "NM"), ("GND", -8, 28, "NM")],
+            )
+        )
+        report = static_check(circuit)
+        assert report.by_rule("shorted-device")
+
+
+class TestRatio:
+    def test_weak_pullup_flagged(self):
+        # Build a ratio-2 inverter: 2x2 pulldown, 4x2 depletion load.
+        boxes = [
+            ("ND", 0, 1, 2, 25),
+            ("NM", -4, 0, 6, 4),
+            ("NC", 0, 1, 2, 3),
+            ("NP", -4, 6, 6, 8),
+            ("NP", 0, 13, 2, 16),
+            ("NB", 0, 13, 2, 16),
+            ("NP", -1, 16, 3, 20),
+            ("NI", -2, 15, 4, 21),
+            ("NC", 0, 23, 2, 25),
+            ("NM", -4, 22, 6, 26),
+        ]
+        boxes = [
+            (layer, x1 * 250, y1 * 250, x2 * 250, y2 * 250)
+            for layer, x1, y1, x2, y2 in boxes
+        ]
+        labels = [
+            ("VDD", 250, 24 * 250, "NM"),
+            ("GND", 250, 2 * 250, "NM"),
+        ]
+        circuit = extract(_layout(boxes, labels))
+        report = static_check(circuit)
+        findings = report.by_rule("ratio")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "2.00" in findings[0].message
+
+    def test_min_ratio_configurable(self):
+        report = static_check(extract(inverter()), min_ratio=5.0)
+        assert report.by_rule("ratio")
+
+
+class TestFloatingGate:
+    def test_undriven_gate_flagged(self):
+        # A transistor whose gate poly connects to nothing else.
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 10, 0, 14, 30),
+                    ("NP", 0, 10, 24, 14),
+                ]
+            )
+        )
+        report = static_check(circuit)
+        assert report.by_rule("floating-gate")
+
+    def test_chain_gates_are_driven(self):
+        from repro.workloads import inverter_rows
+
+        circuit = extract(inverter_rows(1, 3))
+        report = static_check(circuit)
+        # Only the chain's first input is undriven (a chip input).
+        assert len(report.by_rule("floating-gate")) == 1

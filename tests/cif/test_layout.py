@@ -1,0 +1,71 @@
+"""Layout database semantics."""
+
+import pytest
+
+from repro.cif import CifSemanticError, Layout, TOP_SYMBOL
+from repro.geometry import Box, Polygon, Transform
+
+
+class TestSymbols:
+    def test_define_and_lookup(self):
+        layout = Layout()
+        symbol = layout.define(3)
+        assert layout.symbol(3) is symbol
+        assert layout.symbol(TOP_SYMBOL) is layout.top
+
+    def test_double_define(self):
+        layout = Layout()
+        layout.define(1)
+        with pytest.raises(CifSemanticError):
+            layout.define(1)
+
+    def test_unknown_symbol(self):
+        with pytest.raises(CifSemanticError):
+            Layout().symbol(9)
+
+
+class TestValidate:
+    def test_valid_dag(self):
+        layout = Layout()
+        layout.define(1)
+        two = layout.define(2)
+        two.add_call(1, Transform.identity())
+        layout.top.add_call(2, Transform.identity())
+        layout.validate()
+
+    def test_cycle_detected(self):
+        layout = Layout()
+        one = layout.define(1)
+        two = layout.define(2)
+        one.add_call(2, Transform.identity())
+        two.add_call(1, Transform.identity())
+        layout.top.add_call(1, Transform.identity())
+        with pytest.raises(CifSemanticError):
+            layout.validate()
+
+    def test_dangling_call(self):
+        layout = Layout()
+        layout.top.add_call(42, Transform.identity())
+        with pytest.raises(CifSemanticError):
+            layout.validate()
+
+
+class TestFracturedBoxes:
+    def test_mixed_shapes(self):
+        layout = Layout()
+        layout.top.add_box("ND", Box(0, 0, 4, 4))
+        layout.top.add_polygon(
+            "NP", Polygon.from_points([(0, 0), (8, 0), (8, 4), (0, 4)])
+        )
+        layout.top.add_wire("NM", 4, ((0, 0), (10, 0)))
+        fractured = layout.top.fractured_boxes()
+        layers = [layer for layer, _ in fractured]
+        assert layers.count("ND") == 1
+        assert layers.count("NP") == 1
+        assert layers.count("NM") == 1
+
+    def test_shape_count(self):
+        layout = Layout()
+        layout.top.add_box("ND", Box(0, 0, 4, 4))
+        layout.top.add_wire("NM", 4, ((0, 0), (10, 0)))
+        assert layout.top.shape_count() == 2

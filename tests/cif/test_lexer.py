@@ -1,0 +1,63 @@
+"""CIF tokenizer."""
+
+import pytest
+
+from repro.cif import CifSyntaxError, tokenize
+
+
+class TestTokenize:
+    def test_simple_commands(self):
+        cmds = tokenize("L ND; B 4 2 1 3; E")
+        assert [c.letter for c in cmds] == ["L", "B", "E"]
+
+    def test_compact_spacing(self):
+        cmds = tokenize("B4 2 1 3;E")
+        assert cmds[0].letter == "B"
+        assert cmds[0].integers() == [4, 2, 1, 3]
+
+    def test_negative_integers(self):
+        cmds = tokenize("B 400 1200 -600 -1400; E")
+        assert cmds[0].integers() == [400, 1200, -600, -1400]
+
+    def test_comments_stripped(self):
+        cmds = tokenize("(a comment); L ND; (nested (inner)) B 2 2 1 1; E")
+        assert [c.letter for c in cmds] == ["L", "B", "E"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CifSyntaxError):
+            tokenize("(oops; E")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(CifSyntaxError):
+            tokenize(") E")
+
+    def test_missing_end(self):
+        with pytest.raises(CifSyntaxError):
+            tokenize("L ND; B 2 2 1 1;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CifSyntaxError):
+            tokenize("L ND\nE")
+
+    def test_text_after_end_ignored(self):
+        cmds = tokenize("L ND; E garbage that follows ;;")
+        assert cmds[-1].letter == "E"
+        assert len(cmds) == 2
+
+    def test_user_extension_letters(self):
+        cmds = tokenize("94 VDD 10 20 NM; 5 whatever; E")
+        assert cmds[0].letter == "94"
+        assert cmds[1].letter == "5"
+
+    def test_ds_is_d(self):
+        cmds = tokenize("DS 1; DF; E")
+        assert [c.letter for c in cmds[:2]] == ["D", "D"]
+
+    def test_empty_statements_skipped(self):
+        cmds = tokenize(";;; L ND;; E")
+        assert [c.letter for c in cmds] == ["L", "E"]
+
+    def test_positions_recorded(self):
+        cmds = tokenize("L ND; B 2 2 1 1; E")
+        assert cmds[0].position == 0
+        assert cmds[1].position == 6

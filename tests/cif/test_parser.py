@@ -1,0 +1,156 @@
+"""CIF parser: commands, transforms, scales, and error handling."""
+
+import pytest
+
+from repro.cif import CifSemanticError, CifSyntaxError, parse
+from repro.geometry import Box
+
+
+class TestBoxes:
+    def test_simple_box(self):
+        layout = parse("L ND; B 4 2 1 3; E")
+        (layer, box), = layout.top.boxes
+        assert layer == "ND"
+        assert box == Box(-1, 2, 3, 4)
+
+    def test_box_direction_rotates(self):
+        # Direction along +y swaps length and width.
+        layout = parse("L ND; B 4 2 0 0 0 1; E")
+        (_, box), = layout.top.boxes
+        assert (box.width, box.height) == (2, 4)
+
+    def test_box_direction_offaxis_snapped(self):
+        layout = parse("L ND; B 4 2 0 0 5 1; E")
+        (_, box), = layout.top.boxes
+        assert (box.width, box.height) == (4, 2)
+
+    def test_geometry_before_layer_rejected(self):
+        with pytest.raises(CifSemanticError):
+            parse("B 4 2 1 3; E")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CifSyntaxError):
+            parse("L ND; B 4 2 1; E")
+
+
+class TestShapes:
+    def test_polygon(self):
+        layout = parse("L NP; P 0 0 10 0 0 10; E")
+        (layer, poly), = layout.top.polygons
+        assert layer == "NP"
+        assert poly.area == 50
+
+    def test_wire(self):
+        layout = parse("L NM; W 4 0 0 10 0 10 10; E")
+        (layer, width, points), = layout.top.wires
+        assert width == 4
+        assert points == ((0, 0), (10, 0), (10, 10))
+
+    def test_roundflash_becomes_square(self):
+        layout = parse("L NM; R 10 5 5; E")
+        (_, box), = layout.top.boxes
+        assert box == Box(0, 0, 10, 10)
+
+
+class TestSymbols:
+    def test_define_and_call(self):
+        layout = parse("DS 1; L ND; B 2 2 1 1; DF; C 1 T 10 20; E")
+        assert 1 in layout.symbols
+        (call,) = layout.top.calls
+        assert call.symbol == 1
+        assert call.transform.apply_point(0, 0) == (10, 20)
+
+    def test_scale_factors(self):
+        layout = parse("DS 1 2 1; L ND; B 2 2 1 1; DF; C 1; E")
+        (_, box), = layout.symbols[1].boxes
+        assert box == Box(0, 0, 4, 4)
+
+    def test_fractional_scale_must_divide(self):
+        with pytest.raises(CifSemanticError):
+            parse("DS 1 1 2; L ND; B 3 2 1 1; DF; C 1; E")
+
+    def test_nested_ds_rejected(self):
+        with pytest.raises(CifSemanticError):
+            parse("DS 1; DS 2; DF; DF; E")
+
+    def test_df_without_ds(self):
+        with pytest.raises(CifSemanticError):
+            parse("DF; E")
+
+    def test_unterminated_ds(self):
+        with pytest.raises(CifSemanticError):
+            parse("DS 1; L ND; B 2 2 1 1; E")
+
+    def test_undefined_call_rejected(self):
+        with pytest.raises(CifSemanticError):
+            parse("C 7; E")
+
+    def test_recursive_call_rejected(self):
+        with pytest.raises(CifSemanticError):
+            parse("DS 1; C 2; DF; DS 2; C 1; DF; C 1; E")
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(CifSemanticError):
+            parse("DS 1; DF; DS 1; DF; E")
+
+    def test_layer_resets_per_symbol(self):
+        with pytest.raises(CifSemanticError):
+            parse("DS 1; L ND; B 2 2 1 1; DF; DS 2; B 2 2 1 1; DF; E")
+
+
+class TestTransforms:
+    def test_mirror_then_translate(self):
+        layout = parse("DS 1; L ND; B 2 2 1 1; DF; C 1 M X T 10 0; E")
+        (call,) = layout.top.calls
+        # Symbol point (1, 1) -> mirror (-1, 1) -> translate (9, 1).
+        assert call.transform.apply_point(1, 1) == (9, 1)
+
+    def test_rotation(self):
+        layout = parse("DS 1; L ND; B 2 2 1 1; DF; C 1 R 0 1; E")
+        (call,) = layout.top.calls
+        assert call.transform.apply_point(1, 0) == (0, 1)
+
+    def test_transform_order_matters(self):
+        a = parse("DS 1; L ND; B 2 2 1 1; DF; C 1 T 10 0 R 0 1; E")
+        b = parse("DS 1; L ND; B 2 2 1 1; DF; C 1 R 0 1 T 10 0; E")
+        ta = a.top.calls[0].transform
+        tb = b.top.calls[0].transform
+        assert ta.apply_point(0, 0) == (0, 10)
+        assert tb.apply_point(0, 0) == (10, 0)
+
+    def test_bad_mirror_axis(self):
+        with pytest.raises(CifSyntaxError):
+            parse("DS 1; DF; C 1 M Z; E")
+
+
+class TestLabels:
+    def test_label_with_layer(self):
+        layout = parse("94 VDD 10 20 NM; E")
+        (label,) = layout.top.labels
+        assert (label.name, label.x, label.y, label.layer) == ("VDD", 10, 20, "NM")
+
+    def test_label_without_layer(self):
+        layout = parse("94 OUT -5 7; E")
+        (label,) = layout.top.labels
+        assert label.layer is None
+
+    def test_label_needs_coordinates(self):
+        with pytest.raises(CifSyntaxError):
+            parse("94 VDD; E")
+
+    def test_other_extensions_ignored(self):
+        layout = parse("92 anything at all; L ND; B 2 2 1 1; E")
+        assert len(layout.top.boxes) == 1
+
+
+class TestStructure:
+    def test_total_shapes(self):
+        layout = parse(
+            "DS 1; L ND; B 2 2 1 1; B 2 2 5 5; DF; L NM; B 2 2 9 9; C 1; E"
+        )
+        assert layout.total_shapes() == 3
+
+    def test_is_leaf(self):
+        layout = parse("DS 1; L ND; B 2 2 1 1; DF; DS 2; C 1; DF; C 2; E")
+        assert layout.symbols[1].is_leaf()
+        assert not layout.symbols[2].is_leaf()

@@ -1,0 +1,117 @@
+"""CIF writer: serialization and parse/write round trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cif import Label, Layout, parse, write
+from repro.geometry import Box, Transform
+
+
+def _roundtrip(layout: Layout) -> Layout:
+    return parse(write(layout))
+
+
+class TestWriter:
+    def test_box_command(self):
+        layout = Layout()
+        layout.top.add_box("ND", Box(0, 0, 4, 2))
+        text = write(layout)
+        assert "L ND;" in text
+        assert "B 4 2 2 1;" in text
+        assert text.rstrip().endswith("E")
+
+    def test_off_grid_center_becomes_polygon(self):
+        layout = Layout()
+        layout.top.add_box("ND", Box(0, 0, 3, 2))  # center x = 1.5
+        text = write(layout)
+        assert "P 0 0 3 0 3 2 0 2;" in text
+
+    def test_layer_runs_not_repeated(self):
+        layout = Layout()
+        layout.top.add_box("ND", Box(0, 0, 2, 2))
+        layout.top.add_box("ND", Box(4, 0, 6, 2))
+        assert write(layout).count("L ND;") == 1
+
+    def test_label_emitted(self):
+        layout = Layout()
+        layout.top.add_label(Label("VDD", 3, 4, "NM"))
+        assert "94 VDD 3 4 NM;" in write(layout)
+
+
+class TestRoundTrip:
+    def test_symbol_structure(self):
+        layout = Layout()
+        cell = layout.define(1)
+        cell.add_box("ND", Box(0, 0, 4, 4))
+        layout.top.add_call(1, Transform.translation(10, 20))
+        back = _roundtrip(layout)
+        assert back.symbols[1].boxes == [("ND", Box(0, 0, 4, 4))]
+        assert back.top.calls[0].transform == Transform.translation(10, 20)
+
+    @given(
+        st.sampled_from(
+            [
+                Transform.identity(),
+                Transform.mirror_x(),
+                Transform.mirror_y(),
+                Transform.rotation(0, 1),
+                Transform.rotation(-1, 0),
+                Transform.rotation(0, -1),
+                Transform.mirror_x().then(Transform.rotation(0, 1)),
+                Transform.mirror_x().then(Transform.rotation(-1, 0)),
+            ]
+        ),
+        st.integers(-500, 500),
+        st.integers(-500, 500),
+    )
+    def test_all_orientations_roundtrip(self, orientation, dx, dy):
+        transform = orientation.then(Transform.translation(dx, dy))
+        layout = Layout()
+        cell = layout.define(1)
+        cell.add_box("ND", Box(0, 0, 4, 2))
+        layout.top.add_call(1, transform)
+        back = _roundtrip(layout)
+        assert back.top.calls[0].transform == transform
+
+    def test_wires_and_polygons(self):
+        layout = Layout()
+        layout.top.add_box("NM", Box(0, 0, 4, 4))
+        from repro.geometry import Polygon
+
+        layout.top.add_polygon("NP", Polygon.from_points([(0, 0), (8, 0), (0, 8)]))
+        layout.top.add_wire("ND", 4, ((0, 0), (20, 0)))
+        back = _roundtrip(layout)
+        assert back.top.boxes == layout.top.boxes
+        assert back.top.polygons == layout.top.polygons
+        assert back.top.wires == layout.top.wires
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ND", "NP", "NM", "NC", "NI", "NB"]),
+                st.integers(-100, 100),
+                st.integers(-100, 100),
+                st.integers(1, 50),
+                st.integers(1, 50),
+            ),
+            max_size=10,
+        )
+    )
+    def test_random_boxes_roundtrip(self, specs):
+        layout = Layout()
+        for layer, x, y, w, h in specs:
+            layout.top.add_box(layer, Box(x, y, x + w, y + h))
+        back = _roundtrip(layout)
+        # Off-grid boxes come back as polygons covering the same region.
+        from repro.geometry import regions_equal
+
+        for layer in {s[0] for s in specs}:
+            original = [b for l, b in layout.top.boxes if l == layer]
+            returned = [b for l, b in back.top.boxes if l == layer]
+            returned += [
+                Box(*(min(x for x, _ in p.vertices), min(y for _, y in p.vertices),
+                      max(x for x, _ in p.vertices), max(y for _, y in p.vertices)))
+                for l, p in back.top.polygons
+                if l == layer
+            ]
+            assert regions_equal(original, returned)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tech import NMOS
+from repro.workloads import inverter, inverter_rows, single_transistor
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return NMOS()
+
+
+@pytest.fixture(scope="session")
+def inverter_layout():
+    return inverter()
+
+
+@pytest.fixture(scope="session")
+def transistor_layout():
+    return single_transistor()
+
+
+@pytest.fixture(scope="session")
+def rows_layout():
+    return inverter_rows(2, 3)

@@ -1,0 +1,167 @@
+"""Device recognition and sizing through the scanline engine."""
+
+from repro import extract
+from repro.cif import Layout
+from repro.geometry import Box
+
+
+def _layout(boxes):
+    layout = Layout()
+    for layer, x1, y1, x2, y2 in boxes:
+        layout.top.add_box(layer, Box(x1, y1, x2, y2))
+    return layout
+
+
+class TestRecognition:
+    def test_simple_crossing(self):
+        circuit = extract(
+            _layout([("ND", 10, 0, 14, 30), ("NP", 0, 10, 24, 14)])
+        )
+        (device,) = circuit.devices
+        assert device.kind == "nEnh"
+        assert device.area == 4 * 4
+        assert device.length == 4
+        assert device.width == 4
+
+    def test_implant_makes_depletion(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 10, 0, 14, 30),
+                    ("NP", 0, 10, 24, 14),
+                    ("NI", 8, 8, 16, 16),
+                ]
+            )
+        )
+        (device,) = circuit.devices
+        assert device.kind == "nDep"
+        assert device.depletion
+
+    def test_implant_elsewhere_stays_enhancement(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 10, 0, 14, 30),
+                    ("NP", 0, 10, 24, 14),
+                    ("NI", 100, 100, 108, 108),
+                ]
+            )
+        )
+        assert circuit.devices[0].kind == "nEnh"
+
+    def test_buried_blocks_channel(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 10, 0, 14, 30),
+                    ("NP", 0, 10, 24, 14),
+                    ("NB", 10, 10, 14, 14),
+                ]
+            )
+        )
+        assert circuit.devices == []
+        assert len(circuit.nets) == 1  # everything tied through the buried
+
+    def test_two_crossings_two_devices(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 10, 0, 14, 50),
+                    ("NP", 0, 10, 24, 14),
+                    ("NP", 0, 30, 24, 34),
+                ]
+            )
+        )
+        assert len(circuit.devices) == 2
+        # Middle diffusion is shared between the two devices.
+        mid = set(
+            t for d in circuit.devices for t in (d.source, d.drain)
+        )
+        assert len(mid) == 3
+
+    def test_mesh_counts(self):
+        # 2 poly lines x 2 diffusion lines = 4 transistors.
+        circuit = extract(
+            _layout(
+                [
+                    ("NP", 0, 10, 40, 14),
+                    ("NP", 0, 30, 40, 34),
+                    ("ND", 10, 0, 14, 40),
+                    ("ND", 30, 0, 34, 40),
+                ]
+            )
+        )
+        assert len(circuit.devices) == 4
+
+
+class TestTerminals:
+    def test_gate_is_poly_net(self):
+        circuit = extract(
+            _layout([("ND", 10, 0, 14, 30), ("NP", 0, 10, 24, 14)])
+        )
+        (device,) = circuit.devices
+        poly_net = next(
+            n.index
+            for n in circuit.nets
+            if n.index not in (device.source, device.drain)
+        )
+        assert device.gate == poly_net
+
+    def test_horizontal_channel_terminals(self):
+        # Poly column crossing a diffusion row: source/drain left & right.
+        circuit = extract(
+            _layout([("ND", 0, 10, 30, 14), ("NP", 10, 0, 14, 24)])
+        )
+        (device,) = circuit.devices
+        assert device.width == 4
+        assert device.length == 4
+        assert sorted(device.terminals.values()) == [4, 4]
+
+    def test_l_shaped_channel(self):
+        # Diffusion bends under an L of poly; W is the mean of the two
+        # contact edges, L = area / W (section 3's algorithm).
+        circuit = extract(
+            _layout(
+                [
+                    ("ND", 0, 0, 4, 20),
+                    ("NP", -2, 8, 10, 16),
+                ]
+            )
+        )
+        (device,) = circuit.devices
+        assert device.area == 4 * 8
+        assert device.width == 4
+        assert device.length == 8
+
+    def test_wide_transistor(self):
+        circuit = extract(
+            _layout([("ND", 0, 0, 40, 30), ("NP", -10, 10, 50, 14)])
+        )
+        (device,) = circuit.devices
+        assert device.width == 40
+        assert device.length == 4
+
+
+class TestMalformed:
+    def test_dead_end_channel_single_terminal(self):
+        # Diffusion ends under the poly: one terminal only.
+        circuit = extract(
+            _layout([("ND", 10, 0, 14, 12), ("NP", 0, 10, 24, 20)])
+        )
+        (device,) = circuit.devices
+        assert device.drain is None
+        assert device.is_malformed
+
+    def test_fully_covered_diffusion_no_terminals(self):
+        circuit = extract(
+            _layout([("ND", 4, 4, 8, 8), ("NP", 0, 0, 12, 12)])
+        )
+        (device,) = circuit.devices
+        assert device.source is None and device.drain is None
+        assert device.is_malformed
+        assert any("malformed" in w for w in circuit.warnings)
+
+    def test_well_formed_is_not_flagged(self, inverter_layout):
+        circuit = extract(inverter_layout)
+        assert all(not d.is_malformed for d in circuit.devices)
+        assert not any("malformed" in w for w in circuit.warnings)

@@ -1,0 +1,82 @@
+"""Differential property tests: three extractors, one answer.
+
+ACE's scanline, the raster baseline, and the region-merge baseline share
+no connectivity code, so agreement over randomized lambda-aligned
+layouts is strong evidence each is correct.  (This is the test-suite
+version of the paper's cross-tool validation in Table 5-2.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import extract
+from repro.baselines import extract_polyflat, extract_raster
+from repro.cif import Layout
+from repro.tech import NMOS
+from repro.wirelist import circuit_to_flat, compare_netlists
+
+#: Grid-aligned technology for the raster oracle.
+TECH = NMOS(lambda_=10)
+
+layer_box = st.tuples(
+    st.sampled_from(["NM", "NP", "ND", "NC", "NI", "NB"]),
+    st.integers(0, 12),
+    st.integers(0, 12),
+    st.integers(1, 6),
+    st.integers(1, 6),
+)
+
+
+def _layout(specs) -> Layout:
+    from repro.geometry import Box
+
+    layout = Layout()
+    for layer, x, y, w, h in specs:
+        layout.top.add_box(
+            layer, Box(x * 10, y * 10, (x + w) * 10, (y + h) * 10)
+        )
+    return layout
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(layer_box, min_size=1, max_size=14))
+def test_ace_matches_polyflat(specs):
+    layout = _layout(specs)
+    ace = circuit_to_flat(extract(layout, TECH))
+    ref = circuit_to_flat(extract_polyflat(layout, TECH))
+    report = compare_netlists(ace, ref)
+    assert report.equivalent, report.reason
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(layer_box, min_size=1, max_size=14))
+def test_ace_matches_raster(specs):
+    layout = _layout(specs)
+    ace = circuit_to_flat(extract(layout, TECH))
+    ref = circuit_to_flat(extract_raster(layout, TECH))
+    report = compare_netlists(ace, ref)
+    assert report.equivalent, report.reason
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(layer_box, min_size=1, max_size=12))
+def test_device_areas_match_polyflat(specs):
+    layout = _layout(specs)
+    ace = extract(layout, TECH)
+    ref = extract_polyflat(layout, TECH)
+    assert sorted(d.area for d in ace.devices) == sorted(
+        d.area for d in ref.devices
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(layer_box, min_size=1, max_size=12))
+def test_device_sizes_match_polyflat(specs):
+    layout = _layout(specs)
+    ace = extract(layout, TECH)
+    ref = extract_polyflat(layout, TECH)
+    assert sorted(
+        (d.kind, round(d.width, 6), round(d.length, 6)) for d in ace.devices
+    ) == sorted(
+        (d.kind, round(d.width, 6), round(d.length, 6)) for d in ref.devices
+    )

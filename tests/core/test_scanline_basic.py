@@ -1,0 +1,212 @@
+"""Scanline connectivity rules, exercised through tiny hand layouts."""
+
+from repro import extract
+from repro.cif import Label, Layout
+from repro.core import extract_report
+from repro.geometry import Box
+
+
+def _layout(boxes, labels=()):
+    layout = Layout()
+    for layer, x1, y1, x2, y2 in boxes:
+        layout.top.add_box(layer, Box(x1, y1, x2, y2))
+    for name, x, y, layer in labels:
+        layout.top.add_label(Label(name, x, y, layer))
+    return layout
+
+
+class TestSameLayerConnectivity:
+    def test_overlapping_boxes_one_net(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NM", 5, 5, 15, 15)]))
+        assert len(circuit.nets) == 1
+
+    def test_horizontally_abutting_boxes_one_net(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NM", 10, 0, 20, 10)]))
+        assert len(circuit.nets) == 1
+
+    def test_vertically_abutting_boxes_one_net(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NM", 0, 10, 10, 20)]))
+        assert len(circuit.nets) == 1
+
+    def test_corner_contact_two_nets(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NM", 10, 10, 20, 20)]))
+        assert len(circuit.nets) == 2
+
+    def test_disjoint_boxes_two_nets(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NM", 20, 0, 30, 10)]))
+        assert len(circuit.nets) == 2
+
+    def test_u_shape_merges_back(self):
+        # Two arms going up from a base: one net, discovered top-down as
+        # two and merged when the scanline reaches the base.
+        circuit = extract(
+            _layout(
+                [
+                    ("NM", 0, 0, 30, 10),
+                    ("NM", 0, 10, 10, 40),
+                    ("NM", 20, 10, 30, 40),
+                ]
+            )
+        )
+        assert len(circuit.nets) == 1
+
+    def test_different_layers_do_not_connect(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NP", 0, 0, 10, 10)]))
+        assert len(circuit.nets) == 2
+
+    def test_taller_box_split_and_merged(self):
+        # A tall box overlapped mid-way by a short one: the continuation
+        # mechanism must keep it a single net.
+        report = extract_report(
+            _layout([("NM", 0, 0, 4, 100), ("NM", 2, 40, 20, 60)])
+        )
+        assert len(report.circuit.nets) == 1
+        assert report.stats.splits >= 1
+
+
+class TestCrossLayer:
+    def test_contact_joins_metal_and_poly(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("NM", 0, 0, 10, 10),
+                    ("NP", 0, 0, 10, 10),
+                    ("NC", 2, 2, 8, 8),
+                ]
+            )
+        )
+        assert len(circuit.nets) == 1
+
+    def test_contact_joins_metal_and_diffusion(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("NM", 0, 0, 10, 10),
+                    ("ND", 0, 0, 10, 10),
+                    ("NC", 2, 2, 8, 8),
+                ]
+            )
+        )
+        assert len(circuit.nets) == 1
+
+    def test_butting_contact_joins_all_three(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("NM", 0, 0, 20, 10),
+                    ("NP", 0, 0, 10, 10),
+                    ("ND", 10, 0, 20, 10),
+                    ("NC", 4, 2, 16, 8),
+                ]
+            )
+        )
+        assert len(circuit.nets) == 1
+
+    def test_metal_over_poly_without_cut_stays_separate(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10), ("NP", 0, 0, 10, 10)]))
+        assert len(circuit.nets) == 2
+
+    def test_buried_contact_joins_poly_and_diffusion(self):
+        circuit = extract(
+            _layout(
+                [
+                    ("NP", 0, 0, 10, 10),
+                    ("ND", 0, 0, 10, 10),
+                    ("NB", 0, 0, 10, 10),
+                ]
+            )
+        )
+        assert len(circuit.nets) == 1
+        assert len(circuit.devices) == 0  # buried suppresses the channel
+
+
+class TestChannelBreaksDiffusion:
+    def test_poly_crossing_splits_diffusion(self):
+        circuit = extract(
+            _layout([("ND", 0, 0, 4, 30), ("NP", -10, 10, 14, 20)])
+        )
+        # Diffusion above and below the gate are distinct nets; poly is a third.
+        assert len(circuit.devices) == 1
+        assert len(circuit.nets) == 3
+        device = circuit.devices[0]
+        assert device.source != device.drain
+
+    def test_poly_not_over_diffusion_no_device(self):
+        circuit = extract(
+            _layout([("ND", 0, 0, 4, 10), ("NP", 20, 0, 24, 10)])
+        )
+        assert circuit.devices == []
+        assert len(circuit.nets) == 2
+
+
+class TestLabels:
+    def test_label_names_net(self):
+        circuit = extract(
+            _layout(
+                [("NM", 0, 0, 10, 10)],
+                labels=[("CLK", 5, 5, "NM")],
+            )
+        )
+        assert circuit.nets[0].names == ["CLK"]
+
+    def test_two_labels_same_net(self):
+        circuit = extract(
+            _layout(
+                [("NM", 0, 0, 30, 10)],
+                labels=[("A", 2, 5, "NM"), ("B", 28, 5, "NM")],
+            )
+        )
+        assert circuit.nets[0].names == ["A", "B"]
+
+    def test_layerless_label_searches_conducting_layers(self):
+        circuit = extract(
+            _layout([("ND", 0, 0, 10, 10)], labels=[("S", 5, 5, None)])
+        )
+        assert circuit.nets[0].names == ["S"]
+
+    def test_unattached_label_warns(self):
+        circuit = extract(
+            _layout([("NM", 0, 0, 10, 10)], labels=[("LOST", 50, 50, "NM")])
+        )
+        assert any("LOST" in w for w in circuit.warnings)
+
+    def test_label_on_implant_attaches_nothing(self):
+        circuit = extract(
+            _layout(
+                [("NM", 0, 0, 10, 10), ("NI", 20, 0, 30, 10)],
+                labels=[("X", 25, 5, "NI")],
+            )
+        )
+        assert any("X" in w for w in circuit.warnings)
+
+
+class TestStatistics:
+    def test_stops_at_edges_only(self):
+        # Two boxes with 4 distinct horizontal edges -> 4 stops.
+        report = extract_report(
+            _layout([("NM", 0, 0, 10, 10), ("NM", 20, 5, 30, 15)])
+        )
+        assert report.stats.stops == 4
+        assert report.stats.boxes_in == 2
+
+    def test_shared_edges_coalesce_stops(self):
+        report = extract_report(
+            _layout([("NM", 0, 0, 10, 10), ("NM", 20, 0, 30, 10)])
+        )
+        assert report.stats.stops == 2
+
+    def test_net_geometry_kept_on_request(self):
+        circuit = extract(
+            _layout([("NM", 0, 0, 10, 10)]), keep_geometry=True
+        )
+        assert circuit.nets[0].geometry == [("NM", Box(0, 0, 10, 10))]
+
+    def test_net_geometry_suppressed_by_default(self):
+        circuit = extract(_layout([("NM", 0, 0, 10, 10)]))
+        assert circuit.nets[0].geometry == []
+
+    def test_net_location_is_topmost_leftmost(self):
+        circuit = extract(
+            _layout([("NM", 5, 0, 10, 8), ("NM", 0, 6, 30, 10)])
+        )
+        assert circuit.nets[0].location == (0, 10)

@@ -1,0 +1,49 @@
+"""Transistor sizing rules (section 3)."""
+
+import pytest
+
+from repro.core import size_device
+
+
+class TestTwoTerminal:
+    def test_width_is_mean_of_edges(self):
+        sized = size_device(area=40000, terminals={1: 300, 2: 100})
+        assert sized.width == 200
+        assert sized.length == 200
+        assert sized.source == 1  # larger perimeter
+        assert sized.drain == 2
+
+    def test_tie_breaks_toward_lower_index(self):
+        sized = size_device(area=100, terminals={7: 10, 3: 10})
+        assert sized.source == 3
+        assert sized.drain == 7
+
+    def test_square_channel(self):
+        sized = size_device(area=4, terminals={1: 2, 2: 2})
+        assert sized.width == 2
+        assert sized.length == 2
+
+
+class TestDegenerate:
+    def test_single_terminal(self):
+        sized = size_device(area=100, terminals={5: 10})
+        assert sized.source == 5
+        assert sized.drain is None
+        assert sized.width == 10
+        assert sized.length == 10
+
+    def test_no_terminals(self):
+        sized = size_device(area=100, terminals={})
+        assert sized.source is None
+        assert sized.drain is None
+        assert sized.width == 0
+        assert sized.length == 0
+
+    def test_extra_terminals_ignored_for_width(self):
+        sized = size_device(area=100, terminals={1: 50, 2: 40, 3: 1})
+        assert sized.width == 45
+        assert {sized.source, sized.drain} == {1, 2}
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            size_device(area=-1, terminals={})

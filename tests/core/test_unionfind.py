@@ -1,0 +1,69 @@
+"""Union-find invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind()
+        a, b = uf.make(), uf.make()
+        assert a != b
+        assert not uf.same(a, b)
+
+    def test_union(self):
+        uf = UnionFind()
+        a, b, c = uf.make(), uf.make(), uf.make()
+        uf.union(a, b)
+        assert uf.same(a, b)
+        assert not uf.same(a, c)
+
+    def test_union_returns_root(self):
+        uf = UnionFind()
+        a, b = uf.make(), uf.make()
+        root = uf.union(a, b)
+        assert uf.find(a) == uf.find(b) == root
+
+    def test_roots(self):
+        uf = UnionFind()
+        ids = [uf.make() for _ in range(4)]
+        uf.union(ids[0], ids[1])
+        uf.union(ids[2], ids[3])
+        assert len(uf.roots()) == 2
+
+    def test_fold(self):
+        uf = UnionFind()
+        a, b, c = uf.make(), uf.make(), uf.make()
+        uf.union(a, b)
+        folded = uf.fold({a: [1], b: [2], c: [3]})
+        assert sorted(folded[uf.find(a)]) == [1, 2]
+        assert folded[uf.find(c)] == [3]
+
+
+class TestProperties:
+    @given(
+        st.integers(1, 50),
+        st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=100),
+    )
+    def test_equivalence_closure(self, n, pairs):
+        uf = UnionFind()
+        for _ in range(n):
+            uf.make()
+        pairs = [(a % n, b % n) for a, b in pairs]
+        for a, b in pairs:
+            uf.union(a, b)
+        # Reference: naive closure by repeated merging of sets.
+        groups = [{i} for i in range(n)]
+        for a, b in pairs:
+            ga = next(g for g in groups if a in g)
+            gb = next(g for g in groups if b in g)
+            if ga is not gb:
+                ga |= gb
+                groups.remove(gb)
+        for group in groups:
+            items = sorted(group)
+            for x in items[1:]:
+                assert uf.same(items[0], x)
+        assert len(uf.roots()) == len(groups)

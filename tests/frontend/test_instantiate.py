@@ -1,0 +1,71 @@
+"""Eager instantiation and symbol bounding boxes."""
+
+from repro.cif import Label, Layout, TOP_SYMBOL, parse
+from repro.frontend import instantiate, symbol_bboxes
+from repro.geometry import Box, Transform
+
+
+def _cell_layout() -> Layout:
+    layout = Layout()
+    cell = layout.define(1)
+    cell.add_box("ND", Box(0, 0, 4, 4))
+    cell.add_label(Label("X", 2, 2, "ND"))
+    layout.top.add_call(1, Transform.translation(10, 0))
+    layout.top.add_call(1, Transform.translation(0, 10))
+    return layout
+
+
+class TestInstantiate:
+    def test_two_instances(self):
+        boxes, labels = instantiate(_cell_layout())
+        assert {b for _, b in boxes} == {Box(10, 0, 14, 4), Box(0, 10, 4, 14)}
+        assert {(lb.x, lb.y) for lb in labels} == {(12, 2), (2, 12)}
+
+    def test_transform_composition(self):
+        layout = Layout()
+        inner = layout.define(1)
+        inner.add_box("NP", Box(0, 0, 2, 2))
+        outer = layout.define(2)
+        outer.add_call(1, Transform.translation(10, 0))
+        layout.top.add_call(2, Transform.translation(0, 100))
+        boxes, _ = instantiate(layout)
+        assert boxes == [("NP", Box(10, 100, 12, 102))]
+
+    def test_mirror_through_hierarchy(self):
+        layout = Layout()
+        inner = layout.define(1)
+        inner.add_box("NP", Box(1, 0, 3, 2))
+        layout.top.add_call(1, Transform.mirror_x())
+        boxes, _ = instantiate(layout)
+        assert boxes == [("NP", Box(-3, 0, -1, 2))]
+
+    def test_polygons_fracture_on_instantiation(self):
+        layout = parse("DS 1; L ND; P 0 0 8 0 8 4 0 4; DF; C 1 T 2 2; E")
+        boxes, _ = instantiate(layout)
+        assert boxes == [("ND", Box(2, 2, 10, 6))]
+
+
+class TestSymbolBboxes:
+    def test_leaf_bbox(self):
+        bboxes = symbol_bboxes(_cell_layout())
+        assert bboxes[1] == Box(0, 0, 4, 4)
+
+    def test_top_bbox_covers_instances(self):
+        bboxes = symbol_bboxes(_cell_layout())
+        assert bboxes[TOP_SYMBOL] == Box(0, 0, 14, 14)
+
+    def test_empty_symbol_is_none(self):
+        layout = Layout()
+        layout.define(1)
+        layout.top.add_call(1, Transform.identity())
+        assert symbol_bboxes(layout)[1] is None
+        assert symbol_bboxes(layout)[TOP_SYMBOL] is None
+
+    def test_bbox_respects_rotation(self):
+        layout = Layout()
+        cell = layout.define(1)
+        cell.add_box("ND", Box(0, 0, 10, 2))
+        layout.top.add_call(1, Transform.rotation(0, 1))
+        bboxes = symbol_bboxes(layout)
+        top = bboxes[TOP_SYMBOL]
+        assert (top.width, top.height) == (2, 10)

@@ -1,0 +1,123 @@
+"""Box: construction, predicates, and constructive operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Box, bounding_box
+
+coords = st.integers(min_value=-10_000, max_value=10_000)
+sizes = st.integers(min_value=1, max_value=500)
+
+
+def boxes():
+    return st.builds(
+        lambda x, y, w, h: Box(x, y, x + w, y + h), coords, coords, sizes, sizes
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        box = Box(0, 0, 10, 20)
+        assert box.width == 10
+        assert box.height == 20
+        assert box.area == 200
+
+    @pytest.mark.parametrize(
+        "args", [(0, 0, 0, 10), (0, 0, 10, 0), (5, 5, 4, 9), (5, 5, 9, 4)]
+    )
+    def test_degenerate_rejected(self, args):
+        with pytest.raises(ValueError):
+            Box(*args)
+
+    def test_from_center_matches_cif_semantics(self):
+        # "B L400 W1200 C-600 -1400" from Figure 3-4.
+        box = Box.from_center(400, 1200, -600, -1400)
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (
+            -800,
+            -2000,
+            -400,
+            -800,
+        )
+
+    def test_from_center_rejects_odd_extents(self):
+        with pytest.raises(ValueError):
+            Box.from_center(3, 4, 0, 0)
+
+    def test_from_center_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Box.from_center(0, 4, 0, 0)
+
+
+class TestPredicates:
+    def test_overlap_positive_area(self):
+        assert Box(0, 0, 10, 10).overlaps(Box(5, 5, 15, 15))
+
+    def test_edge_abutment_is_not_overlap(self):
+        assert not Box(0, 0, 10, 10).overlaps(Box(10, 0, 20, 10))
+
+    def test_edge_abutment_touches(self):
+        assert Box(0, 0, 10, 10).touches(Box(10, 0, 20, 10))
+
+    def test_corner_contact_does_not_conduct(self):
+        # A single shared point must not connect nets (section 3 rules).
+        assert not Box(0, 0, 10, 10).touches(Box(10, 10, 20, 20))
+
+    def test_contains_point_closed(self):
+        box = Box(0, 0, 10, 10)
+        assert box.contains_point(0, 0)
+        assert box.contains_point(10, 10)
+        assert not box.contains_point(11, 5)
+
+    def test_contains_box(self):
+        assert Box(0, 0, 10, 10).contains_box(Box(2, 2, 8, 8))
+        assert Box(0, 0, 10, 10).contains_box(Box(0, 0, 10, 10))
+        assert not Box(0, 0, 10, 10).contains_box(Box(2, 2, 11, 8))
+
+    @given(boxes(), boxes())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(boxes(), boxes())
+    def test_touches_symmetric(self, a, b):
+        assert a.touches(b) == b.touches(a)
+
+    @given(boxes(), boxes())
+    def test_overlap_implies_touch(self, a, b):
+        if a.overlaps(b):
+            assert a.touches(b)
+
+
+class TestOperations:
+    def test_intersection(self):
+        both = Box(0, 0, 10, 10).intersection(Box(5, 5, 15, 15))
+        assert both == Box(5, 5, 10, 10)
+
+    def test_intersection_empty(self):
+        assert Box(0, 0, 10, 10).intersection(Box(10, 0, 20, 10)) is None
+
+    @given(boxes(), boxes())
+    def test_intersection_consistent_with_overlap(self, a, b):
+        result = a.intersection(b)
+        assert (result is not None) == a.overlaps(b)
+        if result is not None:
+            assert a.contains_box(result)
+            assert b.contains_box(result)
+
+    def test_union_bbox(self):
+        assert Box(0, 0, 1, 1).union_bbox(Box(5, 5, 6, 6)) == Box(0, 0, 6, 6)
+
+    @given(boxes(), coords, coords)
+    def test_translate_preserves_size(self, box, dx, dy):
+        moved = box.translated(dx, dy)
+        assert moved.width == box.width
+        assert moved.height == box.height
+
+    def test_bounding_box(self):
+        assert bounding_box([Box(0, 0, 1, 1), Box(9, -5, 10, 2)]) == Box(
+            0, -5, 10, 2
+        )
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

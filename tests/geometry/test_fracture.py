@@ -1,0 +1,123 @@
+"""Fracturing polygons and wires into boxes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box,
+    Polygon,
+    fracture_polygon,
+    fracture_wire,
+    regions_equal,
+    union_area,
+)
+
+
+def _l_shape():
+    return Polygon.from_points(
+        [(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)]
+    )
+
+
+class TestManhattan:
+    def test_rectangle_is_one_box(self):
+        boxes = fracture_polygon(Polygon.rectangle(Box(0, 0, 10, 20)))
+        assert boxes == [Box(0, 0, 10, 20)]
+
+    def test_l_shape_exact(self):
+        boxes = fracture_polygon(_l_shape())
+        assert union_area(boxes) == _l_shape().area
+        assert regions_equal(boxes, [Box(0, 0, 10, 5), Box(0, 5, 5, 10)])
+
+    def test_boxes_are_disjoint(self):
+        boxes = fracture_polygon(_l_shape())
+        assert union_area(boxes) == sum(b.area for b in boxes)
+
+    def test_vertical_coalescing(self):
+        # A plus-shape fractures into 3 boxes, not 5 slabs.
+        plus = Polygon.from_points(
+            [
+                (2, 0), (4, 0), (4, 2), (6, 2), (6, 4), (4, 4),
+                (4, 6), (2, 6), (2, 4), (0, 4), (0, 2), (2, 2),
+            ]
+        )
+        boxes = fracture_polygon(plus)
+        assert union_area(boxes) == plus.area
+        assert len(boxes) == 3
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 20), st.integers(0, 20),
+                st.integers(1, 10), st.integers(1, 10),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_manhattan_union_area_preserved(self, rects):
+        # Fracture each rectangle-polygon and compare regions.
+        sources = [Box(x, y, x + w, y + h) for x, y, w, h in rects]
+        fractured = [
+            b for box in sources
+            for b in fracture_polygon(Polygon.rectangle(box))
+        ]
+        assert regions_equal(fractured, sources)
+
+
+class TestNonManhattan:
+    def test_triangle_area_approximate(self):
+        tri = Polygon.from_points([(0, 0), (1000, 0), (0, 1000)])
+        boxes = fracture_polygon(tri, resolution=50)
+        approx = union_area(boxes)
+        assert approx == pytest.approx(tri.area, rel=0.11)
+
+    def test_finer_resolution_tighter(self):
+        tri = Polygon.from_points([(0, 0), (1000, 0), (0, 1000)])
+        coarse = abs(union_area(fracture_polygon(tri, resolution=200)) - tri.area)
+        fine = abs(union_area(fracture_polygon(tri, resolution=10)) - tri.area)
+        assert fine <= coarse
+
+    def test_resolution_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fracture_polygon(_l_shape(), resolution=0)
+
+    def test_degenerate_bowtie_rejected(self):
+        # The symmetric bowtie has zero net signed area and is rejected
+        # at construction, before fracturing can mis-handle it.
+        with pytest.raises(ValueError):
+            Polygon.from_points([(0, 0), (10, 10), (10, 0), (0, 10)])
+
+
+class TestWires:
+    def test_horizontal_segment(self):
+        boxes = fracture_wire([(0, 0), (100, 0)], width=20)
+        assert boxes == [Box(-10, -10, 110, 10)]
+
+    def test_vertical_segment(self):
+        boxes = fracture_wire([(0, 0), (0, 50)], width=10)
+        assert boxes == [Box(-5, -5, 5, 55)]
+
+    def test_single_point_wire_is_square(self):
+        assert fracture_wire([(5, 5)], width=4) == [Box(3, 3, 7, 7)]
+
+    def test_l_wire_covers_corner(self):
+        boxes = fracture_wire([(0, 0), (40, 0), (40, 40)], width=8)
+        # Two 48x8 arms sharing one 8x8 corner square.
+        assert union_area(boxes) == 48 * 8 + 48 * 8 - 8 * 8
+        assert any(b.contains_point(40, 0) for b in boxes)
+
+    def test_diagonal_wire_approximated(self):
+        boxes = fracture_wire([(0, 0), (100, 100)], width=10, resolution=20)
+        assert len(boxes) >= 5
+        assert any(b.contains_point(0, 0) for b in boxes)
+        assert any(b.contains_point(100, 100) for b in boxes)
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            fracture_wire([(0, 0), (10, 0)], width=3)
+
+    def test_empty_wire_rejected(self):
+        with pytest.raises(ValueError):
+            fracture_wire([], width=4)

@@ -1,0 +1,116 @@
+"""Region algebra: normalization, union area, subtraction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box,
+    normalize_region,
+    regions_equal,
+    subtract_region,
+    union_area,
+)
+
+small_boxes = st.builds(
+    lambda x, y, w, h: Box(x, y, x + w, y + h),
+    st.integers(0, 30),
+    st.integers(0, 30),
+    st.integers(1, 10),
+    st.integers(1, 10),
+)
+box_lists = st.lists(small_boxes, max_size=8)
+
+
+def _covers(boxes, x, y):
+    """Point-sample containment of a half-open cell [x,x+1)x[y,y+1)."""
+    return any(
+        b.xmin <= x < b.xmax and b.ymin <= y < b.ymax for b in boxes
+    )
+
+
+class TestNormalize:
+    def test_empty(self):
+        assert normalize_region([]) == []
+
+    def test_single(self):
+        assert normalize_region([Box(0, 0, 5, 5)]) == [Box(0, 0, 5, 5)]
+
+    def test_duplicates_collapse(self):
+        box = Box(0, 0, 5, 5)
+        assert normalize_region([box, box, box]) == [box]
+
+    def test_overlap_merged(self):
+        out = normalize_region([Box(0, 0, 10, 10), Box(5, 0, 15, 10)])
+        assert out == [Box(0, 0, 15, 10)]
+
+    @given(box_lists)
+    def test_result_is_disjoint(self, boxes):
+        out = normalize_region(boxes)
+        assert union_area(out) == sum(b.area for b in out)
+
+    @given(box_lists)
+    def test_same_region_pointwise(self, boxes):
+        out = normalize_region(boxes)
+        for x in range(0, 42, 7):
+            for y in range(0, 42, 7):
+                assert _covers(boxes, x, y) == _covers(out, x, y)
+
+    @given(box_lists)
+    def test_idempotent(self, boxes):
+        once = normalize_region(boxes)
+        assert normalize_region(once) == once
+
+    @given(box_lists)
+    def test_order_independent(self, boxes):
+        assert normalize_region(boxes) == normalize_region(boxes[::-1])
+
+
+class TestUnionArea:
+    def test_overlap_counted_once(self):
+        assert union_area([Box(0, 0, 10, 10), Box(5, 0, 15, 10)]) == 150
+
+    @given(box_lists)
+    def test_bounded_by_sum(self, boxes):
+        assert union_area(boxes) <= sum(b.area for b in boxes)
+
+    @given(small_boxes)
+    def test_single_box(self, box):
+        assert union_area([box]) == box.area
+
+
+class TestSubtract:
+    def test_hole_in_middle(self):
+        out = subtract_region([Box(0, 0, 30, 30)], [Box(10, 10, 20, 20)])
+        assert union_area(out) == 900 - 100
+        assert not _covers(out, 15, 15)
+        assert _covers(out, 5, 5)
+
+    def test_disjoint_hole_noop(self):
+        keep = [Box(0, 0, 10, 10)]
+        assert regions_equal(subtract_region(keep, [Box(50, 50, 60, 60)]), keep)
+
+    def test_full_subtraction(self):
+        assert subtract_region([Box(0, 0, 5, 5)], [Box(0, 0, 5, 5)]) == []
+
+    @given(box_lists, box_lists)
+    def test_area_identity(self, keep, cut):
+        # |A - B| = |A| - |A intersect B|
+        left = union_area(subtract_region(keep, cut))
+        overlap = sum(
+            inter.area
+            for inter in (
+                k.intersection(c)
+                for k in normalize_region(keep)
+                for c in normalize_region(cut)
+            )
+            if inter is not None
+        )
+        assert left == union_area(keep) - overlap
+
+    @given(box_lists, box_lists)
+    def test_pointwise(self, keep, cut):
+        out = subtract_region(keep, cut)
+        for x in range(0, 42, 11):
+            for y in range(0, 42, 11):
+                expected = _covers(keep, x, y) and not _covers(cut, x, y)
+                assert _covers(out, x, y) == expected

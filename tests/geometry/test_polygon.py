@@ -1,0 +1,66 @@
+"""Polygons: areas, crossings, and validity checks."""
+
+import pytest
+
+from repro.geometry import Box, Polygon
+
+
+class TestConstruction:
+    def test_triangle(self):
+        tri = Polygon.from_points([(0, 0), (10, 0), (0, 10)])
+        assert tri.area == 50
+
+    def test_rectangle_helper(self):
+        poly = Polygon.rectangle(Box(0, 0, 4, 6))
+        assert poly.area == 24
+        assert poly.is_manhattan()
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon.from_points([(0, 0), (1, 1)])
+
+    def test_zero_area(self):
+        with pytest.raises(ValueError):
+            Polygon.from_points([(0, 0), (5, 0), (10, 0)])
+
+
+class TestProperties:
+    def test_signed_area_orientation(self):
+        ccw = Polygon.from_points([(0, 0), (10, 0), (10, 10), (0, 10)])
+        cw = Polygon.from_points([(0, 0), (0, 10), (10, 10), (10, 0)])
+        assert ccw.signed_area2() == 200
+        assert cw.signed_area2() == -200
+        assert ccw.area == cw.area == 100
+
+    def test_bbox(self):
+        poly = Polygon.from_points([(0, 0), (10, 0), (5, 8)])
+        assert poly.bbox() == Box(0, 0, 10, 8)
+
+    def test_manhattan_detection(self):
+        L = Polygon.from_points(
+            [(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)]
+        )
+        assert L.is_manhattan()
+        assert not Polygon.from_points([(0, 0), (10, 0), (5, 8)]).is_manhattan()
+
+
+class TestCrossings:
+    def test_rectangle_crossings(self):
+        poly = Polygon.rectangle(Box(0, 0, 10, 10))
+        assert poly.crossings_at(5.0) == [0, 10]
+
+    def test_l_shape_crossings(self):
+        L = Polygon.from_points(
+            [(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)]
+        )
+        assert L.crossings_at(2.5) == [0, 10]
+        assert L.crossings_at(7.5) == [0, 5]
+
+    def test_triangle_interpolation(self):
+        tri = Polygon.from_points([(0, 0), (10, 0), (0, 10)])
+        xs = tri.crossings_at(5.0)
+        assert xs == [0, 5]
+
+    def test_outside_is_empty(self):
+        poly = Polygon.rectangle(Box(0, 0, 10, 10))
+        assert poly.crossings_at(11.0) == []

@@ -1,0 +1,133 @@
+"""Differential property tests: HEXT vs flat ACE on random hierarchy.
+
+The compose machinery (interface matching, partial-transistor merging,
+survival subtraction) has many geometric edge cases: channels cut by
+window boundaries in both axes, nets meeting at corners, geometry
+straddling several windows.  Randomized layouts with real hierarchy
+probe them all; flat ACE is the oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import extract
+from repro.cif import Layout
+from repro.geometry import Box, Transform
+from repro.hext import hext_extract
+from repro.tech import NMOS
+from repro.wirelist import circuit_to_flat, compare_netlists
+
+TECH = NMOS(lambda_=10)
+
+#: A leaf cell is a handful of boxes in a 12x12 unit frame (units of 10).
+cell_boxes = st.lists(
+    st.tuples(
+        st.sampled_from(["NM", "NP", "ND", "NC", "NI", "NB"]),
+        st.integers(0, 9),
+        st.integers(0, 9),
+        st.integers(1, 6),
+        st.integers(1, 6),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+#: The eight manhattan orientations (exercises compose under rotation).
+orientations = st.sampled_from(
+    [
+        Transform.identity(),
+        Transform.mirror_x(),
+        Transform.mirror_y(),
+        Transform.rotation(0, 1),
+        Transform.rotation(-1, 0),
+        Transform.rotation(0, -1),
+        Transform.mirror_x().then(Transform.rotation(0, 1)),
+        Transform.mirror_y().then(Transform.rotation(0, 1)),
+    ]
+)
+
+#: Instance placements on a 12-unit grid (cells may abut, never overlap).
+placements = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.booleans(), orientations),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda p: (p[0], p[1]),
+)
+
+
+def _build(cells, placement_list, strap) -> Layout:
+    layout = Layout()
+    numbers = []
+    for index, boxes in enumerate(cells):
+        symbol = layout.define(index + 1)
+        for layer, x, y, w, h in boxes:
+            x2 = min(12, x + w)
+            y2 = min(12, y + h)
+            symbol.add_box(
+                layer, Box(x * 10, y * 10, x2 * 10, y2 * 10)
+            )
+        numbers.append(index + 1)
+    wrap = layout.define(100)
+    for gx, gy, which, orientation in placement_list:
+        number = numbers[int(which) % len(numbers)]
+        # Orient the 120x120 cell about its own center, then place it on
+        # the grid: rotated instances still tile without overlap.
+        placed = (
+            Transform.translation(-60, -60)
+            .then(orientation)
+            .then(Transform.translation(60 + gx * 120, 60 + gy * 120))
+        )
+        wrap.add_call(number, placed)
+    layout.top.add_call(100, Transform.identity())
+    if strap is not None:
+        layer, x, y, w, h = strap
+        layout.top.add_box(
+            layer, Box(x * 10, y * 10, (x + w) * 10, (y + h) * 10)
+        )
+    layout.validate()
+    return layout
+
+
+straps = st.one_of(
+    st.none(),
+    st.tuples(
+        st.sampled_from(["NM", "NP", "ND"]),
+        st.integers(0, 30),
+        st.integers(0, 30),
+        st.integers(2, 12),
+        st.integers(1, 3),
+    ),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(cell_boxes, min_size=1, max_size=2),
+    placements,
+    straps,
+)
+def test_hext_matches_flat_on_random_hierarchy(cells, placement_list, strap):
+    layout = _build(cells, placement_list, strap)
+    flat = circuit_to_flat(extract(layout, TECH))
+    hier = circuit_to_flat(hext_extract(layout, TECH).circuit)
+    report = compare_netlists(flat, hier)
+    assert report.equivalent, report.reason
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(cell_boxes, min_size=1, max_size=2),
+    placements,
+    straps,
+)
+def test_hext_device_sizes_match_flat(cells, placement_list, strap):
+    layout = _build(cells, placement_list, strap)
+    flat = extract(layout, TECH)
+    hier = hext_extract(layout, TECH).circuit
+    assert sorted(
+        (d.kind, d.area, round(d.width, 6), round(d.length, 6))
+        for d in flat.devices
+    ) == sorted(
+        (d.kind, d.area, round(d.width, 6), round(d.length, 6))
+        for d in hier.devices
+    )

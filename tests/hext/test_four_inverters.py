@@ -1,0 +1,74 @@
+"""Reproduction of HEXT Figures 2-1 / 2-2: four inverters.
+
+A 2x2 array of one inverter cell, built as pairs (Window2 = two
+Window1s, Window3 = two Window2s), exactly the structure of Figure 2-2's
+hierarchical wirelist.
+"""
+
+import pytest
+
+from repro import extract
+from repro.hext import hext_extract
+from repro.hext.wirelist import to_hierarchical_wirelist
+from repro.wirelist import (
+    circuit_to_flat,
+    compare_netlists,
+    flatten,
+    parse_wirelist,
+    write_wirelist,
+)
+from repro.workloads import INVERTER_SIZE, LayoutBuilder, build_inverter_cell
+
+
+@pytest.fixture(scope="module")
+def four_inverters():
+    builder = LayoutBuilder()
+    cell = build_inverter_cell(builder)
+    pair = builder.new_symbol()
+    width = INVERTER_SIZE[0]
+    pair.call(cell, 0, 0)
+    pair.call(cell, width, 0)
+    quad = builder.new_symbol()
+    quad.call(pair, 0, 0)
+    quad.call(pair, 0, INVERTER_SIZE[1] + 2)
+    builder.top.call(quad, 0, 0)
+    return builder.done()
+
+
+class TestExtraction:
+    def test_eight_devices(self, four_inverters):
+        result = hext_extract(four_inverters)
+        assert len(result.circuit.devices) == 8
+
+    def test_matches_flat(self, four_inverters):
+        flat = circuit_to_flat(extract(four_inverters))
+        hier = circuit_to_flat(hext_extract(four_inverters).circuit)
+        report = compare_netlists(flat, hier)
+        assert report.equivalent, report.reason
+
+    def test_one_cell_extracted_once(self, four_inverters):
+        result = hext_extract(four_inverters)
+        assert result.stats.flat_calls == 1
+        assert result.stats.memo_hits >= 2
+
+
+class TestWirelist:
+    def test_figure_2_2_structure(self, four_inverters):
+        result = hext_extract(four_inverters)
+        text = write_wirelist(to_hierarchical_wirelist(result, name="four"))
+        assert "(DefPart Window1" in text
+        assert "(DefPart Window2" in text
+        assert "(DefPart Window3" in text
+        # Window composition instantiates windows, with net maps.
+        assert "(Part Window1 (Name P1)" in text
+        assert "(Part Window2 (Name P" in text
+        assert "(Net P1/" in text
+        assert "(Part Window3 (Name Top))" in text
+
+    def test_flattened_wirelist_equivalent(self, four_inverters):
+        result = hext_extract(four_inverters)
+        text = write_wirelist(to_hierarchical_wirelist(result))
+        recovered = flatten(parse_wirelist(text))
+        flat = circuit_to_flat(extract(four_inverters))
+        report = compare_netlists(flat, recovered)
+        assert report.equivalent, report.reason

@@ -1,0 +1,88 @@
+"""Dynamic storage: the extracted DRAM column under charge retention."""
+
+import pytest
+
+from repro import extract
+from repro.sim import HIGH, LOW, UNKNOWN, SwitchSimulator
+from repro.workloads.memory import dram_column
+
+
+@pytest.fixture()
+def column():
+    return extract(dram_column(4))
+
+
+class TestExtraction:
+    def test_one_device_per_bit(self, column):
+        assert len(column.devices) == 4
+        assert all(d.kind == "nEnh" for d in column.devices)
+
+    def test_nets(self, column):
+        names = {n for net in column.nets for n in net.names}
+        assert {"BL", "WL0", "WL3", "S0", "S3"} <= names
+
+    def test_storage_isolated_from_bitline(self, column):
+        bl = column.net_by_name("BL").index
+        s0 = column.net_by_name("S0").index
+        assert bl != s0
+
+
+class TestDynamicStorage:
+    def _sim(self, column):
+        sim = SwitchSimulator(column, charge_retention=True)
+        for i in range(4):
+            sim.set_input(f"WL{i}", LOW)
+        return sim
+
+    def test_write_and_retain(self, column):
+        sim = self._sim(column)
+        # Write 1 into bit 0.
+        sim.set_input("BL", HIGH)
+        sim.set_input("WL0", HIGH)
+        assert sim.simulate().of("S0") == HIGH
+        # Close the wordline; the node floats but keeps its charge.
+        sim.set_input("WL0", LOW)
+        sim.set_input("BL", LOW)
+        result = sim.simulate()
+        assert result.of("S0") == HIGH
+        assert result.of("BL") == LOW
+
+    def test_bits_independent(self, column):
+        sim = self._sim(column)
+        # Write 1 to bit 0, then 0 to bit 2.
+        sim.set_input("BL", HIGH)
+        sim.set_input("WL0", HIGH)
+        sim.simulate()
+        sim.set_input("WL0", LOW)
+        sim.set_input("BL", LOW)
+        sim.set_input("WL2", HIGH)
+        sim.simulate()
+        sim.set_input("WL2", LOW)
+        result = sim.simulate()
+        assert result.of("S0") == HIGH
+        assert result.of("S2") == LOW
+
+    def test_overwrite(self, column):
+        sim = self._sim(column)
+        sim.set_input("BL", HIGH)
+        sim.set_input("WL1", HIGH)
+        sim.simulate()
+        sim.set_input("BL", LOW)  # wordline still open: rewrite
+        assert sim.simulate().of("S1") == LOW
+        sim.set_input("WL1", LOW)
+        assert sim.simulate().of("S1") == LOW
+
+    def test_unwritten_bits_unknown(self, column):
+        sim = self._sim(column)
+        result = sim.simulate()
+        assert result.of("S3") == UNKNOWN
+
+    def test_without_retention_storage_floats(self, column):
+        sim = SwitchSimulator(column, charge_retention=False)
+        for i in range(4):
+            sim.set_input(f"WL{i}", LOW)
+        sim.set_input("BL", HIGH)
+        sim.set_input("WL0", HIGH)
+        assert sim.simulate().of("S0") == HIGH
+        sim.set_input("WL0", LOW)
+        assert sim.simulate().of("S0") == UNKNOWN

@@ -1,0 +1,94 @@
+"""Technology parametrization: layers and custom processes."""
+
+import pytest
+
+from repro import extract
+from repro.cif import Layout
+from repro.geometry import Box
+from repro.tech import (
+    ALL_LAYERS,
+    DIFFUSION,
+    GLASS,
+    METAL,
+    NMOS,
+    Layer,
+    Technology,
+    is_known_layer,
+    layer_by_name,
+)
+
+
+class TestLayers:
+    def test_lookup(self):
+        assert layer_by_name("ND") is DIFFUSION
+        assert layer_by_name("NM") is METAL
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            layer_by_name("XX")
+
+    def test_is_known(self):
+        assert is_known_layer("NP")
+        assert not is_known_layer("CMF")
+
+    def test_conducting_flags(self):
+        conducting = {l.cif_name for l in ALL_LAYERS if l.conducting}
+        assert conducting == {"ND", "NP", "NM"}
+
+
+class TestTechnology:
+    def test_default_nmos(self):
+        tech = NMOS()
+        assert tech.lambda_ == 250
+        assert tech.device_name(False) == "nEnh"
+        assert tech.device_name(True) == "nDep"
+
+    def test_all_layers_unique(self):
+        tech = NMOS()
+        layers = tech.all_layers()
+        assert len(layers) == len(set(layers))
+        assert GLASS in layers
+
+    def test_relevance(self):
+        tech = NMOS()
+        assert tech.is_relevant(METAL)
+        assert not tech.is_relevant(GLASS)
+
+    def test_custom_layer_names_extract(self):
+        # A renamed process: the extractor must follow the technology,
+        # not hard-coded CIF names.
+        custom = Technology(
+            name="custom",
+            conducting_layers=(
+                Layer("M1", "metal", True),
+                Layer("PO", "poly", True),
+                Layer("DF", "diffusion", True),
+            ),
+            channel_layers=(
+                Layer("DF", "diffusion", True),
+                Layer("PO", "poly", True),
+            ),
+            channel_blocker=Layer("BC", "buried", False),
+            depletion_marker=Layer("IM", "implant", False),
+            contact_layer=Layer("CO", "contact", False),
+            buried_layer=Layer("BC", "buried", False),
+            ignored_layers=(Layer("OV", "overglass", False),),
+        )
+        layout = Layout()
+        layout.top.add_box("DF", Box(10, 0, 14, 30))
+        layout.top.add_box("PO", Box(0, 10, 24, 14))
+        layout.top.add_box("IM", Box(8, 8, 16, 16))
+        circuit = extract(layout, custom)
+        (device,) = circuit.devices
+        assert device.kind == "nDep"
+        assert len(circuit.nets) == 3
+
+    def test_custom_device_names(self):
+        custom = Technology(
+            device_names={False: "NFET", True: "NLOAD"}
+        )
+        layout = Layout()
+        layout.top.add_box("ND", Box(10, 0, 14, 30))
+        layout.top.add_box("NP", Box(0, 10, 24, 14))
+        circuit = extract(layout, custom)
+        assert circuit.devices[0].kind == "NFET"

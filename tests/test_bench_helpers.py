@@ -1,0 +1,86 @@
+"""The benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import (
+    SuiteRow,
+    Timed,
+    best_of,
+    format_table,
+    mmss,
+    ratio_column,
+    run_suite,
+    timed,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 10], ["b", 2000]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert "demo" in lines[1]
+        assert "name" in lines[2]
+        assert set(lines[3]) <= {"-", " "}
+        # Numeric cells right-align to the column width.
+        assert lines[-1].endswith("2000")
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_mmss(self):
+        assert mmss(0) == "0:00"
+        assert mmss(65) == "1:05"
+        assert mmss(26 * 60 + 36) == "26:36"
+        assert mmss(0.4) == "0:00"
+
+    def test_ratio_column(self):
+        assert ratio_column([2.0, 4.0, 7.0]) == ["1.0x", "2.0x", "3.5x"]
+        assert ratio_column([]) == []
+        assert ratio_column([0.0, 1.0]) == ["-", "-"]
+
+
+class TestHarness:
+    def test_timed(self):
+        run = timed(lambda x: x * 2, 21)
+        assert isinstance(run, Timed)
+        assert run.result == 42
+        assert run.seconds >= 0
+
+    def test_best_of(self):
+        calls = []
+        run = best_of(3, lambda: calls.append(1) or len(calls))
+        assert len(calls) == 3
+        assert run.result == 3
+
+
+class TestSuiteRunner:
+    def test_rows_have_measurements(self):
+        rows = run_suite(scale=0.02, names=("cherry",))
+        (row,) = rows
+        assert isinstance(row, SuiteRow)
+        assert row.devices > 0
+        assert row.boxes > row.devices
+        assert row.ace_seconds > 0
+        assert row.devices_per_second > 0
+        assert row.boxes_per_second > 0
+
+    def test_baseline_limits_respected(self):
+        rows = run_suite(scale=0.02, names=("cherry",), with_baselines=True)
+        (row,) = rows
+        assert row.raster_seconds is not None
+        assert row.polyflat_seconds is not None
+
+    def test_hext_column(self):
+        rows = run_suite(scale=0.02, names=("testram",), with_hext=True)
+        (row,) = rows
+        assert row.hext_stats is not None
+        assert row.hext_devices == row.devices

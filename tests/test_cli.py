@@ -1,0 +1,78 @@
+"""The ace-extract command-line interface."""
+
+import pytest
+
+from repro.cif import write
+from repro.cli import main
+from repro.workloads import inverter
+
+
+@pytest.fixture()
+def inverter_cif(tmp_path):
+    path = tmp_path / "inverter.cif"
+    path.write_text(write(inverter()))
+    return str(path)
+
+
+class TestFlat:
+    def test_wirelist_to_stdout(self, inverter_cif, capsys):
+        assert main([inverter_cif]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('(DefPart "inverter.cif"')
+        assert "(Part nEnh" in out
+
+    def test_output_file(self, inverter_cif, tmp_path, capsys):
+        target = tmp_path / "out.wl"
+        assert main([inverter_cif, "-o", str(target)]) == 0
+        assert target.read_text().startswith("(DefPart")
+        assert capsys.readouterr().out == ""
+
+    def test_geometry_flag(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--geometry"]) == 0
+        assert "CIF" in capsys.readouterr().out
+
+    def test_stats_to_stderr(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "scanline stops" in err
+        assert "devices/sec" in err
+
+    def test_check_clean(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--check"]) == 0
+
+
+class TestHierarchical:
+    def test_hierarchical_wirelist(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--hierarchical"]) == 0
+        out = capsys.readouterr().out
+        assert "(DefPart Window1" in out
+
+    def test_hier_stats(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--hierarchical", "--stats"]) == 0
+        assert "flat calls" in capsys.readouterr().err
+
+
+class TestCheckFailures:
+    def test_malformed_design_fails_check(self, tmp_path, capsys):
+        from repro.cif import Layout, write as write_cif
+        from repro.geometry import Box
+
+        layout = Layout()
+        layout.top.add_box("ND", Box(100, 0, 400, 1200))
+        layout.top.add_box("NP", Box(0, 1000, 2400, 2000))
+        path = tmp_path / "bad.cif"
+        path.write_text(write_cif(layout))
+        assert main([str(path), "--check"]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestPlotting:
+    def test_ascii_plot_to_stderr(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--plot"]) == 0
+        err = capsys.readouterr().err
+        assert "T" in err  # transistor channels rendered
+
+    def test_svg_written(self, inverter_cif, tmp_path):
+        target = tmp_path / "chip.svg"
+        assert main([inverter_cif, "--svg", str(target)]) == 0
+        assert target.read_text().startswith("<svg")

@@ -1,0 +1,88 @@
+"""Cross-subsystem integration: every path from CIF text to netlist.
+
+The full pipeline matrix: CIF text -> parse -> {ACE, HEXT, raster,
+polyflat} -> wirelist text -> parse -> flatten, all agreeing with each
+other, over workloads exercising hierarchy, transforms, and every layer.
+"""
+
+import pytest
+
+from repro import extract
+from repro.baselines import extract_polyflat, extract_raster
+from repro.cif import parse, write
+from repro.hext import hext_extract
+from repro.hext.wirelist import to_hierarchical_wirelist
+from repro.wirelist import (
+    circuit_to_flat,
+    compare_netlists,
+    flatten,
+    parse_wirelist,
+    to_wirelist,
+    write_wirelist,
+)
+from repro.workloads import (
+    build_chip,
+    inverter,
+    inverter_rows,
+    mirrored_array,
+    transistor_array,
+)
+
+CASES = [
+    ("inverter", inverter),
+    ("rows", lambda: inverter_rows(2, 3)),
+    ("array", lambda: transistor_array(4)),
+    ("mirrored", lambda: mirrored_array(2)),
+    ("dchip", lambda: build_chip("dchip", scale=0.02)),
+]
+
+
+@pytest.mark.parametrize("name,factory", CASES)
+def test_cif_roundtrip_preserves_netlist(name, factory):
+    layout = factory()
+    direct = circuit_to_flat(extract(layout))
+    roundtripped = circuit_to_flat(extract(parse(write(layout))))
+    report = compare_netlists(direct, roundtripped)
+    assert report.equivalent, f"{name}: {report.reason}"
+
+
+@pytest.mark.parametrize("name,factory", CASES)
+def test_all_four_extractors_agree(name, factory):
+    layout = factory()
+    reference = circuit_to_flat(extract(layout))
+    for label, circuit in (
+        ("raster", extract_raster(layout)),
+        ("polyflat", extract_polyflat(layout)),
+        ("hext", hext_extract(layout).circuit),
+    ):
+        report = compare_netlists(reference, circuit_to_flat(circuit))
+        assert report.equivalent, f"{name}/{label}: {report.reason}"
+
+
+@pytest.mark.parametrize("name,factory", CASES)
+def test_flat_wirelist_text_roundtrip(name, factory):
+    layout = factory()
+    circuit = extract(layout, keep_geometry=True)
+    text = write_wirelist(to_wirelist(circuit, name=name))
+    recovered = flatten(parse_wirelist(text))
+    report = compare_netlists(circuit_to_flat(circuit), recovered)
+    assert report.equivalent, f"{name}: {report.reason}"
+
+
+@pytest.mark.parametrize("name,factory", CASES)
+def test_hierarchical_wirelist_text_roundtrip(name, factory):
+    layout = factory()
+    result = hext_extract(layout)
+    text = write_wirelist(to_hierarchical_wirelist(result, name=name))
+    recovered = flatten(parse_wirelist(text))
+    report = compare_netlists(
+        circuit_to_flat(extract(layout)), recovered
+    )
+    assert report.equivalent, f"{name}: {report.reason}"
+
+
+def test_geometry_option_does_not_change_netlist():
+    layout = build_chip("cherry", scale=0.05)
+    plain = circuit_to_flat(extract(layout))
+    with_geometry = circuit_to_flat(extract(layout, keep_geometry=True))
+    assert compare_netlists(plain, with_geometry).equivalent

@@ -1,0 +1,110 @@
+"""Layout renderers."""
+
+import xml.etree.ElementTree as ET
+
+from repro.cif import Layout
+from repro.geometry import Box
+from repro.plot import LAYER_COLORS, ascii_plot, plot_legend, svg_plot
+from repro.workloads import inverter, nand2
+
+
+def _one_transistor() -> Layout:
+    layout = Layout()
+    layout.top.add_box("ND", Box(40, 0, 60, 100))
+    layout.top.add_box("NP", Box(0, 40, 100, 60))
+    return layout
+
+
+class TestAscii:
+    def test_empty(self):
+        assert ascii_plot(Layout()) == "(empty layout)\n"
+
+    def test_channel_marked(self):
+        art = ascii_plot(_one_transistor(), width=20)
+        assert "T" in art
+        assert "d" in art
+        assert "p" in art
+
+    def test_channel_at_crossing_only(self):
+        art = ascii_plot(_one_transistor(), width=20)
+        lines = [line for line in art.splitlines() if line]
+        # Rows containing T must also contain p on both sides.
+        for line in lines:
+            if "T" in line:
+                left, right = line.split("T", 1)
+                assert "p" in left
+                assert "p" in right.rstrip("T")
+        # Rows with bare d must not contain p.
+        bare = [line for line in lines if "d" in line and "T" not in line]
+        assert bare
+        assert all("p" not in line for line in bare)
+
+    def test_width_respected(self):
+        art = ascii_plot(inverter(), width=30)
+        assert max(len(line) for line in art.splitlines()) <= 34
+
+    def test_labels_overprinted(self):
+        art = ascii_plot(inverter(), width=60)
+        for name in ("VDD", "GND", "IN", "OUT"):
+            assert name in art
+
+    def test_labels_can_be_hidden(self):
+        art = ascii_plot(inverter(), width=60, show_labels=False)
+        assert "VDD" not in art
+
+    def test_contact_precedence(self):
+        layout = Layout()
+        layout.top.add_box("NM", Box(0, 0, 40, 40))
+        layout.top.add_box("ND", Box(0, 0, 40, 40))
+        layout.top.add_box("NC", Box(10, 10, 30, 30))
+        art = ascii_plot(layout, width=10)
+        assert "X" in art
+        assert "d" in art  # diffusion ring around the cut (d beats m)
+
+    def test_legend_mentions_every_char(self):
+        legend = plot_legend()
+        for char in "TBXdpmi":
+            assert char in legend
+
+
+class TestSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(svg_plot(inverter()))
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_box_plus_background(self):
+        layout = _one_transistor()
+        svg = svg_plot(layout)
+        assert svg.count("<rect") == 2 + 1
+
+    def test_layer_colors_used(self):
+        svg = svg_plot(inverter())
+        assert LAYER_COLORS["ND"][0] in svg
+        assert LAYER_COLORS["NP"][0] in svg
+        assert LAYER_COLORS["NM"][0] in svg
+
+    def test_labels_as_text(self):
+        svg = svg_plot(nand2())
+        assert "<text" in svg
+        assert ">A</text>" in svg
+        assert ">OUT</text>" in svg
+
+    def test_writes_file(self, tmp_path):
+        target = tmp_path / "chip.svg"
+        svg_plot(inverter(), str(target))
+        assert target.read_text().startswith("<svg")
+
+    def test_empty_layout(self):
+        root = ET.fromstring(svg_plot(Layout()))
+        assert root is not None
+
+    def test_y_axis_flipped(self):
+        # A box at the TOP of the chip must appear at a SMALL svg y.
+        layout = Layout()
+        layout.top.add_box("NM", Box(0, 900, 100, 1000))  # top
+        layout.top.add_box("ND", Box(0, 0, 100, 100))  # bottom
+        svg = svg_plot(layout, scale=0.1)
+        root = ET.fromstring(svg)
+        rects = [r for r in root.iter() if r.tag.endswith("rect")]
+        by_fill = {r.get("fill"): float(r.get("y")) for r in rects}
+        assert by_fill[LAYER_COLORS["NM"][0]] < by_fill[LAYER_COLORS["ND"][0]]

@@ -1,0 +1,83 @@
+"""Polygons and wires through the full pipeline.
+
+The integration cases elsewhere draw with boxes; here the same inverter
+is drawn with CIF polygons and wires, exercising the fracturer inside
+parsing, instantiation, the scanline, both baselines, and HEXT.
+"""
+
+import pytest
+
+from repro import extract
+from repro.baselines import extract_polyflat, extract_raster
+from repro.cif import parse, write
+from repro.hext import hext_extract
+from repro.wirelist import circuit_to_flat, compare_netlists
+from repro.workloads import inverter
+
+
+def _inverter_cif_with_shapes() -> str:
+    """The standard inverter, but diffusion as a polygon, rails as wires."""
+    lam = 250
+
+    def pts(*pairs):
+        return " ".join(f"{x * lam} {y * lam}" for x, y in pairs)
+
+    return f"""
+    (the inverter of Figure 3-3, drawn with P and W commands);
+    L ND; P {pts((0, 1), (2, 1), (2, 29), (0, 29))};
+    L NM; W {4 * lam} {pts((-4, 2), (6, 2))};
+    L NC; B {2 * lam} {2 * lam} {1 * lam} {2 * lam};
+    L NP; W {2 * lam} {pts((-4, 7), (6, 7))};
+    L NP; B {2 * lam} {3 * lam} {1 * lam} {int(14.5 * lam)};
+    L NB; B {2 * lam} {3 * lam} {1 * lam} {int(14.5 * lam)};
+    L NP; P {pts((-1, 16), (3, 16), (3, 24), (-1, 24))};
+    L NI; B {6 * lam} {10 * lam} {1 * lam} {20 * lam};
+    L NC; B {2 * lam} {2 * lam} {1 * lam} {28 * lam};
+    L NM; W {4 * lam} {pts((-4, 28), (6, 28))};
+    94 VDD {1 * lam} {28 * lam} NM;
+    94 GND {1 * lam} {2 * lam} NM;
+    94 OUT {1 * lam} {10 * lam} ND;
+    94 IN {-3 * lam} {7 * lam} NP;
+    E
+    """
+
+
+@pytest.fixture(scope="module")
+def shape_layout():
+    return parse(_inverter_cif_with_shapes())
+
+
+class TestShapeInverter:
+    def test_extracts_inverter(self, shape_layout):
+        circuit = extract(shape_layout)
+        assert len(circuit.devices) == 2
+        kinds = sorted(d.kind for d in circuit.devices)
+        assert kinds == ["nDep", "nEnh"]
+        names = {n.names[0] for n in circuit.nets if n.names}
+        assert names == {"VDD", "GND", "IN", "OUT"}
+
+    def test_matches_box_drawn_inverter(self, shape_layout):
+        # Same circuit as the box-drawn cell (sizes differ slightly:
+        # wires give the rails square ends).
+        shapes = circuit_to_flat(extract(shape_layout))
+        boxes = circuit_to_flat(extract(inverter()))
+        report = compare_netlists(shapes, boxes)
+        assert report.equivalent, report.reason
+
+    def test_all_extractors_agree(self, shape_layout):
+        reference = circuit_to_flat(extract(shape_layout))
+        for label, circuit in (
+            ("raster", extract_raster(shape_layout)),
+            ("polyflat", extract_polyflat(shape_layout)),
+            ("hext", hext_extract(shape_layout).circuit),
+        ):
+            report = compare_netlists(reference, circuit_to_flat(circuit))
+            assert report.equivalent, f"{label}: {report.reason}"
+
+    def test_cif_roundtrip(self, shape_layout):
+        back = parse(write(shape_layout))
+        report = compare_netlists(
+            circuit_to_flat(extract(shape_layout)),
+            circuit_to_flat(extract(back)),
+        )
+        assert report.equivalent, report.reason

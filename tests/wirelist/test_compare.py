@@ -1,0 +1,84 @@
+"""Netlist comparison: equivalences it must accept and reject."""
+
+from repro.wirelist import FlatCircuit, FlatDevice, compare_netlists, netlists_equivalent
+
+
+def _circuit(devices, names=None) -> FlatCircuit:
+    flat = FlatCircuit()
+    flat.devices = [FlatDevice(*d) for d in devices]
+    flat.net_names = {k: list(v) for k, v in (names or {}).items()}
+    flat.net_count = 1 + max(
+        (n for d in flat.devices for n in (d.gate, d.source, d.drain) if n is not None),
+        default=-1,
+    )
+    return flat
+
+
+INV = [("nDep", 1, 0, 1), ("nEnh", 2, 1, 3)]
+
+
+class TestAccepts:
+    def test_identical(self):
+        assert netlists_equivalent(_circuit(INV), _circuit(INV))
+
+    def test_renumbered_nets(self):
+        renamed = [("nDep", 11, 10, 11), ("nEnh", 12, 11, 13)]
+        assert netlists_equivalent(_circuit(INV), _circuit(renamed))
+
+    def test_source_drain_swap(self):
+        swapped = [("nDep", 1, 1, 0), ("nEnh", 2, 3, 1)]
+        assert netlists_equivalent(_circuit(INV), _circuit(swapped))
+
+    def test_device_order_irrelevant(self):
+        assert netlists_equivalent(_circuit(INV), _circuit(INV[::-1]))
+
+    def test_empty(self):
+        assert netlists_equivalent(_circuit([]), _circuit([]))
+
+
+class TestRejects:
+    def test_device_count(self):
+        report = compare_netlists(_circuit(INV), _circuit(INV[:1]))
+        assert not report.equivalent
+        assert "device counts" in report.reason
+
+    def test_kind_mismatch(self):
+        other = [("nEnh", 1, 0, 1), ("nEnh", 2, 1, 3)]
+        assert not netlists_equivalent(_circuit(INV), _circuit(other))
+
+    def test_gate_vs_sd_roles(self):
+        # With the input named, gate and source/drain roles must not be
+        # interchangeable.  (Unnamed, these two are genuinely isomorphic
+        # under net relabeling.)
+        a = _circuit([("nEnh", 0, 1, 2)], names={0: ["IN"]})
+        b = _circuit([("nEnh", 1, 0, 2)], names={0: ["IN"]})
+        assert not netlists_equivalent(a, b)
+
+    def test_connectivity_mismatch(self):
+        # Two-inverter chain vs two independent inverters.
+        chain = [
+            ("nDep", 1, 0, 1), ("nEnh", 2, 1, 3),
+            ("nDep", 4, 0, 4), ("nEnh", 1, 4, 3),
+        ]
+        split = [
+            ("nDep", 1, 0, 1), ("nEnh", 2, 1, 3),
+            ("nDep", 4, 0, 4), ("nEnh", 5, 4, 3),
+        ]
+        assert not netlists_equivalent(_circuit(chain), _circuit(split))
+
+    def test_net_names_anchor(self):
+        a = _circuit(INV, names={0: ["VDD"], 3: ["GND"]})
+        b = _circuit(INV, names={0: ["GND"], 3: ["VDD"]})
+        assert not netlists_equivalent(a, b)
+
+    def test_net_count_difference(self):
+        merged = [("nDep", 1, 0, 1), ("nEnh", 2, 1, 0)]
+        report = compare_netlists(_circuit(INV), _circuit(merged))
+        assert not report.equivalent
+
+
+class TestReport:
+    def test_counts_populated(self):
+        report = compare_netlists(_circuit(INV), _circuit(INV))
+        assert report.device_counts == (2, 2)
+        assert report.net_counts == (4, 4)

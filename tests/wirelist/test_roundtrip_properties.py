@@ -1,0 +1,96 @@
+"""Property tests: wirelist text round trips and CIF idempotence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cif import Layout, parse, write
+from repro.geometry import Box
+from repro.wirelist import (
+    DefPart,
+    DeviceInstance,
+    NetDecl,
+    SubpartInstance,
+    Wirelist,
+    compare_netlists,
+    flatten,
+    parse_wirelist,
+    write_wirelist,
+)
+
+net_names = st.sampled_from(["A", "B", "C", "OUT", "VDD", "GND", "N1", "N2"])
+kinds = st.sampled_from(["nEnh", "nDep"])
+
+
+@st.composite
+def leaf_parts(draw):
+    part = DefPart(name="leaf")
+    n_devices = draw(st.integers(1, 5))
+    for i in range(n_devices):
+        part.devices.append(
+            DeviceInstance(
+                kind=draw(kinds),
+                inst_name=f"D{i}",
+                gate=draw(net_names),
+                source=draw(net_names),
+                drain=draw(net_names),
+                length=float(draw(st.integers(1, 40)) * 50),
+                width=float(draw(st.integers(1, 40)) * 50),
+            )
+        )
+    exported = sorted({
+        n
+        for d in part.devices
+        for n in (d.gate, d.source, d.drain)
+    })
+    part.exports = exported
+    return part
+
+
+@settings(max_examples=40, deadline=None)
+@given(leaf_parts(), st.integers(1, 3))
+def test_hierarchical_wirelist_roundtrip(leaf, copies):
+    top = DefPart(name="top")
+    for i in range(copies):
+        top.subparts.append(
+            SubpartInstance(
+                part="leaf",
+                inst_name=f"P{i + 1}",
+                net_map={
+                    name: f"{name}_{i}" if name not in ("VDD", "GND") else name
+                    for name in leaf.exports
+                },
+            )
+        )
+    top.nets.append(NetDecl(names=["VDD", "PWR"]))
+    wirelist = Wirelist("chip", [leaf, top], top="top")
+
+    text = write_wirelist(wirelist)
+    recovered = flatten(parse_wirelist(text))
+    original = flatten(wirelist)
+    report = compare_netlists(original, recovered)
+    assert report.equivalent, report.reason
+    assert len(recovered.devices) == copies * len(leaf.devices)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["ND", "NP", "NM", "NC", "NI", "NB"]),
+            st.integers(-50, 50),
+            st.integers(-50, 50),
+            st.integers(1, 30),
+            st.integers(1, 30),
+        ),
+        max_size=8,
+    )
+)
+def test_cif_write_parse_write_is_idempotent(specs):
+    layout = Layout()
+    for layer, x, y, w, h in specs:
+        layout.top.add_box(layer, Box(x, y, x + w, y + h))
+    # The first pass normalizes shape order (off-grid boxes re-emerge as
+    # polygons); from then on, write(parse(.)) is a fixed point.
+    once = write(parse(write(layout)))
+    twice = write(parse(once))
+    assert once == twice

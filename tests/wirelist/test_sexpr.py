@@ -1,0 +1,40 @@
+"""S-expression reader."""
+
+import pytest
+
+from repro.wirelist import WirelistParseError, read_sexpr
+
+
+class TestRead:
+    def test_atom(self):
+        assert read_sexpr("hello") == "hello"
+
+    def test_flat_list(self):
+        assert read_sexpr("(a b c)") == ["a", "b", "c"]
+
+    def test_nested(self):
+        assert read_sexpr("(a (b c) (d (e)))") == [
+            "a",
+            ["b", "c"],
+            ["d", ["e"]],
+        ]
+
+    def test_string_atoms_keep_spaces_and_semicolons(self):
+        expr = read_sexpr('(CIF "L NM; B 4 2 1 1;")')
+        assert expr == ["CIF", '"L NM; B 4 2 1 1;"']
+
+    def test_unbalanced_open(self):
+        with pytest.raises(WirelistParseError):
+            read_sexpr("(a (b)")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(WirelistParseError):
+            read_sexpr("a)")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(WirelistParseError):
+            read_sexpr("(a) (b)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(WirelistParseError):
+            read_sexpr('(a "oops)')

@@ -1,0 +1,148 @@
+"""The PLA generator: structure, and truth tables through the whole
+toolchain (synthesize -> extract -> simulate -> compare to the spec)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import extract
+from repro.analysis import static_check
+from repro.hext import hext_extract
+from repro.sim import SwitchSimulator
+from repro.wirelist import circuit_to_flat, compare_netlists
+from repro.workloads.pla import PlaSpec, pla
+
+XOR = PlaSpec(
+    num_inputs=2,
+    products=({0: True, 1: False}, {0: False, 1: True}),
+    outputs=(frozenset({0, 1}),),
+)
+
+MAJORITY3 = PlaSpec(
+    num_inputs=3,
+    products=(
+        {0: True, 1: True},
+        {0: True, 2: True},
+        {1: True, 2: True},
+    ),
+    outputs=(frozenset({0, 1, 2}),),
+)
+
+DECODER2 = PlaSpec(
+    num_inputs=2,
+    products=(
+        {0: False, 1: False},
+        {0: True, 1: False},
+        {0: False, 1: True},
+        {0: True, 1: True},
+    ),
+    outputs=(
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+        frozenset({3}),
+    ),
+)
+
+
+def _simulate_truth_table(spec: PlaSpec):
+    circuit = extract(pla(spec))
+    sim = SwitchSimulator(circuit)
+    rows = []
+    for inputs in itertools.product((0, 1), repeat=spec.num_inputs):
+        for i, value in enumerate(inputs):
+            sim.set_input(f"IN{i}", value)
+            sim.set_input(f"NIN{i}", 1 - value)
+        result = sim.simulate()
+        rows.append(
+            (inputs, [result.of(f"NOUT{o}") for o in range(len(spec.outputs))])
+        )
+    return rows
+
+
+class TestStructure:
+    def test_device_count_formula(self):
+        circuit = extract(pla(MAJORITY3))
+        n_products = len(MAJORITY3.products)
+        n_outputs = len(MAJORITY3.outputs)
+        literals = sum(len(p) for p in MAJORITY3.products)
+        or_terms = sum(len(t) for t in MAJORITY3.outputs)
+        dep = sum(1 for d in circuit.devices if d.kind == "nDep")
+        enh = sum(1 for d in circuit.devices if d.kind == "nEnh")
+        assert dep == n_products + n_outputs
+        assert enh == literals + or_terms
+
+    def test_no_extraction_warnings(self):
+        assert extract(pla(DECODER2)).warnings == []
+
+    def test_no_malformed_devices(self):
+        circuit = extract(pla(XOR))
+        report = static_check(circuit)
+        assert not report.by_rule("malformed-terminals")
+        assert not report.by_rule("multi-gate")
+        assert not report.by_rule("rail-short")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PlaSpec(num_inputs=1, products=({3: True},), outputs=())
+        with pytest.raises(ValueError):
+            PlaSpec(num_inputs=1, products=(), outputs=(frozenset({0}),))
+
+    def test_hext_equivalent(self):
+        layout = pla(XOR)
+        report = compare_netlists(
+            circuit_to_flat(extract(layout)),
+            circuit_to_flat(hext_extract(layout).circuit),
+        )
+        assert report.equivalent, report.reason
+
+
+class TestTruthTables:
+    def test_xor(self):
+        for inputs, outputs in _simulate_truth_table(XOR):
+            assert outputs == XOR.expected(inputs), inputs
+
+    def test_majority3(self):
+        for inputs, outputs in _simulate_truth_table(MAJORITY3):
+            assert outputs == MAJORITY3.expected(inputs), inputs
+
+    def test_decoder_outputs_one_hot(self):
+        for inputs, outputs in _simulate_truth_table(DECODER2):
+            assert outputs == DECODER2.expected(inputs), inputs
+            # Exactly one active-low output fires per input combination.
+            assert outputs.count(0) == 1
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(2, 3).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.dictionaries(
+                    st.integers(0, n - 1), st.booleans(), min_size=1, max_size=n
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+        )
+    ),
+    st.data(),
+)
+def test_random_pla_truth_tables(spec_parts, data):
+    """Synthesize a random PLA, extract it, and simulate every input
+    combination: the hardware must compute exactly what the spec says."""
+    n, products = spec_parts
+    n_products = len(products)
+    outputs = data.draw(
+        st.lists(
+            st.frozensets(st.integers(0, n_products - 1), min_size=1),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    spec = PlaSpec(num_inputs=n, products=tuple(products), outputs=tuple(outputs))
+    for inputs, simulated in _simulate_truth_table(spec):
+        assert simulated == spec.expected(inputs), (spec, inputs)

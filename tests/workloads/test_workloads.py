@@ -1,0 +1,145 @@
+"""Workload generators: device counts and structural properties."""
+
+import pytest
+
+from repro import extract
+from repro.analysis import layout_stats
+from repro.workloads import (
+    CHIP_SPECS,
+    build_chip,
+    chip_suite,
+    inverter_rows,
+    mirrored_array,
+    poly_diff_mesh,
+    random_squares,
+    transistor_array,
+)
+from repro.wirelist import circuit_to_flat, compare_netlists
+
+
+class TestArrays:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_cell_count(self, n):
+        circuit = extract(transistor_array(n))
+        assert len(circuit.devices) == n * n
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            transistor_array(6)
+
+    def test_hierarchy_flag_preserves_netlist(self):
+        hier = extract(transistor_array(4, hierarchical=True))
+        flat = extract(transistor_array(4, hierarchical=False))
+        report = compare_netlists(circuit_to_flat(hier), circuit_to_flat(flat))
+        assert report.equivalent, report.reason
+
+    def test_mirrored_array_counts(self):
+        circuit = extract(mirrored_array(3))
+        assert len(circuit.devices) == 9
+
+
+class TestRows:
+    def test_device_count(self):
+        circuit = extract(inverter_rows(3, 5))
+        assert len(circuit.devices) == 30
+
+    def test_chain_connectivity(self):
+        # Each row is a chain: stage k's output is stage k+1's gate net.
+        circuit = extract(inverter_rows(1, 3))
+        enh = [d for d in circuit.devices if d.kind == "nEnh"]
+        gates = {d.gate for d in enh}
+        outputs = set()
+        for d in enh:
+            outputs.update((d.source, d.drain))
+        # Two of the three gates are driven by chain predecessors.
+        assert len(gates & outputs) == 2
+
+    def test_rails_named(self):
+        circuit = extract(inverter_rows(2, 2))
+        names = {name for net in circuit.nets for name in net.names}
+        assert {"VDD", "GND", "IN0", "IN1", "OUT0", "OUT1"} <= names
+
+    def test_rows_electrically_separate(self):
+        circuit = extract(inverter_rows(2, 2))
+        vdd_nets = [n for n in circuit.nets if "VDD" in n.names]
+        assert len(vdd_nets) == 2
+
+
+class TestMesh:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_quadratic_devices(self, n):
+        layout = poly_diff_mesh(n)
+        stats = layout_stats(layout)
+        assert stats.boxes == 2 * n
+        circuit = extract(layout)
+        assert len(circuit.devices) == n * n
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            poly_diff_mesh(0)
+
+
+class TestRandomModel:
+    def test_deterministic_by_seed(self):
+        a = layout_stats(random_squares(100, seed=7))
+        b = layout_stats(random_squares(100, seed=7))
+        assert a.boxes == b.boxes == 100
+        assert a.boxes_by_layer == b.boxes_by_layer
+
+    def test_seed_changes_layout(self):
+        a = random_squares(100, seed=1)
+        b = random_squares(100, seed=2)
+        assert (
+            layout_stats(a).boxes_by_layer != layout_stats(b).boxes_by_layer
+            or extract(a).stats_line() != extract(b).stats_line()
+        )
+
+    def test_region_scales_with_sqrt_n(self):
+        from repro.tech import DEFAULT_LAMBDA
+        from repro.workloads.model import BOX_EDGE
+
+        edge = BOX_EDGE * DEFAULT_LAMBDA
+        small = layout_stats(random_squares(400, seed=3)).width - edge
+        large = layout_stats(random_squares(25600, seed=3)).width - edge
+        # Placement region side grows as sqrt(N): 8x for 64x the boxes.
+        assert large / small == pytest.approx(8, rel=0.15)
+
+
+class TestChips:
+    def test_specs_cover_table_5_1(self):
+        names = [spec.name for spec in CHIP_SPECS]
+        assert names == [
+            "cherry",
+            "dchip",
+            "schip2",
+            "testram",
+            "psc",
+            "scheme81",
+            "riscb",
+        ]
+
+    @pytest.mark.parametrize("name", ["cherry", "schip2", "testram", "riscb"])
+    def test_device_count_near_target(self, name):
+        scale = 0.05
+        spec = next(s for s in CHIP_SPECS if s.name == name)
+        circuit = extract(build_chip(name, scale))
+        target = spec.paper_devices * scale
+        assert len(circuit.devices) == pytest.approx(target, rel=0.25)
+
+    def test_no_extraction_warnings(self):
+        circuit = extract(build_chip("dchip", scale=0.05))
+        assert circuit.warnings == []
+
+    def test_unknown_chip(self):
+        with pytest.raises(KeyError):
+            build_chip("nonesuch")
+
+    def test_suite_subset(self):
+        suite = chip_suite(scale=0.02, names=("cherry", "testram"))
+        assert set(suite) == {"cherry", "testram"}
+
+    def test_deterministic(self):
+        a = extract(build_chip("psc", scale=0.02))
+        b = extract(build_chip("psc", scale=0.02))
+        assert len(a.devices) == len(b.devices)
+        assert len(a.nets) == len(b.nets)
