@@ -1,0 +1,92 @@
+"""Serial vs parallel vs cached HEXT: the execute-phase scaling table.
+
+Not a paper table — the 1983 systems were single-process — but the same
+measurement discipline: one workload, every configuration, wirelists
+equivalence-checked against the serial run.  The workload is
+``distinct_cell_grid``: every cell unique, so the execute phase has
+``cells`` independent flat extractions to distribute (the memo table's
+worst case and the pool's best case).
+
+The speedup assertion only runs on multi-core hosts; a single-CPU
+machine cannot make four workers faster than one, and the honest result
+there is "parallelism does not help" (see docs/PARALLELISM.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import distinct_cell_grid, format_table, scaling_run
+from repro.hext import hext_extract
+
+#: Distinct cells == unique windows the execute phase can fan out.
+CELLS = 8
+REPEATS = 2
+BOXES = int(4000 * float(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    layout = distinct_cell_grid(cells=CELLS, repeats=REPEATS, boxes=BOXES)
+    return layout, str(tmp_path_factory.mktemp("fragment-cache"))
+
+
+@pytest.fixture(scope="module")
+def rows(workload):
+    layout, cache_dir = workload
+    return scaling_run(layout, jobs_levels=(1, 2, 4), cache_dir=cache_dir)
+
+
+def test_parallel_scaling(benchmark, workload, rows, register_table):
+    serial = rows[0]
+    body = [
+        [
+            row.label,
+            f"{row.seconds:.2f}s",
+            f"{serial.seconds / row.seconds:.2f}x",
+            row.flat_calls,
+            f"{100 * row.cache_hit_rate:.0f}%"
+            if row.cache_hits or row.cache_misses
+            else "-",
+            "yes" if row.equivalent else "NO",
+        ]
+        for row in rows
+    ]
+    register_table(
+        "parallel scaling",
+        format_table(
+            ["run", "wall", "speedup", "flat calls", "cache hits", "equiv"],
+            body,
+            title=(
+                f"HEXT execute-phase scaling ({CELLS} unique windows x "
+                f"{BOXES} boxes, {os.cpu_count()} CPUs)"
+            ),
+        ),
+    )
+
+    by_label = {row.label: row for row in rows}
+
+    # Correctness bar: every configuration reproduces the serial circuit.
+    for row in rows:
+        assert row.equivalent, f"{row.label} diverged from serial wirelist"
+
+    # Warm cache serves every unique window without re-extraction.
+    warm = by_label["cache warm"]
+    assert warm.flat_calls == 0
+    assert warm.cache_hit_rate >= 0.90
+
+    # The steady-state design-iteration cost: a fully warm cache run.
+    layout, cache_dir = workload
+    benchmark.pedantic(
+        lambda: hext_extract(layout, cache=cache_dir).stats.cache_hits,
+        rounds=3,
+        iterations=1,
+    )
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-CPU host: no parallel speedup possible")
+    assert by_label["jobs=4"].seconds < by_label["jobs=1"].seconds, (
+        "jobs=4 not faster than jobs=1 on a multi-core host"
+    )

@@ -1,6 +1,7 @@
 """Benchmark harness: timing, table formatting, and the suite runner."""
 
 from .harness import Timed, best_of, timed
+from .parallel import ScalingRow, distinct_cell_grid, scaling_run
 from .suite import (
     DEFAULT_SCALE,
     POLYFLAT_LIMIT,
@@ -15,13 +16,16 @@ __all__ = [
     "DEFAULT_SCALE",
     "POLYFLAT_LIMIT",
     "RASTER_LIMIT",
+    "ScalingRow",
     "SuiteRow",
     "Timed",
     "best_of",
     "build_suite",
+    "distinct_cell_grid",
     "format_table",
     "mmss",
     "ratio_column",
     "run_suite",
+    "scaling_run",
     "timed",
 ]

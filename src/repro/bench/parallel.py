@@ -1,0 +1,125 @@
+"""Serial-vs-parallel scaling benchmark for the HEXT execute phase.
+
+The workload is built to be the parallel layer's best case and the memo
+table's worst: ``distinct_cell_grid`` places *distinct* random cells
+(no two share a window key), so every cell is a unique primitive window
+and the execute phase has real, independent work to fan out.  That is
+deliberate — on highly redundant layouts the memo table already removes
+the work a pool would share, which is the "when parallelism does not
+help" note of ``docs/PARALLELISM.md``.
+
+``scaling_run`` measures the same layout at several ``--jobs`` levels
+plus a cold-then-warm persistent-cache pair, and verifies every variant
+against the serial wirelist, mirroring the correctness bar of the test
+suite: parallelism and caching may only move time, never the circuit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..hext import hext_extract
+from ..tech import DEFAULT_LAMBDA
+from ..wirelist import circuit_to_flat, compare_netlists
+from ..workloads import LayoutBuilder
+from .harness import timed
+
+#: Layers drawn in generated cells, weighted like the random-square model.
+_CELL_LAYERS = ("NM", "NM", "NP", "NP", "ND", "ND", "NC", "NI", "NB")
+
+
+def distinct_cell_grid(
+    cells: int = 8,
+    repeats: int = 4,
+    boxes: int = 120,
+    seed: int = 0,
+    lambda_: int = DEFAULT_LAMBDA,
+):
+    """A chip of ``cells`` distinct random cells, each placed ``repeats`` times.
+
+    Every cell gets its own random artwork, so HEXT sees ``cells`` unique
+    primitive windows (plus memo hits for the repeats) — the fan-out the
+    parallel execute phase feeds on.  Cell frames are spaced so instance
+    bounding boxes never overlap and subdivision is a single slice.
+    """
+    rng = random.Random(seed)
+    side = max(12, int(2.2 * boxes**0.5))
+    pitch = side + 4
+    builder = LayoutBuilder(lambda_)
+    symbols = []
+    for _ in range(cells):
+        cell = builder.new_symbol()
+        for _ in range(boxes):
+            x = rng.randint(0, side - 3)
+            y = rng.randint(0, side - 3)
+            w = rng.randint(2, 4)
+            h = rng.randint(2, 4)
+            cell.box(rng.choice(_CELL_LAYERS), x, y, x + w, y + h)
+        symbols.append(cell)
+    top = builder.top
+    for column, cell in enumerate(symbols):
+        for row in range(repeats):
+            top.call(cell.number, dx=column * pitch, dy=row * pitch)
+    return builder.done()
+
+
+@dataclass
+class ScalingRow:
+    """One measured configuration of the same extraction."""
+
+    label: str
+    seconds: float
+    flat_calls: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    equivalent: bool = True
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+
+def scaling_run(
+    layout,
+    jobs_levels: "tuple[int, ...]" = (1, 2, 4),
+    cache_dir: "str | None" = None,
+) -> list[ScalingRow]:
+    """Measure serial, per-jobs-level, and cold/warm cache extractions.
+
+    Every row's wirelist is equivalence-checked against the serial run.
+    """
+    serial = timed(lambda: hext_extract(layout))
+    reference = circuit_to_flat(serial.result.circuit)
+    rows = [
+        ScalingRow(
+            label="serial",
+            seconds=serial.seconds,
+            flat_calls=serial.result.stats.flat_calls,
+        )
+    ]
+
+    def measure(label: str, **kwargs) -> ScalingRow:
+        run = timed(lambda: hext_extract(layout, **kwargs))
+        stats = run.result.stats
+        report = compare_netlists(
+            reference, circuit_to_flat(run.result.circuit)
+        )
+        row = ScalingRow(
+            label=label,
+            seconds=run.seconds,
+            flat_calls=stats.flat_calls,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            equivalent=report.equivalent,
+        )
+        rows.append(row)
+        return row
+
+    for level in jobs_levels:
+        measure(f"jobs={level}", jobs=level)
+    if cache_dir is not None:
+        measure("cache cold", cache=cache_dir)
+        measure("cache warm", cache=cache_dir)
+    return rows

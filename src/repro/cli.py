@@ -52,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="process lambda in centimicrons (default 250)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extract unique windows over N worker processes "
+        "(hierarchical mode; 0 = one per CPU; default serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent fragment cache directory; repeated hierarchical "
+        "runs skip extraction of unchanged windows",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print extraction statistics to stderr",
@@ -90,7 +104,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     started = time.perf_counter()
     if args.hierarchical:
-        result = hext_extract(layout, tech)
+        result = hext_extract(
+            layout, tech, jobs=args.jobs, cache=args.cache
+        )
         circuit = result.circuit
         wirelist = to_hierarchical_wirelist(result, name=name)
         if args.stats:
@@ -103,8 +119,32 @@ def main(argv: "list[str] | None" = None) -> int:
                 f"back-end {stats.backend_seconds:.2f}s",
                 file=sys.stderr,
             )
+            if args.jobs is not None:
+                print(
+                    f"hext: {stats.jobs} jobs, in-worker extraction "
+                    f"{stats.worker_seconds:.2f}s",
+                    file=sys.stderr,
+                )
+            if args.cache is not None:
+                print(
+                    f"hext: fragment cache {stats.cache_hits} hits, "
+                    f"{stats.cache_misses} misses "
+                    f"({stats.cache_invalid} invalid), "
+                    f"hit rate {100 * stats.cache_hit_rate:.0f}%",
+                    file=sys.stderr,
+                )
     else:
-        report = extract_report(layout, tech, keep_geometry=args.geometry)
+        if args.jobs is not None or args.cache is not None:
+            print(
+                "note: --jobs/--cache parallelize unique-window "
+                "extraction and only apply with --hierarchical; the "
+                "flat scanline is serial",
+                file=sys.stderr,
+            )
+        report = extract_report(
+            layout, tech, keep_geometry=args.geometry,
+            jobs=args.jobs, cache=args.cache,
+        )
         circuit = report.circuit
         wirelist = to_wirelist(
             circuit, name=name, include_geometry=args.geometry

@@ -62,8 +62,18 @@ def extract_report(
     keep_geometry: bool = False,
     resolution: int = 50,
     window: Box | None = None,
+    jobs: "int | None" = None,
+    cache: "str | None" = None,
 ) -> ExtractionReport:
-    """Like :func:`extract` but returns timers and counters as well."""
+    """Like :func:`extract` but returns timers and counters as well.
+
+    ``jobs`` and ``cache`` are recorded in the report's options so a
+    report mirrors the full CLI invocation that produced it.  The flat
+    scanline itself is inherently serial (each stop depends on the
+    active lists the previous stop left behind); the hierarchical
+    extractor is where they take effect, by fanning the independent
+    unique-window extractions out through :mod:`repro.parallel`.
+    """
     tech = tech or NMOS()
     timer = PhaseTimer()
     timer.start("frontend")
@@ -82,6 +92,8 @@ def extract_report(
             "keep_geometry": keep_geometry,
             "resolution": resolution,
             "window": window,
+            "jobs": jobs,
+            "cache": cache,
         },
     )
 

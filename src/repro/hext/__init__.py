@@ -1,7 +1,18 @@
 """HEXT: the hierarchical circuit extractor built on modified ACE."""
 
 from .compose import compose
-from .extractor import HextResult, HextStats, hext_extract, resolve
+from .extractor import (
+    CompositePlan,
+    HextResult,
+    HextStats,
+    WindowPlan,
+    compose_plan,
+    execute_plan,
+    extract_primitive,
+    hext_extract,
+    plan_windows,
+    resolve,
+)
 from .incremental import IncrementalExtractor, IncrementalStats
 from .fragment import (
     CHANNEL,
@@ -16,6 +27,7 @@ from .windows import Content, WindowPlanner, content_key
 __all__ = [
     "CHANNEL",
     "ChildRef",
+    "CompositePlan",
     "Content",
     "DeviceRec",
     "Fragment",
@@ -25,9 +37,14 @@ __all__ = [
     "IncrementalStats",
     "IfaceRec",
     "Placed",
+    "WindowPlan",
     "WindowPlanner",
     "compose",
+    "compose_plan",
     "content_key",
+    "execute_plan",
+    "extract_primitive",
     "hext_extract",
+    "plan_windows",
     "resolve",
 ]

@@ -1,12 +1,21 @@
 """HEXT: the hierarchical circuit extractor.
 
-Driver for the three-step process of section 2:
+Driver for the three-step process of section 2, restructured as an
+explicit *plan-then-execute* pipeline:
 
-1. find all distinct non-overlapping windows (front-end, with the memo
-   table recognizing redundant windows);
-2. extract each unique window with the modified flat extractor, which
-   also computes its boundary interface;
-3. combine windows bottom-to-top, left-to-right with Compose.
+1. **Plan** (:func:`plan_windows`): walk the window tree front-end only —
+   find all distinct non-overlapping windows, with the memo table
+   recognizing redundant ones — and record a :class:`WindowPlan`: the set
+   of unique *primitive* windows plus, for every unique composite window,
+   the ordered list of child window keys and placements.
+2. **Execute** (:func:`execute_plan`): extract each unique primitive
+   window with the modified flat extractor.  The extractions are mutually
+   independent, which is what lets :mod:`repro.parallel` fan them out
+   over a process pool and back them with a persistent fragment cache;
+   the default path runs them serially in-process.
+3. **Compose** (:func:`compose_plan`): combine windows bottom-to-top,
+   left-to-right with Compose, walking the plan's key DAG serially (the
+   memo table stays authoritative in this process).
 
 The result is a :class:`Fragment` tree mirroring the hierarchical
 wirelist; :func:`resolve` expands it (cost linear in devices, as the
@@ -20,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..cif import Layout, parse
+from ..cif.layout import Label
 from ..core.assemble import assemble_circuit
 from ..core.extractor import extract_report
 from ..core.netlist import CHANNEL as CORE_CHANNEL
@@ -28,13 +38,18 @@ from ..core.unionfind import UnionFind
 from ..geometry import Box
 from ..tech import NMOS, Technology
 from .compose import compose
-from .fragment import CHANNEL, DeviceRec, Fragment, IfaceRec, Placed
+from .fragment import CHANNEL, ChildRef, DeviceRec, Fragment, IfaceRec, Placed
 from .windows import Content, WindowPlanner
 
 
 @dataclass
 class HextStats:
-    """Counters and timers for Tables 5-1 and 5-2."""
+    """Counters and timers for Tables 5-1 and 5-2.
+
+    The cache/jobs fields stay at their defaults for plain serial runs;
+    :mod:`repro.parallel` fills them in when a worker pool or the
+    persistent fragment cache is in play.
+    """
 
     flat_calls: int = 0  #: calls to the (modified) flat extractor
     compose_calls: int = 0
@@ -45,6 +60,11 @@ class HextStats:
     flat_seconds: float = 0.0
     compose_seconds: float = 0.0
     resolve_seconds: float = 0.0
+    jobs: int = 1  #: effective worker processes used for flat extraction
+    worker_seconds: float = 0.0  #: cumulative in-worker extraction time
+    cache_hits: int = 0  #: fragments served from the persistent cache
+    cache_misses: int = 0
+    cache_invalid: int = 0  #: corrupt/stale cache entries rejected
 
     @property
     def backend_seconds(self) -> float:
@@ -59,6 +79,12 @@ class HextStats:
         """Fraction of back-end time spent composing (Table 5-2)."""
         backend = self.backend_seconds
         return self.compose_seconds / backend if backend else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fragment-cache hit fraction over this run's unique primitives."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
 
 
 @dataclass
@@ -80,13 +106,232 @@ class HextResult:
         return self._circuit
 
 
+# ----------------------------------------------------------------------
+# step 1: plan
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CompositePlan:
+    """One unique composite window: its size and placed child keys.
+
+    ``children`` holds ``(key, dx, dy)`` triples in composition order
+    (bottom to top, then left to right); offsets are relative to the
+    window's own lower-left corner.
+    """
+
+    width: int
+    height: int
+    children: tuple[tuple[object, int, int], ...]
+
+
+@dataclass
+class WindowPlan:
+    """Everything the back-end needs, with the front-end fully done.
+
+    Attributes:
+        top_key: key of the whole-chip window.
+        primitives: unique geometry-only windows, key -> :class:`Content`
+            (insertion order is discovery order, which makes execution
+            deterministic).
+        composites: unique subdivided windows, key -> :class:`CompositePlan`.
+        hits: redundant-visit count per already-seen key (memo hits).
+    """
+
+    top_key: object
+    primitives: dict = field(default_factory=dict)
+    composites: dict = field(default_factory=dict)
+    hits: dict = field(default_factory=dict)
+
+    def used_keys(self) -> set:
+        """Every window key this plan's extraction touches."""
+        return set(self.primitives) | set(self.composites) | set(self.hits)
+
+
+def plan_windows(
+    planner: WindowPlanner,
+    top: Content,
+    stats: HextStats,
+    *,
+    seen: "set | None" = None,
+) -> WindowPlan:
+    """Walk the window tree, recording unique windows and the compose DAG.
+
+    ``seen`` pre-populates the redundancy check: keys already present are
+    treated as memo hits and not descended into.  The incremental
+    extractor passes its persistent memo's keys here, so an unchanged
+    subtree costs one key computation.
+    """
+    start = time.perf_counter()
+    known: set = set(seen) if seen else set()
+    plan = WindowPlan(top_key=None)
+
+    def visit(content: Content):
+        stats.windows_seen += 1
+        key = planner.key(content)
+        if key in known:
+            stats.memo_hits += 1
+            plan.hits[key] = plan.hits.get(key, 0) + 1
+            return key
+        known.add(key)
+        stats.unique_windows += 1
+        if content.is_primitive():
+            plan.primitives[key] = content
+            return key
+        subwindows = planner.subdivide(content)
+        # Composition order: lower-left corner, bottom to top then left
+        # to right (section 3).
+        subwindows.sort(key=lambda w: (w.region.ymin, w.region.xmin))
+        ox, oy = content.region.xmin, content.region.ymin
+        children = tuple(
+            (visit(sub), sub.region.xmin - ox, sub.region.ymin - oy)
+            for sub in subwindows
+        )
+        plan.composites[key] = CompositePlan(
+            content.region.width, content.region.height, children
+        )
+        return key
+
+    plan.top_key = visit(top)
+    stats.frontend_seconds += time.perf_counter() - start
+    return plan
+
+
+# ----------------------------------------------------------------------
+# step 2: execute
+# ----------------------------------------------------------------------
+
+
+def extract_primitive(
+    content: Content, tech: Technology, resolution: int = 50
+) -> Fragment:
+    """Run the modified flat extractor over a geometry-only window.
+
+    The returned fragment is window-relative, so it depends only on the
+    content's artwork *relative to its lower-left corner* — the same
+    normalization the memo key and the persistent cache key use.
+    """
+    ox, oy = content.region.xmin, content.region.ymin
+    window = Box(0, 0, content.region.width, content.region.height)
+    layout = Layout()
+    for layer, box in content.geometry:
+        layout.top.add_box(layer, box.translated(-ox, -oy))
+    for label in content.labels:
+        layout.top.add_label(
+            Label(label.name, label.x - ox, label.y - oy, label.layer)
+        )
+    circuit = extract_report(
+        layout, tech, resolution=resolution, window=window
+    ).circuit
+    return _circuit_to_fragment(circuit, window)
+
+
+def execute_plan(
+    plan: WindowPlan,
+    tech: Technology,
+    stats: HextStats,
+    *,
+    resolution: int = 50,
+    jobs: "int | None" = None,
+    cache: "str | None" = None,
+    memo: "dict | None" = None,
+) -> dict:
+    """Extract every unique primitive window in the plan.
+
+    Returns (and fills) ``memo``: key -> :class:`Fragment`.  With ``jobs``
+    or ``cache`` set, the work is delegated to :mod:`repro.parallel`,
+    which fans extractions out over a process pool and/or serves them
+    from the persistent on-disk fragment cache; otherwise the extractions
+    run serially in-process.  Keys already present in ``memo`` (the
+    incremental extractor's persistent table) are never re-extracted.
+    """
+    memo = {} if memo is None else memo
+    if jobs is not None and jobs != 1 or cache is not None:
+        from ..parallel import execute_plan_parallel
+
+        return execute_plan_parallel(
+            plan, tech, stats,
+            resolution=resolution, jobs=jobs, cache=cache, memo=memo,
+        )
+    for key, content in plan.primitives.items():
+        if key in memo:
+            continue
+        start = time.perf_counter()
+        memo[key] = extract_primitive(content, tech, resolution)
+        stats.flat_seconds += time.perf_counter() - start
+        stats.flat_calls += 1
+    return memo
+
+
+# ----------------------------------------------------------------------
+# step 3: compose
+# ----------------------------------------------------------------------
+
+
+def compose_plan(
+    plan: WindowPlan, memo: dict, tech: Technology, stats: HextStats
+) -> Fragment:
+    """Combine extracted fragments along the plan's key DAG, serially.
+
+    Composite fragments are memoized into ``memo`` as they are built, so
+    a key reached through several parents is composed once.
+    """
+
+    def build(key) -> Fragment:
+        fragment = memo.get(key)
+        if fragment is not None:
+            return fragment
+        node: CompositePlan = plan.composites[key]
+        placed = [
+            Placed(build(child_key), dx, dy)
+            for child_key, dx, dy in node.children
+        ]
+        if not placed:
+            fragment = _empty_fragment(node.width, node.height)
+        else:
+            acc = placed[0]
+            for nxt in placed[1:]:
+                start = time.perf_counter()
+                merged = compose(acc, nxt, tech)
+                stats.compose_seconds += time.perf_counter() - start
+                stats.compose_calls += 1
+                acc = Placed(merged, 0, 0)
+            if acc.dx or acc.dy:
+                # Single sub-window: re-anchor it to this window's origin
+                # by wrapping (content differs, so no mutation).
+                fragment = _wrap_fragment(acc)
+            else:
+                fragment = acc.fragment
+        memo[key] = fragment
+        return fragment
+
+    return build(plan.top_key)
+
+
 def hext_extract(
     source: "str | Layout",
     tech: Technology | None = None,
     *,
     resolution: int = 50,
+    jobs: "int | None" = None,
+    cache: "str | None" = None,
 ) -> HextResult:
-    """Hierarchically extract a CIF string or parsed layout."""
+    """Hierarchically extract a CIF string or parsed layout.
+
+    Args:
+        source: CIF text, or an already parsed :class:`Layout`.
+        tech: process rules; defaults to standard NMOS.
+        resolution: fracture resolution for non-manhattan geometry.
+        jobs: fan unique-window extraction out over this many worker
+            processes (``None`` or ``1``: serial; ``0``: one per CPU).
+        cache: directory of the persistent fragment cache; repeated runs
+            over unchanged windows skip extraction entirely.
+
+    The three phases run plan -> execute -> compose; parallel and cached
+    runs produce wirelists equivalent to serial ones because the plan
+    (and therefore the composition order) is identical — only *where*
+    each unique primitive fragment comes from differs.
+    """
     tech = tech or NMOS()
     layout = parse(source) if isinstance(source, str) else source
     stats = HextStats()
@@ -94,8 +339,11 @@ def hext_extract(
     planner = WindowPlanner(layout, resolution)
     top = planner.top_content()
     stats.frontend_seconds += time.perf_counter() - planner_start
-    extractor = _Extractor(planner, tech, stats, resolution)
-    fragment = extractor.window(top)
+    plan = plan_windows(planner, top, stats)
+    memo = execute_plan(
+        plan, tech, stats, resolution=resolution, jobs=jobs, cache=cache
+    )
+    fragment = compose_plan(plan, memo, tech, stats)
     return HextResult(
         fragment=fragment,
         origin=(top.region.xmin, top.region.ymin),
@@ -104,102 +352,11 @@ def hext_extract(
     )
 
 
-class _Extractor:
-    def __init__(
-        self,
-        planner: WindowPlanner,
-        tech: Technology,
-        stats: HextStats,
-        resolution: int,
-    ) -> None:
-        self.planner = planner
-        self.tech = tech
-        self.stats = stats
-        self.resolution = resolution
-        self.memo: dict[object, Fragment] = {}
-
-    def window(self, content: Content) -> Fragment:
-        """Fragment for a window, via the memo table."""
-        start = time.perf_counter()
-        self.stats.windows_seen += 1
-        key = self.planner.key(content)
-        cached = self.memo.get(key)
-        self.stats.frontend_seconds += time.perf_counter() - start
-        if cached is not None:
-            self.stats.memo_hits += 1
-            return cached
-        fragment = self._build(content)
-        self.memo[key] = fragment
-        self.stats.unique_windows += 1
-        return fragment
-
-    def _build(self, content: Content) -> Fragment:
-        if content.is_primitive():
-            start = time.perf_counter()
-            fragment = self._extract_primitive(content)
-            self.stats.flat_seconds += time.perf_counter() - start
-            self.stats.flat_calls += 1
-            return fragment
-
-        start = time.perf_counter()
-        subwindows = self.planner.subdivide(content)
-        # Composition order: lower-left corner, bottom to top then left
-        # to right (section 3).
-        subwindows.sort(key=lambda w: (w.region.ymin, w.region.xmin))
-        self.stats.frontend_seconds += time.perf_counter() - start
-
-        ox, oy = content.region.xmin, content.region.ymin
-        placed: list[Placed] = []
-        for sub in subwindows:
-            fragment = self.window(sub)
-            placed.append(
-                Placed(fragment, sub.region.xmin - ox, sub.region.ymin - oy)
-            )
-        if not placed:
-            return _empty_fragment(content.region)
-        acc = placed[0]
-        for nxt in placed[1:]:
-            start = time.perf_counter()
-            merged = compose(acc, nxt, self.tech)
-            self.stats.compose_seconds += time.perf_counter() - start
-            self.stats.compose_calls += 1
-            acc = Placed(merged, 0, 0)
-        if acc.dx or acc.dy:
-            # Single sub-window: re-anchor it to this window's origin by
-            # wrapping (content differs, so the fragment must not mutate).
-            return _wrap_fragment(acc)
-        return acc.fragment
-
-    def _extract_primitive(self, content: Content) -> Fragment:
-        """Run the modified flat extractor over a geometry-only window."""
-        ox, oy = content.region.xmin, content.region.ymin
-        window = Box(
-            0, 0, content.region.width, content.region.height
-        )
-        layout = Layout()
-        for layer, box in content.geometry:
-            layout.top.add_box(layer, box.translated(-ox, -oy))
-        for label in content.labels:
-            from ..cif.layout import Label
-
-            layout.top.add_label(
-                Label(label.name, label.x - ox, label.y - oy, label.layer)
-            )
-        circuit = extract_report(
-            layout, self.tech, resolution=self.resolution, window=window
-        ).circuit
-        return _circuit_to_fragment(circuit, window)
-
-
-def _empty_fragment(region: Box) -> Fragment:
-    return Fragment(
-        region=(Box(0, 0, region.width, region.height),), net_count=0
-    )
+def _empty_fragment(width: int, height: int) -> Fragment:
+    return Fragment(region=(Box(0, 0, width, height),), net_count=0)
 
 
 def _wrap_fragment(placed: Placed) -> Fragment:
-    from .fragment import ChildRef
-
     return Fragment(
         region=tuple(placed.region_rects()),
         net_count=placed.fragment.net_count,

@@ -13,6 +13,12 @@ Because fragments are immutable and keyed purely by window content, the
 persistent table needs no invalidation: an edit changes a window's key,
 misses the cache, and is re-extracted; stale entries are simply never
 looked up again (``prune()`` drops entries unused in the latest run).
+
+Implementation-wise this is plan-then-execute with a persistent memo:
+the plan walk treats every previously memoized key as redundant (it
+stops there without descending), the execute phase skips primitives the
+memo already holds, and composition pulls reused composites straight
+from the memo.
 """
 
 from __future__ import annotations
@@ -21,8 +27,16 @@ from dataclasses import dataclass
 
 from ..cif import Layout, parse
 from ..tech import NMOS, Technology
-from .extractor import HextResult, HextStats, _Extractor
-from .windows import Content, WindowPlanner
+from .extractor import (
+    HextResult,
+    HextStats,
+    compose_plan,
+    execute_plan,
+    plan_windows,
+)
+from .windows import WindowPlanner
+
+import time
 
 
 @dataclass
@@ -63,33 +77,26 @@ class IncrementalExtractor:
         layout = parse(source) if isinstance(source, str) else source
         previous_keys = frozenset(self._memo)
         stats = HextStats()
+        start = time.perf_counter()
         planner = WindowPlanner(layout, self.resolution)
-        extractor = _Extractor(planner, self.tech, stats, self.resolution)
-        extractor.memo = self._memo
-
-        used: set[object] = set()
-        counters = {"previous": 0, "within": 0}
-        original_window = extractor.window
-
-        def tracking_window(content: Content):
-            key = planner.key(content)
-            used.add(key)
-            if key in self._memo:
-                if key in previous_keys:
-                    counters["previous"] += 1
-                else:
-                    counters["within"] += 1
-            return original_window(content)
-
-        extractor.window = tracking_window  # type: ignore[method-assign]
         top = planner.top_content()
-        fragment = extractor.window(top)
-        self._last_used = used
+        stats.frontend_seconds += time.perf_counter() - start
 
+        plan = plan_windows(planner, top, stats, seen=previous_keys)
+        execute_plan(
+            plan, self.tech, stats,
+            resolution=self.resolution, memo=self._memo,
+        )
+        fragment = compose_plan(plan, self._memo, self.tech, stats)
+        self._last_used = plan.used_keys()
+
+        previous = sum(
+            count for key, count in plan.hits.items() if key in previous_keys
+        )
         self.last_stats = IncrementalStats(
             windows_seen=stats.windows_seen,
-            reused_from_previous=counters["previous"],
-            reused_within_run=counters["within"],
+            reused_from_previous=previous,
+            reused_within_run=stats.memo_hits - previous,
             freshly_extracted=stats.unique_windows,
         )
         return HextResult(

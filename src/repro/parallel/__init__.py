@@ -1,0 +1,51 @@
+"""Parallel HEXT execution and the persistent fragment cache.
+
+HEXT's unique-window extractions are mutually independent: each one runs
+the modified flat extractor over a window's clipped geometry and nothing
+else.  This package exploits that twice:
+
+* :mod:`repro.parallel.pool` fans the execute phase of a
+  :class:`~repro.hext.extractor.WindowPlan` out over a
+  ``ProcessPoolExecutor`` while planning and composition stay serial in
+  the parent, so the memo table remains authoritative in one process;
+* :mod:`repro.parallel.cache` persists extracted fragments on disk,
+  keyed by a content hash of the window's normalized geometry plus the
+  technology and fracture resolution, so repeated runs over unchanged
+  windows (the design-iteration workflow) skip extraction entirely.
+
+Both paths move fragments through the versioned serialization format in
+:mod:`repro.parallel.serialize`; a cached or worker-produced fragment is
+byte-for-byte the same payload either way, which is what makes serial,
+parallel, and warm-cache runs produce equivalent wirelists.
+"""
+
+from .cache import CacheStats, FragmentCache
+from .executor import execute_plan_parallel, resolve_jobs
+from .pool import PoolUnavailable, extract_contents_parallel
+from .serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    content_from_payload,
+    content_payload,
+    fragment_from_payload,
+    fragment_payload,
+    technology_fingerprint,
+    window_cache_key,
+)
+
+__all__ = [
+    "CacheStats",
+    "FORMAT_VERSION",
+    "FragmentCache",
+    "PoolUnavailable",
+    "SerializationError",
+    "content_from_payload",
+    "content_payload",
+    "execute_plan_parallel",
+    "extract_contents_parallel",
+    "fragment_from_payload",
+    "fragment_payload",
+    "resolve_jobs",
+    "technology_fingerprint",
+    "window_cache_key",
+]

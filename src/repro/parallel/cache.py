@@ -1,0 +1,142 @@
+"""The persistent on-disk fragment cache.
+
+One file per unique window, under a two-level fan-out directory::
+
+    <root>/<key[:2]>/<key>.json
+
+Each file is a small envelope around the fragment payload::
+
+    {"format": 1, "key": "<sha256>", "checksum": "<sha256 of payload>",
+     "fragment": {...}}
+
+Trust nothing read back: an entry is served only when the envelope's
+format version matches, its recorded key matches the file's name, the
+checksum matches the canonical JSON of the payload, *and* the payload
+survives structural validation.  Any failure counts as ``invalid``, the
+file is deleted, and the window is re-extracted — a corrupted or stale
+cache can cost time, never correctness.
+
+Writes go through a temp file and ``os.replace`` so a crashed run leaves
+either the old entry or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..hext.fragment import Fragment
+from .serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    canonical_json,
+    fragment_from_payload,
+    fragment_payload,
+)
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    invalid: int = 0  #: entries rejected (corrupt, stale, or malformed)
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+
+class FragmentCache:
+    """Content-addressed store of primitive fragments across runs."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "Fragment | None":
+        """The cached fragment for ``key``, or None (miss or rejected)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return self._reject(path)
+        try:
+            fragment = self._validate(key, envelope)
+        except SerializationError:
+            return self._reject(path)
+        self.stats.hits += 1
+        return fragment
+
+    def put(self, key: str, fragment: Fragment, payload: "dict | None" = None) -> None:
+        """Store a primitive fragment under ``key`` (atomic replace)."""
+        payload = fragment_payload(fragment) if payload is None else payload
+        body = canonical_json(payload)
+        envelope = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "checksum": hashlib.sha256(body.encode()).hexdigest(),
+            "fragment": payload,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def _validate(self, key: str, envelope: dict) -> Fragment:
+        if not isinstance(envelope, dict):
+            raise SerializationError("envelope is not an object")
+        if envelope.get("format") != FORMAT_VERSION:
+            raise SerializationError(
+                f"stale cache format {envelope.get('format')!r}"
+            )
+        if envelope.get("key") != key:
+            raise SerializationError("envelope key does not match file name")
+        payload = envelope.get("fragment")
+        if not isinstance(payload, dict):
+            raise SerializationError("missing fragment payload")
+        checksum = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+        if envelope.get("checksum") != checksum:
+            raise SerializationError("fragment checksum mismatch")
+        return fragment_from_payload(payload)
+
+    def _reject(self, path: Path) -> None:
+        self.stats.invalid += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+
+    # -- maintenance -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,92 @@
+"""The worker pool: unique-window extraction over child processes.
+
+The parent sends each worker a canonical *window payload* (the same
+bytes the persistent cache keys on) and receives a *fragment payload*
+back; workers never see the layout, the memo table, or each other.  The
+technology and fracture resolution ride in once per worker via the pool
+initializer.  Because the payloads are placement-independent and the
+extraction is deterministic, result order cannot affect the extracted
+circuit — the parent matches results to windows by index and composes
+in plan order regardless of completion order.
+
+Process pools are not available everywhere (restricted sandboxes may
+refuse to create the synchronization primitives).  Callers should catch
+:class:`PoolUnavailable` and fall back to serial extraction; the
+orchestrator in :mod:`repro.parallel.executor` does exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, process
+
+from ..tech import Technology
+from .serialize import content_from_payload, fragment_payload
+
+#: Per-worker state installed by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+class PoolUnavailable(RuntimeError):
+    """The process pool could not be created or died mid-flight."""
+
+
+def _init_worker(tech: Technology, resolution: int) -> None:
+    _WORKER_STATE["tech"] = tech
+    _WORKER_STATE["resolution"] = resolution
+
+
+def _extract_job(item: "tuple[int, dict]") -> "tuple[int, dict, float]":
+    """Worker body: window payload in, fragment payload out."""
+    from ..hext.extractor import extract_primitive
+
+    index, payload = item
+    start = time.perf_counter()
+    content = content_from_payload(payload)
+    fragment = extract_primitive(
+        content, _WORKER_STATE["tech"], _WORKER_STATE["resolution"]
+    )
+    return index, fragment_payload(fragment), time.perf_counter() - start
+
+
+def _pool_context() -> "multiprocessing.context.BaseContext":
+    # fork is much cheaper than spawn and inherits the imported modules;
+    # prefer it where the platform offers it.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def extract_contents_parallel(
+    payloads: "list[dict]",
+    tech: Technology,
+    resolution: int,
+    jobs: int,
+) -> "list[tuple[dict, float]]":
+    """Extract window payloads over ``jobs`` processes.
+
+    Returns ``(fragment_payload, worker_seconds)`` per input, in input
+    order.  Raises :class:`PoolUnavailable` when the pool cannot run —
+    the caller decides whether to retry serially.
+    """
+    workers = max(1, min(jobs, len(payloads)))
+    results: "list[tuple[dict, float] | None]" = [None] * len(payloads)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(tech, resolution),
+        ) as pool:
+            for index, payload, seconds in pool.map(
+                _extract_job, list(enumerate(payloads)), chunksize=1
+            ):
+                results[index] = (payload, seconds)
+    except (OSError, PermissionError, process.BrokenProcessPool) as exc:
+        raise PoolUnavailable(str(exc)) from exc
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        raise PoolUnavailable(f"workers returned no result for {missing}")
+    return results  # type: ignore[return-value]

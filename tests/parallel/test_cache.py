@@ -1,0 +1,113 @@
+"""The fragment cache must never trust what it reads back.
+
+Every tampering mode — truncated files, non-JSON bytes, a stale format
+version, a checksum mismatch, and a well-formed envelope wrapping a
+structurally invalid fragment — must be detected, counted as invalid,
+deleted, and transparently re-extracted, with the final wirelist
+unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro import extract
+from repro.hext import hext_extract
+from repro.parallel import FragmentCache
+from repro.parallel.serialize import canonical_json
+from repro.wirelist import circuit_to_flat, compare_netlists
+from repro.workloads import inverter_rows
+
+
+@pytest.fixture()
+def cached_run(tmp_path):
+    layout = inverter_rows(2, 2, shared_symbols=False)
+    cache_dir = tmp_path / "fragments"
+    cold = hext_extract(layout, cache=str(cache_dir))
+    reference = circuit_to_flat(extract(layout))
+    entries = sorted(cache_dir.glob("??/*.json"))
+    assert entries, "cold run must populate the cache"
+    return layout, cache_dir, reference, entries
+
+
+def _rerun(layout, cache_dir, reference):
+    result = hext_extract(layout, cache=str(cache_dir))
+    report = compare_netlists(reference, circuit_to_flat(result.circuit))
+    assert report.equivalent, report.reason
+    return result
+
+
+def test_truncated_entry_is_reextracted(cached_run):
+    layout, cache_dir, reference, entries = cached_run
+    entries[0].write_text(entries[0].read_text()[:40])
+    result = _rerun(layout, cache_dir, reference)
+    assert result.stats.cache_invalid == 1
+    assert result.stats.flat_calls == 1
+
+
+def test_garbage_bytes_are_reextracted(cached_run):
+    layout, cache_dir, reference, entries = cached_run
+    entries[0].write_bytes(b"\x00\xff not json at all")
+    result = _rerun(layout, cache_dir, reference)
+    assert result.stats.cache_invalid == 1
+    assert result.stats.flat_calls == 1
+
+
+def test_stale_format_version_is_reextracted(cached_run):
+    layout, cache_dir, reference, entries = cached_run
+    envelope = json.loads(entries[0].read_text())
+    envelope["format"] = 999  # a future (or ancient) format
+    entries[0].write_text(json.dumps(envelope))
+    result = _rerun(layout, cache_dir, reference)
+    assert result.stats.cache_invalid == 1
+    assert result.stats.flat_calls == 1
+
+
+def test_checksum_mismatch_is_reextracted(cached_run):
+    layout, cache_dir, reference, entries = cached_run
+    envelope = json.loads(entries[0].read_text())
+    envelope["fragment"]["net_count"] += 1  # silent bit-rot in the body
+    entries[0].write_text(json.dumps(envelope))
+    result = _rerun(layout, cache_dir, reference)
+    assert result.stats.cache_invalid == 1
+    assert result.stats.flat_calls == 1
+
+
+def test_valid_checksum_bad_structure_is_reextracted(cached_run):
+    """An attacker-grade corruption: checksum recomputed over a payload
+    that no longer describes a legal fragment."""
+    layout, cache_dir, reference, entries = cached_run
+    envelope = json.loads(entries[0].read_text())
+    payload = envelope["fragment"]
+    payload["interface"] = [["X", "NM", 0, 0, 1, 0]]  # face "X" is illegal
+    envelope["checksum"] = hashlib.sha256(
+        canonical_json(payload).encode()
+    ).hexdigest()
+    entries[0].write_text(json.dumps(envelope))
+    result = _rerun(layout, cache_dir, reference)
+    assert result.stats.cache_invalid == 1
+    assert result.stats.flat_calls == 1
+
+
+def test_rejected_entry_is_replaced(cached_run):
+    """After detection, the next run hits a fresh, valid entry."""
+    layout, cache_dir, reference, entries = cached_run
+    entries[0].write_text("{}")
+    _rerun(layout, cache_dir, reference)
+    healed = _rerun(layout, cache_dir, reference)
+    assert healed.stats.cache_invalid == 0
+    assert healed.stats.flat_calls == 0
+    assert healed.stats.cache_hit_rate == 1.0
+
+
+def test_cache_maintenance(tmp_path):
+    cache_dir = tmp_path / "fragments"
+    hext_extract(inverter_rows(2, 2), cache=str(cache_dir))
+    store = FragmentCache(cache_dir)
+    assert len(store) > 0
+    removed = store.clear()
+    assert removed > 0
+    assert len(store) == 0

@@ -1,0 +1,124 @@
+"""The parallel subsystem's correctness bar: serial == parallel == cached.
+
+Every workload family is extracted serially (the oracle), then under
+worker pools of several sizes, then twice through a persistent fragment
+cache (cold and warm); all wirelists must be equivalent up to net
+renumbering (``wirelist.compare``).  The mesh is the degenerate case —
+flat geometry, a single window, nothing to fan out — and must still go
+through the parallel code paths unharmed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import extract
+from repro.bench import distinct_cell_grid
+from repro.hext import hext_extract
+from repro.wirelist import circuit_to_flat, compare_netlists
+from repro.workloads import dram_column, poly_diff_mesh, transistor_array
+from repro.workloads.pla import PlaSpec, pla
+
+MAJORITY3 = PlaSpec(
+    num_inputs=3,
+    products=(
+        {0: True, 1: True},
+        {0: True, 2: True},
+        {1: True, 2: True},
+    ),
+    outputs=(frozenset({0, 1, 2}),),
+)
+
+WORKLOADS = [
+    ("mesh", lambda: poly_diff_mesh(5)),
+    ("pla", lambda: pla(MAJORITY3)),
+    ("memory", lambda: dram_column(6)),
+    ("array", lambda: transistor_array(8)),
+    ("distinct-cells", lambda: distinct_cell_grid(cells=5, repeats=2, boxes=40)),
+]
+
+_LAYOUTS = {}
+
+
+def _layout(name):
+    if name not in _LAYOUTS:
+        factory = dict(WORKLOADS)[name]
+        layout = factory()
+        _LAYOUTS[name] = (layout, circuit_to_flat(extract(layout)))
+    return _LAYOUTS[name]
+
+
+def _assert_equivalent(name, reference, result):
+    report = compare_netlists(reference, circuit_to_flat(result.circuit))
+    assert report.equivalent, f"{name}: {report.reason}"
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("name", [name for name, _ in WORKLOADS])
+def test_parallel_matches_serial(name, jobs):
+    layout, reference = _layout(name)
+    result = hext_extract(layout, jobs=jobs)
+    _assert_equivalent(name, reference, result)
+    serial = hext_extract(layout)
+    assert result.stats.flat_calls == serial.stats.flat_calls
+    assert result.stats.unique_windows == serial.stats.unique_windows
+    assert result.stats.compose_calls == serial.stats.compose_calls
+
+
+@pytest.mark.parametrize("name", [name for name, _ in WORKLOADS])
+def test_warm_cache_matches_serial(name, tmp_path):
+    layout, reference = _layout(name)
+    cache = str(tmp_path / "fragments")
+
+    cold = hext_extract(layout, cache=cache)
+    _assert_equivalent(name, reference, cold)
+    assert cold.stats.cache_hits == 0
+    assert cold.stats.cache_misses == cold.stats.flat_calls > 0
+
+    warm = hext_extract(layout, cache=cache)
+    _assert_equivalent(name, reference, warm)
+    assert warm.stats.flat_calls == 0, "warm cache must skip extraction"
+    assert warm.stats.cache_hits == cold.stats.flat_calls
+    assert warm.stats.cache_hit_rate == 1.0
+
+
+def test_parallel_and_cache_compose(tmp_path):
+    """jobs + cache together: workers fill the cache, warm run drains it."""
+    name = "distinct-cells"
+    layout, reference = _layout(name)
+    cache = str(tmp_path / "fragments")
+
+    cold = hext_extract(layout, jobs=2, cache=cache)
+    _assert_equivalent(name, reference, cold)
+    assert cold.stats.flat_calls > 0
+
+    warm = hext_extract(layout, jobs=2, cache=cache)
+    _assert_equivalent(name, reference, warm)
+    assert warm.stats.flat_calls == 0
+    assert warm.stats.cache_hit_rate == 1.0
+
+
+def test_cache_shared_across_equal_content(tmp_path):
+    """Cache keys hash content, not placement or symbol numbers.
+
+    Two distinct Layout objects with identical artwork share entries.
+    """
+    cache = str(tmp_path / "fragments")
+    first = hext_extract(transistor_array(8), cache=cache)
+    second = hext_extract(transistor_array(8), cache=cache)
+    assert first.stats.cache_misses == first.stats.flat_calls
+    assert second.stats.flat_calls == 0
+    assert second.stats.cache_hits == first.stats.flat_calls
+
+
+def test_jobs_zero_means_per_cpu():
+    from repro.parallel import resolve_jobs
+
+    import os
+
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)

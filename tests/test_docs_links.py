@@ -1,0 +1,39 @@
+"""The docs CI job's link check, run as part of tier-1 as well.
+
+Keeping it in the test suite means a PR cannot go green locally while
+the docs job would fail: broken intra-repo Markdown links surface in
+both places.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_broken_intra_repo_markdown_links():
+    checker = _load_checker()
+    missing = checker.broken_links(REPO_ROOT)
+    formatted = "\n".join(
+        f"{md.relative_to(REPO_ROOT)} -> {target}" for md, target in missing
+    )
+    assert not missing, f"broken intra-repo Markdown links:\n{formatted}"
+
+
+def test_required_docs_exist_and_are_linked():
+    for name in ("ARCHITECTURE.md", "EXTRACTION_SEMANTICS.md", "PARALLELISM.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("ARCHITECTURE.md", "EXTRACTION_SEMANTICS.md", "PARALLELISM.md"):
+        assert f"docs/{name}" in readme, f"README does not link docs/{name}"

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo Markdown links.
+
+Walks every ``*.md`` file in the repository, extracts inline links and
+images, and verifies that relative targets exist on disk.  External
+links (``http(s)://``, ``mailto:``) and pure in-page anchors are out of
+scope — this guards the repo's own cross-references (README -> docs/,
+docs -> source files), which are the ones that silently rot.
+
+Usage: ``python tools/check_links.py [root]`` (default: the repo root
+containing this script).  Exit status 0 when clean, 1 with a report of
+every broken link otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not _SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def broken_links(root: Path) -> "list[tuple[Path, str]]":
+    """(file, target) pairs whose relative target does not exist."""
+    missing = []
+    for md in markdown_files(root):
+        for match in _LINK.finditer(md.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md.parent / path_part
+            if not resolved.exists():
+                missing.append((md, target))
+    return missing
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    missing = broken_links(root)
+    for md, target in missing:
+        print(f"{md.relative_to(root)}: broken link -> {target}")
+    if missing:
+        print(f"{len(missing)} broken intra-repo link(s)")
+        return 1
+    count = sum(1 for _ in markdown_files(root))
+    print(f"ok: no broken intra-repo links in {count} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
