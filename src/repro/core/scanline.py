@@ -42,6 +42,13 @@ from .unionfind import UnionFind
 # objects in this inner loop).
 _X1, _X2, _YBOT, _NET = 0, 1, 2, 3
 
+#: Deliberately broken scanline rules, set only by the differential
+#: harness's fault-injection self-test (:mod:`repro.difftest.faults`).
+#: Always empty in normal operation.  Each name disables exactly one
+#: connectivity rule in :meth:`ScanlineEngine._process_strip` so the
+#: harness can prove it detects and shrinks a real extractor bug.
+FAULTS: frozenset[str] = frozenset()
+
 
 class ScanlineEngine:
     """One extraction run over a geometry stream."""
@@ -304,9 +311,10 @@ class ScanlineEngine:
         # Channels: diffusion AND poly AND NOT buried, remembering the
         # poly interval that forms each gate.
         channels: list[tuple[int, int, int]] = []  # (x1, x2, poly net id)
+        buried_holes = [] if "channel-under-buried" in FAULTS else nb
         if nd and np_:
             for x1, x2, poly_net in _intersect_with_net(nd, np_):
-                for cx1, cx2 in _subtract_spans([(x1, x2)], nb):
+                for cx1, cx2 in _subtract_spans([(x1, x2)], buried_holes):
                     channels.append((cx1, cx2, poly_net))
 
         # Conducting diffusion: diffusion minus channels.
@@ -416,7 +424,7 @@ class ScanlineEngine:
                         nets.union(anet, bnet)
 
         # Buried contacts union poly and diffusion where all three meet.
-        if nb and cond:
+        if nb and cond and "buried-skip" not in FAULTS:
             for bx1, bx2 in nb:
                 for iv in np_:
                     px1, px2 = max(iv[_X1], bx1), min(iv[_X2], bx2)

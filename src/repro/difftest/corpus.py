@@ -1,0 +1,122 @@
+"""The persisted failure corpus.
+
+Every disagreement the driver finds becomes one directory under the
+corpus root, named deterministically from the iteration seed and the
+disagreeing oracle pair (re-running the same command overwrites the same
+entry rather than accumulating duplicates):
+
+    <corpus>/<seed>-<left>-vs-<right>/
+        repro.cif       the minimized layout (the thing to debug)
+        original.cif    the full generated layout that first failed
+        REPORT.md       which oracles disagree, on what, and how to rerun
+
+CIF is the exchange format on purpose: a repro loads back through the
+normal parser, so ``ace-extract`` and the test suite can replay it with
+no difftest machinery involved.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..cif import Layout
+from ..cif.writer import write as write_cif
+from .shrink import ShrinkResult
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreeing oracle pair on one case."""
+
+    left: str
+    right: str
+    kind: str  # structure | sizes | crash
+    reason: str
+    device_counts: tuple = (0, 0)
+    net_counts: tuple = (0, 0)
+
+    def headline(self) -> str:
+        return f"{self.left} vs {self.right}: {self.kind} -- {self.reason}"
+
+
+@dataclass
+class FailureCase:
+    """Everything recorded about one found disagreement."""
+
+    seed: int
+    description: str
+    grid_aligned: bool
+    mismatches: list[Mismatch]
+    original: Layout
+    shrunk: "ShrinkResult | None" = None
+    fault: "str | None" = None
+    path: "str | None" = None
+
+    @property
+    def minimized(self) -> Layout:
+        return self.shrunk.layout if self.shrunk else self.original
+
+    def entry_name(self) -> str:
+        first = self.mismatches[0]
+        return f"{self.seed:010d}-{first.left}-vs-{first.right}"
+
+
+def write_entry(corpus_dir: str, case: FailureCase, command: str) -> str:
+    """Persist ``case`` under ``corpus_dir``; returns the entry path."""
+    entry = os.path.join(corpus_dir, case.entry_name())
+    os.makedirs(entry, exist_ok=True)
+    with open(os.path.join(entry, "repro.cif"), "w") as handle:
+        handle.write(write_cif(case.minimized))
+    with open(os.path.join(entry, "original.cif"), "w") as handle:
+        handle.write(write_cif(case.original))
+    with open(os.path.join(entry, "REPORT.md"), "w") as handle:
+        handle.write(render_report(case, command))
+    case.path = entry
+    return entry
+
+
+def render_report(case: FailureCase, command: str) -> str:
+    lines = [
+        f"# difftest failure: seed {case.seed}",
+        "",
+        f"- generator notes: `{case.description}`",
+        f"- grid aligned: {case.grid_aligned}",
+    ]
+    if case.fault:
+        lines.append(
+            f"- **injected fault** `{case.fault}` was armed (self-test "
+            f"mode); this is a manufactured bug, not a real one"
+        )
+    lines += ["", "## Disagreements", ""]
+    for mismatch in case.mismatches:
+        lines.append(f"- `{mismatch.left}` vs `{mismatch.right}`: "
+                     f"**{mismatch.kind}** -- {mismatch.reason}")
+        if mismatch.kind != "crash":
+            lines.append(
+                f"  (devices {mismatch.device_counts[0]} vs "
+                f"{mismatch.device_counts[1]}, nets "
+                f"{mismatch.net_counts[0]} vs {mismatch.net_counts[1]})"
+            )
+    lines += ["", "## Shrink", ""]
+    if case.shrunk:
+        lines.append(
+            f"- {case.shrunk.before} -> {case.shrunk.after} primitives in "
+            f"{case.shrunk.probes} probes"
+            + (" (hierarchy flattened)" if case.shrunk.flattened else "")
+        )
+    else:
+        lines.append("- shrinking disabled; repro.cif equals original.cif")
+    lines += [
+        "",
+        "## Reproduce",
+        "",
+        "```sh",
+        command,
+        "```",
+        "",
+        "`repro.cif` replays through any oracle, e.g. "
+        "`ace-extract repro.cif` vs `ace-extract --hierarchical repro.cif`.",
+        "",
+    ]
+    return "\n".join(lines)

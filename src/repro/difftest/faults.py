@@ -1,0 +1,59 @@
+"""Fault injection for the differential harness's self-test.
+
+A differential harness that has never caught a bug proves nothing, so the
+harness ships a way to *create* one on demand: each known fault disables
+one connectivity rule inside the scanline back-end
+(:data:`repro.core.scanline.FAULTS`).  With a fault armed, the
+scanline-family oracles (flat ACE and both HEXT variants) all compute the
+same *wrong* circuit, and the geometric baselines (``raster``,
+``polyflat``) expose them -- which is exactly the disagreement the driver
+must find, shrink, and persist.
+
+Faults are process-global (a module attribute on the scanline), so they
+apply to every in-process extraction including shrinking probes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..core import scanline
+
+#: name -> what the fault breaks, for --list-faults and reports.
+KNOWN_FAULTS: dict[str, str] = {
+    "buried-skip": (
+        "buried contacts no longer tie poly to diffusion: every "
+        "depletion-load gate-source tie opens, changing net structure"
+    ),
+    "channel-under-buried": (
+        "channels are no longer suppressed under buried contacts: every "
+        "buried poly/diffusion crossing grows a phantom transistor"
+    ),
+}
+
+
+def set_faults(names: "frozenset[str] | set[str]") -> None:
+    """Arm exactly ``names``; unknown names are rejected."""
+    unknown = set(names) - set(KNOWN_FAULTS)
+    if unknown:
+        raise ValueError(
+            f"unknown fault(s) {sorted(unknown)}; "
+            f"choose from {sorted(KNOWN_FAULTS)}"
+        )
+    scanline.FAULTS = frozenset(names)
+
+
+def active_faults() -> frozenset[str]:
+    return scanline.FAULTS
+
+
+@contextmanager
+def inject_fault(name: "str | None"):
+    """Arm ``name`` (or nothing when ``None``) for the duration."""
+    previous = scanline.FAULTS
+    if name is not None:
+        set_faults({name})
+    try:
+        yield
+    finally:
+        scanline.FAULTS = previous

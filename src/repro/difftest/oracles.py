@@ -1,0 +1,122 @@
+"""The oracle registry: every independent implementation of extraction.
+
+An *oracle* maps a layout to a circuit.  The repo has five -- the flat
+edge-based scanline (ACE), serial and parallel HEXT, and the two
+historical baselines -- and the whole correctness argument is that they
+must agree on every layout, up to net renumbering.  Each oracle declares
+two capabilities the driver respects:
+
+``grid_exact``
+    trustworthy on off-lambda-grid coordinates.  The fixed-grid raster
+    scan snaps edges outward (the constraint the ACE paper criticizes),
+    so it is excluded from off-grid cases rather than reported as buggy.
+
+``sizes_exact``
+    device L/W/area are bit-exact and comparable.  True for the scanline
+    family (and covered by their equivalence tests); the baselines use
+    approximate sizing models, so only their *structure* is checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines import extract_polyflat, extract_raster
+from ..cif import Layout
+from ..core import Circuit, extract
+from ..hext import hext_extract
+from ..tech import Technology
+from ..wirelist import FlatCircuit, circuit_to_flat
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One extraction implementation plus its comparability contract."""
+
+    name: str
+    description: str
+    grid_exact: bool
+    sizes_exact: bool
+    runner: Callable[[Layout, Technology], Circuit]
+
+    def run(self, layout: Layout, tech: Technology) -> "OracleResult":
+        circuit = self.runner(layout, tech)
+        return OracleResult(
+            oracle=self.name,
+            flat=circuit_to_flat(circuit),
+            sizes=tuple(
+                sorted(
+                    (d.kind, d.area, round(d.width, 6), round(d.length, 6))
+                    for d in circuit.devices
+                )
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """What one oracle computed, reduced to comparable form."""
+
+    oracle: str
+    flat: FlatCircuit
+    sizes: tuple
+
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "ace",
+            "flat edge-based scanline (the paper's extractor)",
+            grid_exact=True,
+            sizes_exact=True,
+            runner=lambda layout, tech: extract(layout, tech),
+        ),
+        Oracle(
+            "hext",
+            "hierarchical window extraction, serial",
+            grid_exact=True,
+            sizes_exact=True,
+            runner=lambda layout, tech: hext_extract(layout, tech).circuit,
+        ),
+        Oracle(
+            "hext-par",
+            "hierarchical window extraction over 2 worker processes",
+            grid_exact=True,
+            sizes_exact=True,
+            runner=lambda layout, tech: hext_extract(
+                layout, tech, jobs=2
+            ).circuit,
+        ),
+        Oracle(
+            "raster",
+            "fixed-grid raster scan (Partlist-style baseline)",
+            grid_exact=False,
+            sizes_exact=False,
+            runner=lambda layout, tech: extract_raster(layout, tech),
+        ),
+        Oracle(
+            "polyflat",
+            "whole-chip region merging (Cifplot-style baseline)",
+            grid_exact=True,
+            sizes_exact=False,
+            runner=lambda layout, tech: extract_polyflat(layout, tech),
+        ),
+    )
+}
+
+#: Default oracle order: the reference (flat ACE) first.
+DEFAULT_ORACLES = tuple(ORACLES)
+
+
+def select_oracles(names: "tuple[str, ...] | None") -> "tuple[Oracle, ...]":
+    chosen = names or DEFAULT_ORACLES
+    unknown = [name for name in chosen if name not in ORACLES]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown}; choose from {sorted(ORACLES)}"
+        )
+    if len(chosen) < 2:
+        raise ValueError("differential testing needs at least two oracles")
+    return tuple(ORACLES[name] for name in chosen)

@@ -1,0 +1,180 @@
+"""Greedy failure shrinking: smallest layout that still disagrees.
+
+A fuzz failure on a 40-primitive hierarchical layout is a chore to debug;
+the same failure on four boxes is a unit test.  The shrinker reduces a
+failing layout while a caller-supplied predicate ("the oracles still
+disagree") keeps holding:
+
+1. **flatten** -- replace the whole hierarchy with its instantiated,
+   fractured artwork.  One probe, and it removes calls, transforms,
+   polygons, and wires from the search space in a single step;
+2. **delete** -- ddmin-style chunked deletion over every primitive list
+   (boxes, polygons, wires, calls, labels) of every reachable symbol:
+   try dropping halves, then quarters, down to single primitives, and
+   keep any deletion that preserves the disagreement;
+3. repeat until a whole pass makes no progress (or the probe budget is
+   spent -- shrinking is best-effort by design).
+
+The predicate sees a fully validated :class:`Layout`; probes are bounded
+by ``max_probes`` so a pathological case cannot stall a fuzzing run.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable
+
+from ..cif import Label, Layout
+from ..cif.layout import TOP_SYMBOL
+from ..frontend import instantiate
+
+Predicate = Callable[[Layout], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized layout plus how the shrink went."""
+
+    layout: Layout
+    before: int
+    after: int
+    probes: int
+    flattened: bool
+
+
+def primitive_count(layout: Layout) -> int:
+    """Geometry primitives + labels + calls over reachable symbols."""
+    total = 0
+    for number in _reachable(layout):
+        symbol = layout.symbol(number)
+        total += symbol.shape_count() + len(symbol.labels) + len(symbol.calls)
+    return total
+
+
+def shrink(
+    layout: Layout, still_fails: Predicate, *, max_probes: int = 400
+) -> ShrinkResult:
+    """Greedily minimize ``layout`` while ``still_fails`` holds."""
+    before = primitive_count(layout)
+    probes = 0
+    flattened = False
+
+    def probe(candidate: Layout) -> bool:
+        nonlocal probes
+        probes += 1
+        try:
+            candidate.validate()
+            return still_fails(candidate)
+        except Exception:
+            # A reduction that crashes an oracle still reproduces a bug,
+            # but only the predicate may decide that; a candidate that
+            # cannot even validate is simply rejected.
+            return False
+
+    flat = _flatten(layout)
+    if probes < max_probes and probe(flat):
+        layout = flat
+        flattened = True
+
+    progress = True
+    while progress and probes < max_probes:
+        progress = False
+        for number in list(_reachable(layout)):
+            for attr in ("calls", "boxes", "polygons", "wires", "labels"):
+                reduced, used = _ddmin_list(
+                    layout, number, attr, probe, max_probes - probes
+                )
+                if reduced is not None:
+                    layout = reduced
+                    progress = True
+                if used and probes >= max_probes:
+                    break
+        layout = _prune_unreachable(layout)
+    return ShrinkResult(
+        layout=_prune_unreachable(layout),
+        before=before,
+        after=primitive_count(layout),
+        probes=probes,
+        flattened=flattened,
+    )
+
+
+def _ddmin_list(
+    layout: Layout,
+    number: int,
+    attr: str,
+    probe: Predicate,
+    budget: int,
+) -> "tuple[Layout | None, bool]":
+    """Chunk-delete entries of one primitive list; returns the smaller
+    layout (or None if nothing could be removed) and whether any probe
+    ran."""
+    items = getattr(layout.symbol(number), attr)
+    if not items:
+        return None, False
+    best: Layout | None = None
+    used = False
+    chunk = max(1, len(items) // 2)
+    while budget > 0:
+        items = getattr((best or layout).symbol(number), attr)
+        if not items:
+            break
+        removed_any = False
+        start = 0
+        while start < len(items) and budget > 0:
+            candidate = _clone(best or layout)
+            del getattr(candidate.symbol(number), attr)[
+                start : start + chunk
+            ]
+            used = True
+            budget -= 1
+            if probe(candidate):
+                best = candidate
+                items = getattr(candidate.symbol(number), attr)
+                removed_any = True
+                # keep ``start`` -- the next chunk slid into this slot
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return best, used
+
+
+def _flatten(layout: Layout) -> Layout:
+    """The same artwork with no hierarchy (and no polygons or wires)."""
+    boxes, labels = instantiate(layout)
+    flat = Layout()
+    for layer, box in boxes:
+        flat.top.add_box(layer, box)
+    for label in labels:
+        flat.top.add_label(Label(label.name, label.x, label.y, label.layer))
+    return flat
+
+
+def _reachable(layout: Layout) -> list[int]:
+    """Symbol numbers reachable from the top, top first."""
+    seen: list[int] = []
+    stack = [TOP_SYMBOL]
+    while stack:
+        number = stack.pop()
+        if number in seen:
+            continue
+        seen.append(number)
+        for call in layout.symbol(number).calls:
+            stack.append(call.symbol)
+    return seen
+
+
+def _prune_unreachable(layout: Layout) -> Layout:
+    reachable = set(_reachable(layout))
+    for number in list(layout.symbols):
+        if number not in reachable:
+            del layout.symbols[number]
+    return layout
+
+
+def _clone(layout: Layout) -> Layout:
+    return copy.deepcopy(layout)

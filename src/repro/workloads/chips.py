@@ -60,14 +60,23 @@ _ROW_PITCH = _CELL_H + 2
 
 
 def build_chip(
-    name: str, scale: float = 1.0, lambda_: int = DEFAULT_LAMBDA
+    name: str,
+    scale: float = 1.0,
+    lambda_: int = DEFAULT_LAMBDA,
+    seed: "int | None" = None,
 ) -> Layout:
-    """Build the named suite chip at the given device-count scale."""
+    """Build the named suite chip at the given device-count scale.
+
+    ``seed`` overrides the spec's fixed seed, letting callers (the
+    differential harness in particular) draw fresh jitter/strap layouts
+    of the same statistical profile; ``None`` keeps the canonical chip
+    so benchmarks and golden comparisons stay reproducible.
+    """
     spec = SPEC_BY_NAME.get(name)
     if spec is None:
         raise KeyError(f"unknown chip {name!r}; choose from {sorted(SPEC_BY_NAME)}")
     target = max(8, int(spec.paper_devices * scale))
-    rng = random.Random(spec.seed)
+    rng = random.Random(spec.seed if seed is None else seed)
     # Suite chips draw on a 2-lambda grid: hand-drawn 1983 layouts used
     # boxes well above minimum feature size ("the average size of a box
     # used in the layout is much larger than size of the grid square",
@@ -88,11 +97,24 @@ def build_chip(
 
 
 def chip_suite(
-    scale: float = 1.0, names: "tuple[str, ...] | None" = None
+    scale: float = 1.0,
+    names: "tuple[str, ...] | None" = None,
+    seed: "int | None" = None,
 ) -> dict[str, Layout]:
-    """Build all (or the named subset of) suite chips."""
+    """Build all (or the named subset of) suite chips.
+
+    A non-None ``seed`` reseeds every chip as ``seed + spec.seed`` so the
+    suite varies together while the chips stay mutually distinct.
+    """
     selected = names or tuple(spec.name for spec in CHIP_SPECS)
-    return {name: build_chip(name, scale) for name in selected}
+    return {
+        name: build_chip(
+            name,
+            scale,
+            seed=None if seed is None else seed + SPEC_BY_NAME[name].seed,
+        )
+        for name in selected
+    }
 
 
 # ----------------------------------------------------------------------

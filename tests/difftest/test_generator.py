@@ -1,0 +1,87 @@
+"""The seeded layout fuzzer: determinism, validity, and coverage."""
+
+from repro.cif import parse
+from repro.cif.writer import write as write_cif
+from repro.core import extract
+from repro.difftest import (
+    DEFAULT_PROFILE,
+    FAULT_HUNT_PROFILE,
+    generate_layout,
+    iteration_seed,
+)
+from repro.tech import NMOS
+
+TECH = NMOS()
+
+
+def test_same_seed_same_layout():
+    a = generate_layout(1234, TECH.lambda_)
+    b = generate_layout(1234, TECH.lambda_)
+    assert write_cif(a.layout) == write_cif(b.layout)
+    assert a.grid_aligned == b.grid_aligned
+    assert a.description == b.description
+
+
+def test_different_seeds_differ():
+    texts = {write_cif(generate_layout(seed, TECH.lambda_).layout) for seed in range(12)}
+    assert len(texts) > 8  # collisions allowed, sameness is a bug
+
+
+def test_layouts_validate_and_extract():
+    for seed in range(20):
+        case = generate_layout(seed, TECH.lambda_)
+        case.layout.validate()
+        extract(case.layout, TECH)  # must not raise
+
+
+def test_layouts_roundtrip_through_cif():
+    for seed in (3, 7, 11):
+        case = generate_layout(seed, TECH.lambda_)
+        text = write_cif(case.layout)
+        assert write_cif(parse(text)) == text
+
+
+def test_grid_aligned_flag_matches_coordinates():
+    lam = TECH.lambda_
+    for seed in range(40):
+        case = generate_layout(seed, lam)
+        aligned = all(
+            coord % lam == 0
+            for _, box in case.layout.top.boxes
+            for coord in (box.xmin, box.ymin, box.xmax, box.ymax)
+        )
+        if case.grid_aligned:
+            assert aligned, f"seed {seed} flagged aligned but is not"
+        else:
+            assert not aligned, f"seed {seed} flagged off-grid but aligned"
+
+
+def test_coverage_across_seeds():
+    """The fuzzer must actually produce the advertised variety."""
+    notes = " ".join(
+        generate_layout(seed, TECH.lambda_).description for seed in range(60)
+    )
+    for needed in ("transistor", "load", "contact", "abut", "corner",
+                   "strap", "offgrid", "label", "cells="):
+        assert needed in notes, f"no {needed!r} case in 60 seeds"
+    devices = sum(
+        len(extract(generate_layout(seed, TECH.lambda_).layout, TECH).devices)
+        for seed in range(10)
+    )
+    assert devices > 0
+
+
+def test_fault_hunt_profile_is_buried_heavy():
+    with_buried = sum(
+        "load" in generate_layout(s, TECH.lambda_, FAULT_HUNT_PROFILE).description
+        for s in range(20)
+    )
+    assert with_buried >= 15
+
+
+def test_iteration_seed_is_stable_and_spread():
+    assert iteration_seed(7, 0) == iteration_seed(7, 0)
+    seeds = {iteration_seed(7, i) for i in range(500)}
+    assert len(seeds) == 500
+    assert all(s >= 0 for s in seeds)
+    assert DEFAULT_PROFILE.max_motifs >= DEFAULT_PROFILE.min_motifs

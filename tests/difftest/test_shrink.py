@@ -1,0 +1,106 @@
+"""The greedy minimizer: monotone progress, flattening, and budgets."""
+
+from repro.cif.layout import Call, Label, Layout, Symbol
+from repro.difftest import generate_layout, primitive_count, shrink
+from repro.difftest.generator import FAULT_HUNT_PROFILE
+from repro.geometry.box import Box
+from repro.geometry.transform import Transform
+from repro.tech import NMOS
+
+TECH = NMOS()
+LAM = TECH.lambda_
+
+
+def _layout_with(boxes, labels=(), symbols=None, calls=()):
+    layout = Layout()
+    layout.top.boxes = list(boxes)
+    layout.top.labels = list(labels)
+    layout.top.calls = list(calls)
+    for sym in symbols or ():
+        layout.symbols[sym.number] = sym
+    return layout
+
+
+def test_shrink_keeps_predicate_true():
+    # Predicate: "some ND box with xmin == 0 exists". Everything else
+    # is deletable noise the shrinker must clear out.
+    boxes = [("ND", Box(0, 0, LAM, LAM))] + [
+        ("NP", Box(i * LAM, 2 * LAM, (i + 1) * LAM, 3 * LAM)) for i in range(6)
+    ]
+    layout = _layout_with(boxes, labels=[Label("noise", 0, 0, "ND")])
+
+    def still_fails(candidate):
+        return any(
+            layer == "ND" and box.xmin == 0
+            for layer, box in candidate.top.boxes
+        )
+
+    result = shrink(layout, still_fails)
+    assert still_fails(result.layout)
+    assert result.after < result.before
+    assert result.after == 1
+    assert result.probes > 0
+
+
+def test_shrink_flattens_hierarchy():
+    leaf = Symbol(1)
+    leaf.boxes = [("ND", Box(0, 0, LAM, LAM))]
+    layout = _layout_with(
+        [], symbols=[leaf], calls=[Call(1, Transform.identity())]
+    )
+    assert primitive_count(layout) == 2  # one call + one box
+
+    result = shrink(layout, lambda c: True)
+    assert result.flattened
+    assert not result.layout.top.calls
+    assert not result.layout.symbols
+
+
+def test_shrink_never_returns_invalid_layout():
+    case = generate_layout(7, LAM, FAULT_HUNT_PROFILE)
+
+    # An adversarial predicate: accept anything that still validates.
+    result = shrink(case.layout, lambda c: True)
+    result.layout.validate()
+    assert result.after <= result.before
+
+
+def test_shrink_on_unshrinkable_failure():
+    layout = _layout_with([("ND", Box(0, 0, LAM, LAM))])
+    result = shrink(layout, lambda c: len(c.top.boxes) == 1)
+    assert result.after == 1
+    assert result.before == 1
+
+
+def test_shrink_respects_probe_budget():
+    boxes = [
+        ("ND", Box(i * LAM, 0, (i + 1) * LAM, LAM)) for i in range(40)
+    ]
+    layout = _layout_with(boxes)
+    result = shrink(layout, lambda c: True, max_probes=10)
+    assert result.probes <= 10
+
+
+def test_shrink_survives_raising_predicate():
+    # Oracles may crash on pathological intermediate layouts; the
+    # shrinker treats a raising probe as "does not fail" and moves on.
+    boxes = [("ND", Box(i * LAM, 0, (i + 1) * LAM, LAM)) for i in range(4)]
+    layout = _layout_with(boxes)
+    calls = {"n": 0}
+
+    def flaky(candidate):
+        calls["n"] += 1
+        if len(candidate.top.boxes) == 2:
+            raise RuntimeError("oracle crashed")
+        return len(candidate.top.boxes) >= 1
+
+    result = shrink(layout, flaky)
+    assert flaky(result.layout)
+    assert result.after <= result.before
+
+
+def test_primitive_count_only_reachable():
+    orphan = Symbol(9)
+    orphan.boxes = [("ND", Box(0, 0, LAM, LAM))] * 5
+    layout = _layout_with([("NP", Box(0, 0, LAM, LAM))], symbols=[orphan])
+    assert primitive_count(layout) == 1

@@ -1,0 +1,162 @@
+"""Seeded property-based invariants for the geometry kernel.
+
+Hand-rolled generators (no hypothesis dependency -- the fuzzing budget
+lives in :mod:`repro.difftest`): each property runs over a fixed range of
+seeds, so a failure names the seed that broke it and replays exactly.
+The invariants are the algebra the extractor silently leans on:
+
+* region normalization preserves covered area and emits disjoint boxes;
+* subtraction satisfies ``|A \\ H| == |A ∪ H| - |H|``;
+* polygon fracturing covers exactly the polygon's area with disjoint
+  boxes (manhattan polygons -- the exact case);
+* the eight manhattan orientations are involutions/4-cycles and every
+  transform composes with its inverse to the identity.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import (
+    Box,
+    Polygon,
+    Transform,
+    fracture_polygon,
+    normalize_region,
+    regions_equal,
+    subtract_region,
+    union_area,
+)
+
+SEEDS = range(25)
+
+
+def _random_boxes(rng, n, span=40, max_side=12):
+    out = []
+    for _ in range(n):
+        x = rng.randrange(-span, span)
+        y = rng.randrange(-span, span)
+        out.append(
+            Box(x, y, x + rng.randrange(1, max_side), y + rng.randrange(1, max_side))
+        )
+    return out
+
+
+def _pairwise_disjoint(boxes):
+    return not any(
+        a.overlaps(b)
+        for i, a in enumerate(boxes)
+        for b in boxes[i + 1 :]
+    )
+
+
+def _random_staircase(rng):
+    """A random manhattan staircase polygon (x-monotone, closed)."""
+    steps = rng.randrange(2, 6)
+    xs = sorted(rng.sample(range(0, 50), steps + 1))
+    top = [rng.randrange(10, 30) for _ in range(steps)]
+    points = [(xs[0], 0)]
+    for i in range(steps):
+        points.append((xs[i], top[i]))
+        points.append((xs[i + 1], top[i]))
+    points.append((xs[-1], 0))
+    return Polygon.from_points(points)
+
+
+class TestNormalizeRegion:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_preserves_area_and_is_disjoint(self, seed):
+        rng = random.Random(seed)
+        boxes = _random_boxes(rng, rng.randrange(1, 15))
+        region = normalize_region(boxes)
+        assert sum(b.area for b in region) == union_area(boxes)
+        assert _pairwise_disjoint(region)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_idempotent_and_order_free(self, seed):
+        rng = random.Random(seed)
+        boxes = _random_boxes(rng, rng.randrange(1, 12))
+        region = normalize_region(boxes)
+        assert regions_equal(region, normalize_region(region))
+        shuffled = boxes[:]
+        rng.shuffle(shuffled)
+        assert regions_equal(region, normalize_region(shuffled))
+
+
+class TestSubtractRegion:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_area_identity(self, seed):
+        rng = random.Random(seed)
+        boxes = _random_boxes(rng, rng.randrange(1, 10))
+        holes = _random_boxes(rng, rng.randrange(0, 10))
+        diff = subtract_region(boxes, holes)
+        assert _pairwise_disjoint(diff)
+        assert sum(b.area for b in diff) == union_area(boxes + holes) - union_area(
+            holes
+        )
+        # Nothing of the holes survives in the difference.
+        assert all(
+            b.intersection(h) is None for b in diff for h in holes
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_subtract_self_is_empty(self, seed):
+        rng = random.Random(seed)
+        boxes = _random_boxes(rng, rng.randrange(1, 10))
+        assert subtract_region(boxes, boxes) == []
+
+
+class TestFracturePolygon:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_manhattan_fracture_is_exact(self, seed):
+        rng = random.Random(seed)
+        polygon = _random_staircase(rng)
+        boxes = fracture_polygon(polygon)
+        assert _pairwise_disjoint(boxes)
+        assert sum(b.area for b in boxes) == int(polygon.area)
+        bbox = polygon.bbox()
+        assert all(bbox.contains_box(b) for b in boxes)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rectangle_fractures_to_itself(self, seed):
+        rng = random.Random(seed)
+        box = _random_boxes(rng, 1)[0]
+        assert regions_equal(
+            fracture_polygon(Polygon.rectangle(box)), [box]
+        )
+
+
+ROT90 = Transform.rotation(0, 1)
+
+
+class TestTransformRoundTrips:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_four_rotations_are_identity(self, seed):
+        rng = random.Random(seed)
+        box = _random_boxes(rng, 1)[0]
+        t = ROT90.then(ROT90).then(ROT90).then(ROT90)
+        assert t.is_identity
+        assert t.apply_box(box) == box
+
+    @pytest.mark.parametrize("mirror", [Transform.mirror_x(), Transform.mirror_y()])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mirrors_are_involutions(self, mirror, seed):
+        rng = random.Random(seed)
+        box = _random_boxes(rng, 1)[0]
+        assert mirror.then(mirror).is_identity
+        assert mirror.then(mirror).apply_box(box) == box
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_inverse_composes_to_identity(self, seed):
+        rng = random.Random(seed)
+        # A random manhattan transform: orientation + translation.
+        t = Transform.translation(rng.randrange(-99, 99), rng.randrange(-99, 99))
+        for _ in range(rng.randrange(0, 4)):
+            t = t.then(ROT90)
+        if rng.random() < 0.5:
+            t = t.then(Transform.mirror_x())
+        box = _random_boxes(rng, 1)[0]
+        assert t.then(t.inverse()).is_identity
+        assert t.inverse().apply_box(t.apply_box(box)) == box
+        x, y = rng.randrange(-50, 50), rng.randrange(-50, 50)
+        assert t.inverse().apply_point(*t.apply_point(x, y)) == (x, y)

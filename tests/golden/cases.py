@@ -1,0 +1,108 @@
+"""The canonical layouts whose extracted wirelists are pinned as goldens.
+
+Each case is a zero-argument factory returning a :class:`Layout`; the
+snapshot for case ``name`` lives next to this module as
+``name.wirelist``.  Regenerate all snapshots with::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and review the diff like any other code change -- a golden churn without
+an intentional extractor change is a regression.
+"""
+
+from __future__ import annotations
+
+from repro.cif import Layout
+from repro.core import extract
+from repro.tech import NMOS
+from repro.wirelist import to_wirelist, write_wirelist
+from repro.workloads.builder import LayoutBuilder
+from repro.workloads.cells import (
+    build_chain_inverter_cell,
+    inverter,
+    nand2,
+)
+
+TECH = NMOS()
+
+
+def butting_contact() -> Layout:
+    """A driver whose gate is fed through a butting contact.
+
+    The contact cut sits over metal, poly, AND diffusion at once, so all
+    three nets union (tech rule: a contact unions every conducting layer
+    under it).  The poly then gates a second diffusion strip -- the
+    wirelist must show IN driving the gate even though the label sits on
+    the metal arm.
+    """
+    b = LayoutBuilder(TECH.lambda_)
+    # The butting pair: poly from the left, diffusion from the right,
+    # meeting edge-to-edge under one 2x4 cut covered by metal.
+    b.top.box("NP", 0, 4, 8, 6)
+    b.top.box("ND", 8, 3, 14, 7)
+    b.top.box("NC", 6, 3, 10, 7)
+    b.top.box("NM", 5, 2, 11, 8)
+    # The same poly runs on to gate a transistor on a second strip.
+    b.top.box("NP", 0, 6, 2, 16)
+    b.top.box("NP", 0, 16, 10, 18)
+    b.top.box("ND", 6, 12, 8, 22)
+    b.top.label("IN", 7, 5, "NM")
+    b.top.label("S", 7, 13, "ND")
+    b.top.label("D", 7, 21, "ND")
+    return b.done()
+
+
+def buried_contact() -> Layout:
+    """A depletion load tied gate-to-source through a buried contact.
+
+    This is the inverter's upper half in isolation: the buried window
+    unions poly and diffusion (and suppresses the channel under itself),
+    leaving exactly one nDep whose gate and OUT-side terminal share a
+    net.
+    """
+    b = LayoutBuilder(TECH.lambda_)
+    b.top.box("ND", 0, 0, 2, 20)
+    b.top.box("NP", 0, 4, 2, 7)  # poly tab into the buried window
+    b.top.box("NB", 0, 4, 2, 7)
+    b.top.box("NP", -1, 7, 3, 15)  # the depletion gate
+    b.top.box("NI", -2, 6, 4, 16)
+    b.top.label("OUT", 1, 2, "ND")
+    b.top.label("VDD", 1, 18, "ND")
+    return b.done()
+
+
+def hier_pair() -> Layout:
+    """A two-level hierarchy: a row cell calling a leaf inverter twice.
+
+    Level 1 is the chain inverter leaf; level 2 is a row symbol placing
+    two of them at abutment pitch; the top calls the row.  Exercises
+    call-through-call flattening and net stitching across cell edges.
+    """
+    b = LayoutBuilder(TECH.lambda_)
+    leaf = build_chain_inverter_cell(b)
+    row = b.new_symbol()
+    row.call(leaf, 0, 0)
+    row.call(leaf, 10, 0)
+    b.top.call(row, 0, 0)
+    b.top.label("IN", 1, 10, "NM")
+    b.top.label("OUT", 18, 10, "NM")
+    b.top.label("VDD", 5, 24, "NM")
+    b.top.label("GND", 5, 2, "NM")
+    return b.done()
+
+
+#: name -> layout factory; sorted emission order keeps regen diffs stable.
+GOLDEN_CASES: "dict[str, callable]" = {
+    "inverter": inverter,
+    "nand2": nand2,
+    "butting_contact": butting_contact,
+    "buried_contact": buried_contact,
+    "hier_pair": hier_pair,
+}
+
+
+def render_case(name: str) -> str:
+    """The wirelist text a snapshot pins: extract + flat CMU format."""
+    layout = GOLDEN_CASES[name]()
+    circuit = extract(layout, TECH, keep_geometry=True)
+    return write_wirelist(to_wirelist(circuit, name=name))

@@ -1,0 +1,57 @@
+"""Golden-wirelist snapshot tests.
+
+Each canonical layout in :mod:`tests.golden.cases` is extracted and its
+flat wirelist compared byte-for-byte against the committed
+``<case>.wirelist``.  On mismatch the failure message carries a unified
+diff plus the one-line regen command, so an *intentional* extractor
+change is a quick refresh and an unintentional one is immediately
+legible.
+"""
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from .cases import GOLDEN_CASES, render_case
+
+GOLDEN_DIR = Path(__file__).parent
+REGEN = "PYTHONPATH=src python tools/regen_golden.py"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_wirelist_matches_golden(name):
+    path = GOLDEN_DIR / f"{name}.wirelist"
+    assert path.exists(), (
+        f"missing snapshot {path.name}; create it with: {REGEN} {name}"
+    )
+    expected = path.read_text()
+    actual = render_case(name)
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{name}.wirelist",
+                tofile="extracted",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"wirelist for {name!r} drifted from its golden snapshot.\n"
+            f"{diff}\n\nIf the change is intentional: {REGEN} {name}"
+        )
+
+
+def test_no_stale_snapshots():
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.wirelist")}
+    assert on_disk == set(GOLDEN_CASES), (
+        "snapshots and cases out of sync; "
+        f"extra={sorted(on_disk - set(GOLDEN_CASES))}, "
+        f"missing={sorted(set(GOLDEN_CASES) - on_disk)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_cases_are_deterministic(name):
+    assert render_case(name) == render_case(name)

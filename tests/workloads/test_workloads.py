@@ -14,6 +14,7 @@ from repro.workloads import (
     random_squares,
     transistor_array,
 )
+from repro.cif.writer import write as write_cif
 from repro.wirelist import circuit_to_flat, compare_netlists
 
 
@@ -143,3 +144,32 @@ class TestChips:
         b = extract(build_chip("psc", scale=0.02))
         assert len(a.devices) == len(b.devices)
         assert len(a.nets) == len(b.nets)
+
+
+class TestSeedThreading:
+    def test_explicit_seed_is_deterministic(self):
+        a = write_cif(build_chip("schip2", scale=0.02, seed=42))
+        b = write_cif(build_chip("schip2", scale=0.02, seed=42))
+        assert a == b
+
+    def test_seed_changes_irregular_artwork(self):
+        base = write_cif(build_chip("schip2", scale=0.02))
+        reseeded = write_cif(build_chip("schip2", scale=0.02, seed=42))
+        assert base != reseeded
+
+    def test_default_seed_is_the_spec_seed(self):
+        spec = next(s for s in CHIP_SPECS if s.name == "psc")
+        implicit = write_cif(build_chip("psc", scale=0.02))
+        explicit = write_cif(build_chip("psc", scale=0.02, seed=spec.seed))
+        assert implicit == explicit
+
+    def test_suite_seed_keeps_chips_distinct(self):
+        suite = chip_suite(scale=0.02, names=("schip2", "psc"), seed=9)
+        resuite = chip_suite(scale=0.02, names=("schip2", "psc"), seed=9)
+        assert write_cif(suite["schip2"]) == write_cif(resuite["schip2"])
+        assert write_cif(suite["schip2"]) != write_cif(suite["psc"])
+
+    def test_reseeded_chip_still_extracts_clean(self):
+        circuit = extract(build_chip("schip2", scale=0.02, seed=123))
+        assert circuit.devices
+        assert circuit.warnings == []

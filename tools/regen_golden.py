@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the golden wirelist snapshots under tests/golden/.
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_golden.py [case ...]
+
+With no arguments every case in tests/golden/cases.py is rewritten;
+naming cases limits the refresh.  The script prints which files changed
+so an accidental regen is visible before committing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.golden.cases import GOLDEN_CASES, render_case  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or sorted(GOLDEN_CASES)
+    unknown = [n for n in names if n not in GOLDEN_CASES]
+    if unknown:
+        print(f"unknown case(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(GOLDEN_CASES))}", file=sys.stderr)
+        return 2
+    for name in names:
+        path = GOLDEN_DIR / f"{name}.wirelist"
+        text = render_case(name)
+        old = path.read_text() if path.exists() else None
+        if old == text:
+            print(f"  unchanged  {path.relative_to(REPO)}")
+            continue
+        path.write_text(text)
+        verb = "updated" if old is not None else "created"
+        print(f"  {verb:>9}  {path.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
