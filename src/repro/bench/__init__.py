@@ -2,6 +2,10 @@
 
 from .harness import Timed, best_of, timed
 from .parallel import ScalingRow, distinct_cell_grid, scaling_run
+
+# NOTE: the scanline micro-benchmark lives in repro.bench.scanline and is
+# imported directly (it doubles as ``python -m repro.bench.scanline``, and
+# importing it here would shadow that runpy entry point).
 from .suite import (
     DEFAULT_SCALE,
     POLYFLAT_LIMIT,

@@ -1,0 +1,209 @@
+"""Scanline event-heap micro-benchmark: ``python -m repro.bench.scanline``.
+
+Times the :class:`~repro.core.scanline.ScanlineEngine` alone — front-end
+stream construction and CIF parsing excluded, matching the paper's phase
+split — on the worst-case poly/diffusion mesh of section 4, and writes a
+``BENCH_scanline.json`` report with before/after wall clock per size plus
+the event-heap counters from :class:`~repro.core.stats.ScanStats`.
+
+"Before" numbers come from ``benchmarks/results/scanline_baseline.json``,
+a committed one-off capture of the pre-event-heap engine on the same
+harness; wall-clock speedups are therefore only meaningful on comparable
+hardware.  The counters are not: ``--check`` asserts machine-independent
+invariants of the event-heap design (every scheduled interval is popped
+exactly once, per-stop scheduling overhead is bounded by the number of
+tracked layers, never by the active-list population), so CI can run the
+benchmark without timing flakiness.  See docs/SCANLINE_PERF.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..core.scanline import ScanlineEngine
+from ..frontend.stream import GeometryStream
+from ..tech import NMOS
+from ..workloads.mesh import poly_diff_mesh
+from .harness import timed
+
+#: Mesh sizes (n lines per direction -> n^2 transistors).  The largest
+#: size is where the asymptotic win over the O(stops x active) engine
+#: shows; the smaller ones keep the scaling trend visible.
+DEFAULT_SIZES = (32, 64, 128, 256)
+
+#: Default number of timed runs per size (best-of).
+DEFAULT_REPEATS = 3
+
+#: Committed capture of the pre-event-heap engine, relative to repo root.
+BASELINE_PATH = Path("benchmarks") / "results" / "scanline_baseline.json"
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+def load_baseline(path: Path | None = None) -> dict[int, float]:
+    """Map mesh size -> legacy-engine seconds, or {} if uncaptured."""
+    path = path or _repo_root() / BASELINE_PATH
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    return {int(row["n"]): float(row["seconds"]) for row in payload["rows"]}
+
+
+def bench_scanline(
+    sizes=DEFAULT_SIZES,
+    repeats: int = DEFAULT_REPEATS,
+    baseline: dict[int, float] | None = None,
+) -> list[dict]:
+    """Benchmark each mesh size; returns one JSON-ready row per size."""
+    if baseline is None:
+        baseline = load_baseline()
+    tech = NMOS()
+    rows = []
+    for n in sizes:
+        layout = poly_diff_mesh(n)
+        # The engine consumes its stream destructively, so each repeat
+        # rebuilds stream and engine OUTSIDE the timer: the measurement
+        # covers engine.run alone, not the paper's parse/sort phase.
+        seconds = float("inf")
+        engine = None
+        for _ in range(max(1, repeats)):
+            stream = GeometryStream(layout)
+            engine = ScanlineEngine(tech)
+            seconds = min(seconds, timed(engine.run, stream).seconds)
+        stats = engine.stats
+        before = baseline.get(n)
+        rows.append(
+            {
+                "n": n,
+                "boxes": stats.boxes_in,
+                "stops": stats.stops,
+                "devices": stats.devices_created,
+                "peak_active": stats.peak_active,
+                "seconds": seconds,
+                "baseline_seconds": before,
+                "speedup": (before / seconds) if before else None,
+                "tracked_layers": len(engine._heaps),
+                "counters": {
+                    "heap_pushes": stats.heap_pushes,
+                    "heap_pops": stats.heap_pops,
+                    "lazy_discards": stats.lazy_discards,
+                    "expired": stats.expired,
+                    "intervals_scanned": stats.intervals_scanned,
+                    "max_stop_overhead": stats.max_stop_overhead,
+                },
+            }
+        )
+    return rows
+
+
+def check_rows(rows: list[dict]) -> list[str]:
+    """Machine-independent event-heap invariants; returns violations.
+
+    * conservation: every push is eventually popped, and every pop is
+      either a real expiry or a lazy discard of a merge-consumed entry;
+    * bounded overhead: at any stop the engine examines at most two
+      heap heads per tracked layer beyond the entries it removes, so
+      scheduling work per stop is O(layers), not O(active intervals);
+    * the aggregate corollary: total examinations are bounded by total
+      removals plus that per-stop allowance.
+    """
+    problems = []
+    for row in rows:
+        n, c = row["n"], row["counters"]
+        layers = row["tracked_layers"]
+        if c["heap_pushes"] != c["heap_pops"]:
+            problems.append(
+                f"n={n}: {c['heap_pushes']} pushes but {c['heap_pops']} pops"
+            )
+        if c["expired"] + c["lazy_discards"] != c["heap_pops"]:
+            problems.append(
+                f"n={n}: expired {c['expired']} + lazy {c['lazy_discards']}"
+                f" != pops {c['heap_pops']}"
+            )
+        if c["max_stop_overhead"] > 2 * layers:
+            problems.append(
+                f"n={n}: max per-stop overhead {c['max_stop_overhead']}"
+                f" exceeds 2 x {layers} tracked layers"
+            )
+        budget = c["heap_pops"] + 2 * layers * row["stops"]
+        if c["intervals_scanned"] > budget:
+            problems.append(
+                f"n={n}: {c['intervals_scanned']} intervals scanned"
+                f" exceeds event budget {budget}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.scanline", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--sizes",
+        type=lambda s: tuple(int(v) for v in s.split(",")),
+        default=DEFAULT_SIZES,
+        help="comma-separated mesh sizes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help="timed runs per size, best-of (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_scanline.json",
+        help="report path (default %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON (default: the committed capture)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on event-heap counter invariant violations",
+    )
+    args = parser.parse_args(argv)
+
+    rows = bench_scanline(
+        sizes=args.sizes,
+        repeats=args.repeats,
+        baseline=load_baseline(args.baseline),
+    )
+    report = {
+        "benchmark": "scanline worst-case mesh (engine only)",
+        "workload": "poly_diff_mesh: 2n boxes, n^2 transistors",
+        "baseline": str(BASELINE_PATH),
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in rows:
+        speed = (
+            f"{row['speedup']:.2f}x vs baseline {row['baseline_seconds']:.4f}s"
+            if row["speedup"]
+            else "no baseline"
+        )
+        c = row["counters"]
+        print(
+            f"n={row['n']:>4}  {row['devices']:>6} devices  "
+            f"{row['seconds']:.4f}s  ({speed})  "
+            f"overhead<={c['max_stop_overhead']}/stop"
+        )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        problems = check_rows(rows)
+        if problems:
+            for p in problems:
+                print(f"INVARIANT VIOLATION: {p}", file=sys.stderr)
+            return 1
+        print("event-heap counter invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

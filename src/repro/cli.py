@@ -157,6 +157,13 @@ def main(argv: "list[str] | None" = None) -> int:
                 f"peak active {scan.peak_active}",
                 file=sys.stderr,
             )
+            print(
+                f"ace events: {scan.heap_pushes} heap pushes, "
+                f"{scan.heap_pops} pops ({scan.lazy_discards} lazy), "
+                f"{scan.expired} expired intervals, "
+                f"max {scan.max_stop_overhead} scans/stop beyond removals",
+                file=sys.stderr,
+            )
     elapsed = time.perf_counter() - started
 
     text = write_wirelist(wirelist)

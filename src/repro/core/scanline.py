@@ -19,6 +19,15 @@ The implementation follows Figure 3-2 step for step:
        area, gate nets, and terminal contact perimeter;
   2.d  next stop = max over upcoming box tops and active bottoms.
 
+Event scheduling is heap-based so a stop costs work proportional to the
+events at that stop, not to the number of active intervals: every active
+interval is registered on a per-layer bottom-edge heap when created, and
+an interval consumed by a merge is *lazily invalidated* -- its heap entry
+stays behind, marked dead, and is discarded when it surfaces.  Step 2.d
+is then a constant number of heap peeks and step "expire" pops exactly
+the intervals whose bottom edge is the current stop.  The design notes
+and invariants live in docs/SCANLINE_PERF.md.
+
 In *window mode* (HEXT's modified ACE) the engine also records every
 conducting span and channel span that touches the window boundary; those
 records become the window's interface.
@@ -39,8 +48,11 @@ from .stats import PhaseTimer, ScanStats
 from .unionfind import UnionFind
 
 # Active-interval field indices (plain lists are measurably faster than
-# objects in this inner loop).
-_X1, _X2, _YBOT, _NET = 0, 1, 2, 3
+# objects in this inner loop).  _LIVE is the lazy-deletion flag: cleared
+# when a merge or expiry retires the interval while its heap entry is
+# still queued.  _BORN is the stop ordinal the interval was created at,
+# which distinguishes strip-above survivors from same-stop newcomers.
+_X1, _X2, _YBOT, _NET, _LIVE, _BORN = 0, 1, 2, 3, 4, 5
 
 #: Deliberately broken scanline rules, set only by the differential
 #: harness's fault-injection self-test (:mod:`repro.difftest.faults`).
@@ -89,6 +101,21 @@ class ScanlineEngine:
         }
         self._active: dict[str, list[list]] = {name: [] for name in tracked}
         self._keys: dict[str, list[int]] = {name: [] for name in tracked}
+        #: per-layer bottom-edge event heaps of (-ybot, seq, interval)
+        self._heaps: dict[str, list[tuple[int, int, list]]] = {
+            name: [] for name in tracked
+        }
+        self._heap_seq = 0
+        self._active_count = 0
+        self._stop = 0  #: current stop ordinal (compared against _BORN)
+        #: net-layer strip-above intervals retired during the current
+        #: stop, by expiry or merge consumption.  Together with in-list
+        #: intervals born before the stop, these reconstruct the exact
+        #: strip-above view the vertical-adjacency rule needs -- without
+        #: snapshotting the full active lists every strip.
+        self._prev_retired: dict[str, list[tuple[int, int, int]]] = {
+            name: [] for name in self._net_layers
+        }
         self._ignored = {layer.cif_name for layer in tech.ignored_layers}
 
         self._nets = UnionFind()
@@ -114,20 +141,21 @@ class ScanlineEngine:
     def run(self, stream: GeometryStream) -> Circuit:
         """Sweep the stream top to bottom and return the circuit."""
         timer = self.timer
+        stats = self.stats
         timer.start("frontend")
         y = stream.next_top()
         if self._pending:
             top = -self._pending[0][0]
             y = top if y is None else max(y, top)
 
-        prev_spans: dict[str, list[tuple[int, int, int]]] = {
-            layer: [] for layer in self._net_layers
-        }
         prev_diff: list[tuple[int, int, int]] = []
         prev_channels: list[tuple[int, int, int]] = []
 
         while y is not None:
-            self.stats.stops += 1
+            stats.stops += 1
+            self._stop += 1
+            scanned_before = stats.intervals_scanned
+            pops_before = stats.heap_pops
             timer.start("insert")
             self._expire(y)
             timer.start("frontend")
@@ -135,16 +163,21 @@ class ScanlineEngine:
             timer.start("insert")
             self._enter_continuations(y)
             for layer, box in new_boxes:
-                self.stats.boxes_in += 1
+                stats.boxes_in += 1
                 self._insert(
-                    layer, box.xmin, box.xmax, box.ymin, None, prev_spans, box
+                    layer, box.xmin, box.xmax, box.ymin, None, True, box
                 )
             y_next = self._next_stop(stream, y)
+            overhead = (stats.intervals_scanned - scanned_before) - (
+                stats.heap_pops - pops_before
+            )
+            if overhead > stats.max_stop_overhead:
+                stats.max_stop_overhead = overhead
             if y_next is None:
                 break
             timer.start("devices")
-            prev_spans, prev_diff, prev_channels = self._process_strip(
-                y_next, y, prev_spans, prev_diff, prev_channels, stream
+            prev_diff, prev_channels = self._process_strip(
+                y_next, y, prev_diff, prev_channels, stream
             )
             timer.start("frontend")
             y = y_next
@@ -155,40 +188,83 @@ class ScanlineEngine:
         return circuit
 
     def _next_stop(self, stream: GeometryStream, y: int) -> int | None:
-        candidates: list[int] = []
-        top = stream.next_top()
-        if top is not None:
-            candidates.append(top)
+        """Step 2.d as a heap peek: O(#layers) plus lazy-dead cleanup."""
+        stats = self.stats
+        best = stream.next_top()
         if self._pending:
-            candidates.append(-self._pending[0][0])
-        for intervals in self._active.values():
-            for interval in intervals:
-                candidates.append(interval[_YBOT])
-        if not candidates:
+            top = -self._pending[0][0]
+            if best is None or top > best:
+                best = top
+        for heap in self._heaps.values():
+            while heap:
+                stats.intervals_scanned += 1
+                neg_bot, _, iv = heap[0]
+                if iv[_LIVE]:
+                    bot = -neg_bot
+                    if best is None or bot > best:
+                        best = bot
+                    break
+                heapq.heappop(heap)
+                stats.heap_pops += 1
+                stats.lazy_discards += 1
+        if best is None:
             return None
-        y_next = max(candidates)
-        if y_next >= y:  # pragma: no cover - sweep invariant
-            raise AssertionError(f"scanline failed to advance: {y_next} >= {y}")
-        return y_next
+        if best >= y:  # pragma: no cover - sweep invariant
+            raise AssertionError(f"scanline failed to advance: {best} >= {y}")
+        return best
 
     # ------------------------------------------------------------------
     # active-list maintenance (steps 2.a / 2.b)
     # ------------------------------------------------------------------
 
     def _expire(self, y: int) -> None:
-        """Drop intervals whose bottom edge coincides with the scanline."""
-        for layer, intervals in self._active.items():
-            if any(iv[_YBOT] == y for iv in intervals):
-                kept = [iv for iv in intervals if iv[_YBOT] != y]
-                self._active[layer] = kept
-                self._keys[layer] = [iv[_X1] for iv in kept]
+        """Pop the intervals whose bottom edge coincides with the scanline.
+
+        Only heap entries that actually retire (expiring intervals plus
+        lazily invalidated leftovers of earlier merges) are popped; one
+        extra peek per non-empty layer detects that nothing more ends
+        here.  Net-layer expiries are recorded in ``_prev_retired`` for
+        the stop's duration, feeding the vertical-adjacency rule in
+        :meth:`_insert`.
+        """
+        stats = self.stats
+        retired = self._prev_retired
+        for layer in retired:
+            if retired[layer]:
+                retired[layer] = []
+        for layer, heap in self._heaps.items():
+            if not heap:
+                continue
+            retired_here = retired.get(layer)
+            while heap:
+                stats.intervals_scanned += 1
+                neg_bot, _, iv = heap[0]
+                if iv[_LIVE] and -neg_bot != y:
+                    break
+                heapq.heappop(heap)
+                stats.heap_pops += 1
+                if not iv[_LIVE]:
+                    stats.lazy_discards += 1
+                    continue
+                stats.expired += 1
+                iv[_LIVE] = False
+                intervals = self._active[layer]
+                keys = self._keys[layer]
+                # Live intervals are disjoint, so x1 is unique: bisect
+                # lands exactly on the retiring interval.
+                i = bisect_left(keys, iv[_X1])
+                del intervals[i]
+                del keys[i]
+                self._active_count -= 1
+                if retired_here is not None:
+                    retired_here.append((iv[_X1], iv[_X2], iv[_NET]))
 
     def _enter_continuations(self, y: int) -> None:
         """Re-insert buffered lower portions whose top is the scanline."""
         pending = self._pending
         while pending and -pending[0][0] == y:
             _, _, layer, x1, x2, ybot, net = heapq.heappop(pending)
-            self._insert(layer, x1, x2, ybot, net, None, None)
+            self._insert(layer, x1, x2, ybot, net, False, None)
 
     def _insert(
         self,
@@ -197,7 +273,7 @@ class ScanlineEngine:
         x2: int,
         ybot: int,
         net: int | None,
-        prev_spans: dict[str, list[tuple[int, int, int]]] | None,
+        fresh: bool,
         box: Box | None,
     ) -> None:
         """Merge one box (or continuation) into a layer's active list.
@@ -206,6 +282,9 @@ class ScanlineEngine:
         for net-carrying layers) and pre-bound for continuations.  ``box``
         is the original artwork box for geometry/location bookkeeping and
         None for continuations, whose upper part was already recorded.
+        ``fresh`` geometry additionally joins, by vertical adjacency, the
+        nets of strip-above intervals that retired at this very stop;
+        adjacency to intervals that continue below is the ordinary merge.
         """
         intervals = self._active.get(layer)
         if intervals is None:
@@ -220,13 +299,39 @@ class ScanlineEngine:
             if net is None:
                 net = self._nets.make()
                 self.stats.nets_created += 1
-            if prev_spans is not None:
+            if fresh:
                 # Vertical adjacency: new geometry starting exactly where
-                # the strip above ended joins the net above it.
-                for px1, px2, pnet in prev_spans[layer]:
-                    if px1 >= x2:
+                # the strip above ended joins the nets above it.  The
+                # strip-above view is reconstructed from two event-bounded
+                # sources: intervals retired during this stop (expiry or
+                # merge consumption) and in-list survivors born before
+                # this stop.  Union order follows ascending x1, exactly
+                # as a full strip snapshot would.
+                cands: list[tuple[int, int]] | None = None
+                retired = self._prev_retired[layer]
+                if retired:
+                    cands = [
+                        (px1, pnet)
+                        for px1, px2, pnet in retired
+                        if px2 > x1 and px1 < x2
+                    ]
+                i = bisect_left(keys, x1)
+                if i > 0 and intervals[i - 1][_X2] > x1:
+                    i -= 1
+                n_intervals = len(intervals)
+                born_limit = self._stop
+                while i < n_intervals:
+                    iv = intervals[i]
+                    if iv[_X1] >= x2:
                         break
-                    if px2 > x1:
+                    if iv[_BORN] < born_limit and iv[_X2] > x1:
+                        if cands is None:
+                            cands = []
+                        cands.append((iv[_X1], iv[_NET]))
+                    i += 1
+                if cands:
+                    cands.sort()
+                    for _, pnet in cands:
                         net = self._nets.union(net, pnet)
             if box is not None:
                 self._touch_net(net, box.xmin, box.ymax)
@@ -241,13 +346,18 @@ class ScanlineEngine:
             lo -= 1
         hi = bisect_right(keys, x2, lo=lo)
         if lo == hi:
-            intervals.insert(lo, [x1, x2, ybot, net])
+            interval = [x1, x2, ybot, net, True, self._stop]
+            intervals.insert(lo, interval)
             keys.insert(lo, x1)
+            self._active_count += 1
+            self._schedule(layer, interval)
             return
 
         # Merge the new box with intervals[lo:hi] (step 2.b).  The merged
         # interval lives until the *earliest* bottom; the deeper remainder
-        # of every taller piece re-enters from the pending buffer.
+        # of every taller piece re-enters from the pending buffer.  The
+        # consumed pieces are lazily invalidated: their heap entries stay
+        # queued, flagged dead, and are dropped when they surface.
         self.stats.merges += 1
         pieces = intervals[lo:hi]
         new_x1 = min(x1, pieces[0][_X1])
@@ -258,15 +368,33 @@ class ScanlineEngine:
                 max_bot = piece[_YBOT]
             if carries_net:
                 net = self._nets.union(net, piece[_NET])
+        stop = self._stop
+        retired = self._prev_retired.get(layer) if carries_net else None
         for piece in pieces:
+            piece[_LIVE] = False
+            if retired is not None and piece[_BORN] < stop:
+                # A consumed strip-above interval stays visible to later
+                # same-stop vertical-adjacency checks.
+                retired.append((piece[_X1], piece[_X2], piece[_NET]))
             if piece[_YBOT] < max_bot:
                 self._push_pending(
                     layer, piece[_X1], piece[_X2], max_bot, piece[_YBOT], net
                 )
         if ybot < max_bot:
             self._push_pending(layer, x1, x2, max_bot, ybot, net)
-        intervals[lo:hi] = [[new_x1, new_x2, max_bot, net]]
+        merged = [new_x1, new_x2, max_bot, net, True, stop]
+        intervals[lo:hi] = [merged]
         keys[lo:hi] = [new_x1]
+        self._active_count += 1 - len(pieces)
+        self._schedule(layer, merged)
+
+    def _schedule(self, layer: str, interval: list) -> None:
+        """Register an interval's bottom edge on its layer's event heap."""
+        self._heap_seq += 1
+        heapq.heappush(
+            self._heaps[layer], (-interval[_YBOT], self._heap_seq, interval)
+        )
+        self.stats.heap_pushes += 1
 
     def _push_pending(
         self, layer: str, x1: int, x2: int, top: int, ybot: int, net: int | None
@@ -285,12 +413,10 @@ class ScanlineEngine:
         self,
         y_lo: int,
         y_hi: int,
-        prev_spans: dict[str, list[tuple[int, int, int]]],
         prev_diff: list[tuple[int, int, int]],
         prev_channels: list[tuple[int, int, int]],
         stream: GeometryStream,
     ) -> tuple[
-        dict[str, list[tuple[int, int, int]]],
         list[tuple[int, int, int]],
         list[tuple[int, int, int]],
     ]:
@@ -298,37 +424,47 @@ class ScanlineEngine:
         nets = self._nets
         find = nets.find
 
-        total_active = sum(len(ivs) for ivs in self._active.values())
+        total_active = self._active_count
         self.stats.observe_active(total_active)
         if total_active:
             self.stats.strips += 1
 
-        nd = [(iv[_X1], iv[_X2]) for iv in self._active[self._diff]]
+        nd = self._active[self._diff]
         np_ = self._active[self._poly]
-        nb = [(iv[_X1], iv[_X2]) for iv in self._active[self._buried]]
-        ni = [(iv[_X1], iv[_X2]) for iv in self._active[self._implant]]
+        nb = self._active[self._buried]
+        ni = self._active[self._implant]
 
         # Channels: diffusion AND poly AND NOT buried, remembering the
         # poly interval that forms each gate.
         channels: list[tuple[int, int, int]] = []  # (x1, x2, poly net id)
         buried_holes = [] if "channel-under-buried" in FAULTS else nb
         if nd and np_:
-            for x1, x2, poly_net in _intersect_with_net(nd, np_):
-                for cx1, cx2 in _subtract_spans([(x1, x2)], buried_holes):
-                    channels.append((cx1, cx2, poly_net))
+            channels = _intersect_intervals(nd, np_)
+            if buried_holes:
+                channels = _subtract_channels(channels, buried_holes)
 
         # Conducting diffusion: diffusion minus channels.
-        cond_bare = _subtract_spans(nd, [(c[0], c[1]) for c in channels])
+        if channels:
+            cond_bare = _subtract_diff(nd, channels)
+        else:
+            cond_bare = [(iv[_X1], iv[_X2]) for iv in nd]
 
-        # Assign diffusion nets by vertical adjacency to the strip above.
+        # Assign diffusion nets by vertical adjacency to the strip above;
+        # both lists are sorted, so one merged sweep suffices.
         cond: list[tuple[int, int, int]] = []
+        n_prev_diff = len(prev_diff)
+        pj = 0
         for x1, x2 in cond_bare:
+            while pj < n_prev_diff and prev_diff[pj][1] <= x1:
+                pj += 1
             net = None
-            for px1, px2, pnet in prev_diff:
-                if px1 >= x2:
+            k = pj
+            while k < n_prev_diff:
+                entry = prev_diff[k]
+                if entry[0] >= x2:
                     break
-                if px2 > x1:
-                    net = pnet if net is None else nets.union(net, pnet)
+                net = entry[2] if net is None else nets.union(net, entry[2])
+                k += 1
             if net is None:
                 net = nets.make()
                 self.stats.nets_created += 1
@@ -339,15 +475,23 @@ class ScanlineEngine:
                 )
             cond.append((x1, x2, net))
 
-        # Devices: channel spans inherit device identity from above.
+        # Devices: channel spans inherit device identity from above, the
+        # implant flag comes from a parallel sweep over the implant list.
         strip_channels: list[tuple[int, int, int]] = []
+        n_prev_channels = len(prev_channels)
+        n_implant = len(ni)
+        cj = ij = 0
         for x1, x2, poly_net in channels:
+            while cj < n_prev_channels and prev_channels[cj][1] <= x1:
+                cj += 1
             dev = None
-            for px1, px2, pdev in prev_channels:
-                if px1 >= x2:
+            k = cj
+            while k < n_prev_channels:
+                entry = prev_channels[k]
+                if entry[0] >= x2:
                     break
-                if px2 > x1:
-                    dev = pdev if dev is None else self._devs.union(dev, pdev)
+                dev = entry[2] if dev is None else self._devs.union(dev, entry[2])
+                k += 1
             if dev is None:
                 dev = self._devs.make()
                 self.stats.devices_created += 1
@@ -362,60 +506,98 @@ class ScanlineEngine:
             rec = self._dev[self._devs.find(dev)]
             rec["area"] += (x2 - x1) * height
             rec["gates"].add(find(poly_net))
-            rec["geo"].append(Box(x1, y_lo, x2, y_hi))
+            if self.keep_geometry:
+                rec["geo"].append(Box(x1, y_lo, x2, y_hi))
             loc = (y_hi, -x1)
             if rec["loc"] is None or loc > rec["loc"]:
                 rec["loc"] = loc
-            if ni and _overlaps_any(x1, x2, ni):
+            while ij < n_implant and ni[ij][_X2] <= x1:
+                ij += 1
+            if ij < n_implant and ni[ij][_X1] < x2:
                 rec["impl"] = True
             strip_channels.append((x1, x2, dev))
 
         # Terminal contacts.
         if strip_channels:
-            # horizontal: conducting diffusion abutting a channel sideways
-            for cx1, cx2, dev in strip_channels:
-                for dx1, dx2, dnet in cond:
-                    if dx2 == cx1 or dx1 == cx2:
-                        self._add_terminal(dev, dnet, height)
+            if cond:
+                # horizontal: conducting diffusion abutting a channel
+                # sideways.  Channels and conducting spans partition the
+                # diffusion, so abutting pairs are neighbours in the
+                # merged x-order -- one zipper walk finds them all.
+                self._horizontal_terminals(strip_channels, cond, height)
             # vertical: channel below conducting diffusion of the strip above
+            dj = 0
             for cx1, cx2, dev in strip_channels:
-                for px1, px2, pnet in prev_diff:
+                while dj < n_prev_diff and prev_diff[dj][1] <= cx1:
+                    dj += 1
+                k = dj
+                while k < n_prev_diff:
+                    px1, px2, pnet = prev_diff[k]
                     if px1 >= cx2:
                         break
                     overlap = min(cx2, px2) - max(cx1, px1)
                     if overlap > 0:
                         self._add_terminal(dev, pnet, overlap)
+                    k += 1
         if prev_channels and cond:
             # vertical: conducting diffusion below a channel of the strip above
+            pk = 0
             for dx1, dx2, dnet in cond:
-                for px1, px2, pdev in prev_channels:
+                while pk < n_prev_channels and prev_channels[pk][1] <= dx1:
+                    pk += 1
+                k = pk
+                while k < n_prev_channels:
+                    px1, px2, pdev = prev_channels[k]
                     if px1 >= dx2:
                         break
                     overlap = min(dx2, px2) - max(dx1, px1)
                     if overlap > 0:
                         self._add_terminal(pdev, dnet, overlap)
+                    k += 1
 
         # Contact cuts union conducting nets wherever the layers overlap
-        # both each other and the cut (pointwise, not per cut span).
+        # both each other and the cut (pointwise, not per cut span).  The
+        # cuts are disjoint and sorted, so each conducting list is walked
+        # once across all cuts.
         nc = self._active[self._contact]
         if nc:
             metal = self._active[self._metal]
+            n_metal, n_poly, n_cond = len(metal), len(np_), len(cond)
+            mi = pi = di = 0
             for cut in nc:
                 cx1, cx2 = cut[_X1], cut[_X2]
                 present: list[tuple[int, int, int]] = []
-                for iv in metal:
-                    if iv[_X1] < cx2 and iv[_X2] > cx1:
-                        present.append(
-                            (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
-                        )
-                for iv in np_:
-                    if iv[_X1] < cx2 and iv[_X2] > cx1:
-                        present.append(
-                            (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
-                        )
-                for dx1, dx2, dnet in cond:
-                    if dx1 < cx2 and dx2 > cx1:
-                        present.append((max(dx1, cx1), min(dx2, cx2), dnet))
+                while mi < n_metal and metal[mi][_X2] <= cx1:
+                    mi += 1
+                k = mi
+                while k < n_metal:
+                    iv = metal[k]
+                    if iv[_X1] >= cx2:
+                        break
+                    present.append(
+                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                    )
+                    k += 1
+                while pi < n_poly and np_[pi][_X2] <= cx1:
+                    pi += 1
+                k = pi
+                while k < n_poly:
+                    iv = np_[k]
+                    if iv[_X1] >= cx2:
+                        break
+                    present.append(
+                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                    )
+                    k += 1
+                while di < n_cond and cond[di][1] <= cx1:
+                    di += 1
+                k = di
+                while k < n_cond:
+                    dx1, dx2, dnet = cond[k]
+                    if dx1 >= cx2:
+                        break
+                    present.append((max(dx1, cx1), min(dx2, cx2), dnet))
+                    k += 1
                 present.sort()
                 for i, (a1, a2, anet) in enumerate(present):
                     for b1, b2, bnet in present[i + 1 :]:
@@ -423,27 +605,65 @@ class ScanlineEngine:
                             break
                         nets.union(anet, bnet)
 
-        # Buried contacts union poly and diffusion where all three meet.
+        # Buried contacts union poly and diffusion where all three meet;
+        # again a single monotone sweep over each sorted list.
         if nb and cond and "buried-skip" not in FAULTS:
-            for bx1, bx2 in nb:
-                for iv in np_:
+            n_poly, n_cond = len(np_), len(cond)
+            bp = bd = 0
+            for biv in nb:
+                bx1, bx2 = biv[_X1], biv[_X2]
+                while bp < n_poly and np_[bp][_X2] <= bx1:
+                    bp += 1
+                k = bp
+                while k < n_poly:
+                    iv = np_[k]
+                    if iv[_X1] >= bx2:
+                        break
                     px1, px2 = max(iv[_X1], bx1), min(iv[_X2], bx2)
-                    if px1 >= px2:
-                        continue
-                    for dx1, dx2, dnet in cond:
-                        if dx1 < px2 and dx2 > px1:
+                    if px1 < px2:
+                        while bd < n_cond and cond[bd][1] <= px1:
+                            bd += 1
+                        dk = bd
+                        while dk < n_cond:
+                            dx1, dx2, dnet = cond[dk]
+                            if dx1 >= px2:
+                                break
                             nets.union(iv[_NET], dnet)
+                            dk += 1
+                    k += 1
 
         self._attach_labels(y_lo, y_hi, cond, stream)
 
         if self.window is not None:
             self._capture_boundary(y_lo, y_hi, cond, strip_channels)
 
-        new_prev = {
-            layer: [(iv[_X1], iv[_X2], iv[_NET]) for iv in self._active[layer]]
-            for layer in self._net_layers
-        }
-        return new_prev, cond, strip_channels
+        return cond, strip_channels
+
+    def _horizontal_terminals(
+        self,
+        strip_channels: list[tuple[int, int, int]],
+        cond: list[tuple[int, int, int]],
+        height: int,
+    ) -> None:
+        """Record channel/diffusion side contacts via one zipper walk."""
+        i = j = 0
+        n_ch, n_co = len(strip_channels), len(cond)
+        prev_is_channel = False
+        prev_end = None
+        prev_ident = None
+        while i < n_ch or j < n_co:
+            if j >= n_co or (i < n_ch and strip_channels[i][0] < cond[j][0]):
+                span, is_channel = strip_channels[i], True
+                i += 1
+            else:
+                span, is_channel = cond[j], False
+                j += 1
+            if prev_end == span[0] and prev_is_channel != is_channel:
+                if is_channel:
+                    self._add_terminal(span[2], prev_ident, height)
+                else:
+                    self._add_terminal(prev_ident, span[2], height)
+            prev_is_channel, prev_end, prev_ident = is_channel, span[1], span[2]
 
     def _add_terminal(self, dev: int, net: int, length: int) -> None:
         rec = self._dev[self._devs.find(dev)]
@@ -474,13 +694,16 @@ class ScanlineEngine:
         if not self._labels:
             return
         remaining: list[PlacedLabel] = []
+        cond_starts: list[int] | None = None
         for label in self._labels:
             if label.y > y_hi:
                 self._unattached.append(label)
             elif label.y < y_lo:
                 remaining.append(label)
             else:
-                net = self._net_at_point(label, cond)
+                if cond_starts is None:
+                    cond_starts = [span[0] for span in cond]
+                net = self._net_at_point(label, cond, cond_starts)
                 if net is None:
                     self._unattached.append(label)
                 else:
@@ -488,7 +711,10 @@ class ScanlineEngine:
         self._labels = remaining
 
     def _net_at_point(
-        self, label: PlacedLabel, cond: list[tuple[int, int, int]]
+        self,
+        label: PlacedLabel,
+        cond: list[tuple[int, int, int]],
+        cond_starts: list[int],
     ) -> int | None:
         layers: tuple[str, ...]
         if label.layer:
@@ -498,12 +724,15 @@ class ScanlineEngine:
         x = label.x
         for layer in layers:
             if layer == self._diff:
-                for x1, x2, net in cond:
-                    if x1 <= x <= x2:
-                        return net
+                i = bisect_right(cond_starts, x) - 1
+                if i >= 0 and cond[i][1] >= x:
+                    return cond[i][2]
             elif layer in self._net_layers:
-                for iv in self._active[layer]:
-                    if iv[_X1] <= x <= iv[_X2]:
+                keys = self._keys[layer]
+                i = bisect_right(keys, x) - 1
+                if i >= 0:
+                    iv = self._active[layer][i]
+                    if iv[_X2] >= x:
                         return iv[_NET]
         return None
 
@@ -521,20 +750,37 @@ class ScanlineEngine:
         window = self.window
         assert window is not None
         records = self._boundary
+        wx1, wx2 = window.xmin, window.xmax
 
-        def sides(layer: str, x1: int, x2: int, ident: int) -> None:
-            if x1 == window.xmin:
-                records.append((Face.LEFT, layer, y_lo, y_hi, ident))
-            if x2 == window.xmax:
-                records.append((Face.RIGHT, layer, y_lo, y_hi, ident))
-
+        # Active intervals are disjoint with strictly increasing x1 and
+        # x2, so at most one interval per layer can start on the left
+        # window edge (and one end on the right): bisect to the two
+        # candidates instead of scanning the whole list every strip.
         for layer in self._net_layers:
-            for iv in self._active[layer]:
-                sides(layer, iv[_X1], iv[_X2], iv[_NET])
+            intervals = self._active[layer]
+            if not intervals:
+                continue
+            keys = self._keys[layer]
+            i = bisect_left(keys, wx1)
+            if i < len(keys) and keys[i] == wx1:
+                records.append(
+                    (Face.LEFT, layer, y_lo, y_hi, intervals[i][_NET])
+                )
+            j = bisect_right(keys, wx2) - 1
+            if j >= 0 and intervals[j][_X2] == wx2:
+                records.append(
+                    (Face.RIGHT, layer, y_lo, y_hi, intervals[j][_NET])
+                )
         for x1, x2, net in cond:
-            sides(self._diff, x1, x2, net)
+            if x1 == wx1:
+                records.append((Face.LEFT, self._diff, y_lo, y_hi, net))
+            if x2 == wx2:
+                records.append((Face.RIGHT, self._diff, y_lo, y_hi, net))
         for x1, x2, dev in strip_channels:
-            sides(CHANNEL, x1, x2, dev)
+            if x1 == wx1:
+                records.append((Face.LEFT, CHANNEL, y_lo, y_hi, dev))
+            if x2 == wx2:
+                records.append((Face.RIGHT, CHANNEL, y_lo, y_hi, dev))
 
         if y_hi == window.ymax:
             for layer in self._net_layers:
@@ -565,6 +811,7 @@ class ScanlineEngine:
         from .netlist import Device, Net
 
         nets = self._nets
+        find = nets.find
         for label in self._labels:  # below all geometry
             self._unattached.append(label)
         self._labels = []
@@ -573,7 +820,7 @@ class ScanlineEngine:
         geometry = nets.fold(self._net_geo) if self.keep_geometry else {}
         locations: dict[int, tuple[int, int]] = {}
         for ident, loc in self._net_loc.items():
-            root = nets.find(ident)
+            root = find(ident)
             if root not in locations or loc > locations[root]:
                 locations[root] = loc
 
@@ -604,8 +851,9 @@ class ScanlineEngine:
 
         # Fold device records by device root.
         dev_roots: dict[int, dict] = {}
+        dev_find = self._devs.find
         for ident, rec in self._dev.items():
-            root = self._devs.find(ident)
+            root = dev_find(ident)
             into = dev_roots.get(root)
             if into is None or into is rec:
                 dev_roots[root] = rec
@@ -644,13 +892,15 @@ class ScanlineEngine:
             rec = dev_roots[root]
             terms = {}
             for net, length in rec["terms"].items():
-                net_root = nets.find(net)
-                idx = index_of.get(net_root)
+                idx = index_of.get(find(net))
                 if idx is not None:
                     terms[idx] = terms.get(idx, 0) + length
-            gate_indices = sorted(
-                {index_of[nets.find(g)] for g in rec["gates"] if nets.find(g) in index_of}
-            )
+            gate_roots = {find(g) for g in rec["gates"]}
+            gate_indices = [
+                index_of[g] for g in gate_roots if g in index_of
+            ]
+            if len(gate_indices) > 1:
+                gate_indices.sort()
             sized = size_device(rec["area"], terms)
             loc = rec["loc"]
             device = Device(
@@ -701,61 +951,86 @@ class ScanlineEngine:
 
 
 # ----------------------------------------------------------------------
-# span helpers (disjoint sorted span lists)
+# span helpers (disjoint sorted span lists, single merged sweeps)
 # ----------------------------------------------------------------------
 
 
-def _intersect_with_net(
-    spans: list[tuple[int, int]], intervals: list[list]
+def _intersect_intervals(
+    spans: list[list], intervals: list[list]
 ) -> list[tuple[int, int, int]]:
-    """Intersect bare spans with net-carrying intervals (both sorted)."""
+    """Intersect two sorted interval lists, keeping the second's nets."""
     out: list[tuple[int, int, int]] = []
     i = j = 0
-    while i < len(spans) and j < len(intervals):
-        a1, a2 = spans[i]
-        iv = intervals[j]
-        b1, b2 = iv[_X1], iv[_X2]
-        lo, hi = max(a1, b1), min(a2, b2)
+    n_spans, n_intervals = len(spans), len(intervals)
+    while i < n_spans and j < n_intervals:
+        a = spans[i]
+        b = intervals[j]
+        lo = a[_X1] if a[_X1] > b[_X1] else b[_X1]
+        hi = a[_X2] if a[_X2] < b[_X2] else b[_X2]
         if lo < hi:
-            out.append((lo, hi, iv[_NET]))
-        if a2 <= b2:
+            out.append((lo, hi, b[_NET]))
+        if a[_X2] <= b[_X2]:
             i += 1
         else:
             j += 1
     return out
 
 
-def _subtract_spans(
-    spans: list[tuple[int, int]], holes: list[tuple[int, int]]
+def _subtract_channels(
+    segments: list[tuple[int, int, int]], holes: list[list]
+) -> list[tuple[int, int, int]]:
+    """Channel segments minus hole intervals, keeping each gate net."""
+    out: list[tuple[int, int, int]] = []
+    hj = 0
+    n_holes = len(holes)
+    for x1, x2, pnet in segments:
+        pos = x1
+        while hj < n_holes and holes[hj][_X2] <= pos:
+            hj += 1
+        j = hj
+        while j < n_holes:
+            hole = holes[j]
+            if hole[_X1] >= x2:
+                break
+            if hole[_X1] > pos:
+                out.append((pos, hole[_X1], pnet))
+            if hole[_X2] > pos:
+                pos = hole[_X2]
+            if pos >= x2:
+                break
+            j += 1
+        if pos < x2:
+            out.append((pos, x2, pnet))
+    return out
+
+
+def _subtract_diff(
+    spans: list[list], holes: list[tuple[int, int, int]]
 ) -> list[tuple[int, int]]:
-    """Spans minus holes; inputs sorted and disjoint, output likewise."""
-    if not holes:
-        return list(spans)
+    """Diffusion intervals minus channel spans; all inputs sorted."""
     out: list[tuple[int, int]] = []
-    for lo, hi in spans:
+    hj = 0
+    n_holes = len(holes)
+    for iv in spans:
+        lo, hi = iv[_X1], iv[_X2]
         pos = lo
-        for hlo, hhi in holes:
-            if hhi <= pos:
-                continue
+        while hj < n_holes and holes[hj][1] <= pos:
+            hj += 1
+        j = hj
+        while j < n_holes:
+            hlo, hhi = holes[j][0], holes[j][1]
             if hlo >= hi:
                 break
             if hlo > pos:
                 out.append((pos, hlo))
-            pos = max(pos, hhi)
+            if hhi > pos:
+                pos = hhi
             if pos >= hi:
                 break
+            j += 1
         if pos < hi:
             out.append((pos, hi))
     return out
-
-
-def _overlaps_any(x1: int, x2: int, spans: list[tuple[int, int]]) -> bool:
-    for lo, hi in spans:
-        if lo >= x2:
-            return False
-        if hi > x1:
-            return True
-    return False
 
 
 def _coalesce_boundary(records: list[BoundaryRecord]) -> list[BoundaryRecord]:

@@ -37,6 +37,16 @@ def size_device(area: int, terminals: "dict[int, int]") -> SizedDevice:
     """
     if area < 0:
         raise ValueError("channel area cannot be negative")
+    if len(terminals) == 2:
+        # Fast path for the overwhelmingly common two-terminal channel.
+        (n1, p1), (n2, p2) = terminals.items()
+        if (-p1, n1) > (-p2, n2):
+            n1, p1, n2, p2 = n2, p2, n1, p1
+        width = (p1 + p2) / 2
+        return SizedDevice(
+            source=n1, drain=n2, width=width,
+            length=area / width if width else 0.0,
+        )
     ranked = sorted(terminals.items(), key=lambda item: (-item[1], item[0]))
     if len(ranked) >= 2:
         (source, p_source), (drain, p_drain) = ranked[0], ranked[1]

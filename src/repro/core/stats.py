@@ -65,6 +65,15 @@ class ScanStats:
     merges: int = 0  #: interval merge operations
     splits: int = 0  #: continuation splits of taller boxes
 
+    # Event-heap counters (the machine-checkable complexity guardrail:
+    # per-stop scheduling work must track events, not active-list size).
+    heap_pushes: int = 0  #: intervals scheduled on a bottom-edge heap
+    heap_pops: int = 0  #: heap entries removed (expiries + lazy discards)
+    lazy_discards: int = 0  #: popped entries already invalidated by merges
+    expired: int = 0  #: live intervals retired at their bottom edge
+    intervals_scanned: int = 0  #: heap entries examined across all stops
+    max_stop_overhead: int = 0  #: max per-stop examinations beyond removals
+
     @property
     def mean_active(self) -> float:
         return self.active_samples / self.stops if self.stops else 0.0

@@ -1,0 +1,101 @@
+"""Event-heap complexity guardrail (deterministic, counter-based).
+
+The paper's speed claim is that the scanline does constant work per
+*event*, not per active interval: stops are scheduled from per-layer
+bottom-edge heaps, so `_next_stop` peeks a bounded number of heads and
+`_expire` pops only what actually ends.  These tests pin that down with
+the ScanStats event counters on the section-4 worst-case mesh, where the
+active population grows linearly with mesh size — no wall clocks, so no
+flakiness on slow machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extractor import extract_report
+from repro.core.scanline import ScanlineEngine
+from repro.frontend.stream import GeometryStream
+from repro.tech import NMOS
+from repro.workloads.mesh import poly_diff_mesh
+
+SIZES = (16, 32, 64)
+
+
+def run_mesh(n: int) -> ScanlineEngine:
+    engine = ScanlineEngine(NMOS())
+    engine.run(GeometryStream(poly_diff_mesh(n)))
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {n: run_mesh(n) for n in SIZES}
+
+
+class TestEventConservation:
+    """Every scheduled interval leaves the heap exactly once."""
+
+    def test_pushes_balance_pops(self, engines):
+        for engine in engines.values():
+            s = engine.stats
+            assert s.heap_pushes == s.heap_pops
+
+    def test_pops_are_expiries_or_lazy_discards(self, engines):
+        for engine in engines.values():
+            s = engine.stats
+            assert s.expired + s.lazy_discards == s.heap_pops
+
+    def test_every_event_is_an_interval(self, engines):
+        # One heap entry per interval ever created: pushes can never
+        # exceed the intervals the sweep materializes (boxes + merges
+        # + splits is a generous upper bound on creations).
+        for engine in engines.values():
+            s = engine.stats
+            assert s.heap_pushes <= s.boxes_in + s.merges + s.splits
+
+
+class TestBoundedStopOverhead:
+    """Per-stop scheduling work is O(tracked layers), not O(active)."""
+
+    def test_overhead_bounded_by_layers(self, engines):
+        for engine in engines.values():
+            bound = 2 * len(engine._heaps)
+            assert engine.stats.max_stop_overhead <= bound
+
+    def test_total_scans_bounded_by_events(self, engines):
+        # Aggregate form: everything examined is either removed (a pop)
+        # or one of at most 2 peeks per layer per stop.
+        for engine in engines.values():
+            s = engine.stats
+            budget = s.heap_pops + 2 * len(engine._heaps) * s.stops
+            assert s.intervals_scanned <= budget
+
+    def test_overhead_constant_while_active_grows(self, engines):
+        # THE regression assertion: doubling the mesh doubles the active
+        # population (peak_active ~ n) but the worst per-stop overhead
+        # must not grow with it.  The old engine re-scanned every active
+        # interval at every stop, making this scale linearly.
+        overheads = [engines[n].stats.max_stop_overhead for n in SIZES]
+        peaks = [engines[n].stats.peak_active for n in SIZES]
+        assert peaks[-1] >= 3 * peaks[0]  # the workload does scale
+        assert max(overheads) == min(overheads)  # the scheduler does not
+
+    def test_scans_per_stop_tracks_expiries(self, engines):
+        # Issue wording: intervals-scanned-per-stop is bounded by a
+        # constant factor of the intervals actually expiring.
+        for engine in engines.values():
+            s = engine.stats
+            per_stop_scans = s.intervals_scanned / s.stops
+            per_stop_expiries = max(s.expired / s.stops, 1.0)
+            bound = 2 * len(engine._heaps)
+            assert per_stop_scans <= bound * per_stop_expiries
+
+
+class TestCountersSurfaced:
+    def test_extract_report_exposes_event_counters(self):
+        report = extract_report(poly_diff_mesh(8))
+        s = report.stats
+        assert s.heap_pushes > 0
+        assert s.heap_pushes == s.heap_pops
+        assert s.max_stop_overhead > 0

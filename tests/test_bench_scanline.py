@@ -1,0 +1,42 @@
+"""The scanline micro-benchmark module (quick sizes only)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.scanline import bench_scanline, check_rows, load_baseline, main
+
+
+class TestBenchScanline:
+    def test_rows_have_counters_and_speedup(self):
+        rows = bench_scanline(sizes=(8, 16), repeats=1, baseline={8: 1.0})
+        assert [row["n"] for row in rows] == [8, 16]
+        first = rows[0]
+        assert first["speedup"] == 1.0 / first["seconds"]
+        assert rows[1]["speedup"] is None  # size missing from baseline
+        for row in rows:
+            assert row["devices"] == row["n"] ** 2
+            assert row["counters"]["heap_pushes"] > 0
+
+    def test_invariants_hold_on_real_runs(self):
+        rows = bench_scanline(sizes=(8, 16), repeats=1, baseline={})
+        assert check_rows(rows) == []
+
+    def test_check_rows_flags_violations(self):
+        rows = bench_scanline(sizes=(8,), repeats=1, baseline={})
+        rows[0]["counters"]["heap_pops"] += 1
+        problems = check_rows(rows)
+        assert any("pushes" in p for p in problems)
+
+    def test_committed_baseline_loads(self):
+        baseline = load_baseline()
+        assert len(baseline) >= 3
+        assert all(seconds > 0 for seconds in baseline.values())
+
+    def test_main_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_scanline.json"
+        assert main(["--sizes", "8", "--repeats", "1",
+                     "--out", str(out), "--check"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["rows"][0]["n"] == 8
+        assert "invariants hold" in capsys.readouterr().out

@@ -37,6 +37,12 @@ class TestFlat:
         assert "scanline stops" in err
         assert "devices/sec" in err
 
+    def test_stats_event_counters(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "heap pushes" in err
+        assert "scans/stop beyond removals" in err
+
     def test_check_clean(self, inverter_cif, capsys):
         assert main([inverter_cif, "--check"]) == 0
 
