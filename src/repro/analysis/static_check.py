@@ -12,62 +12,41 @@ pullup length/width ratio divided by the pulldown's must be at least 4
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
-
 from ..core.netlist import Circuit, Device
+from ..diagnostics import CheckReport, Diagnostic, Severity
 
-
-class Severity(str, Enum):
-    ERROR = "error"
-    WARNING = "warning"
-
-
-@dataclass(frozen=True, slots=True)
-class Diagnostic:
-    """One static-check finding."""
-
-    severity: Severity
-    rule: str
-    message: str
-    device: int | None = None
-    net: int | None = None
-
-
-@dataclass
-class CheckReport:
-    """All findings for one circuit."""
-
-    diagnostics: list[Diagnostic] = field(default_factory=list)
-
-    @property
-    def errors(self) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
-
-    @property
-    def warnings(self) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
-
-    @property
-    def ok(self) -> bool:
-        return not self.errors
-
-    def by_rule(self, rule: str) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if d.rule == rule]
-
+__all__ = [
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "DEFAULT_VDD_NAMES",
+    "DEFAULT_GND_NAMES",
+    "MIN_INVERTER_RATIO",
+    "static_check",
+]
 
 #: Minimum pullup-to-pulldown impedance ratio for restoring NMOS logic.
 MIN_INVERTER_RATIO = 4.0
+
+#: Default rail spellings; matching is case-insensitive, so these cover
+#: VDD/Vdd/vdd! etc. without enumerating every capitalization.
+DEFAULT_VDD_NAMES: tuple[str, ...] = ("VDD", "VDD!")
+DEFAULT_GND_NAMES: tuple[str, ...] = ("GND", "GND!", "VSS", "GROUND")
 
 
 def static_check(
     circuit: Circuit,
     *,
-    vdd_names: tuple[str, ...] = ("VDD", "VDD!", "Vdd"),
-    gnd_names: tuple[str, ...] = ("GND", "GND!", "Vss", "GROUND"),
+    vdd_names: tuple[str, ...] = DEFAULT_VDD_NAMES,
+    gnd_names: tuple[str, ...] = DEFAULT_GND_NAMES,
     min_ratio: float = MIN_INVERTER_RATIO,
 ) -> CheckReport:
-    """Run every check over ``circuit``."""
+    """Run every check over ``circuit``.
+
+    Rail-name matching is case-insensitive; ``vdd_names`` / ``gnd_names``
+    add alternate rail spellings (the CLI exposes them as ``--vdd`` /
+    ``--gnd``).
+    """
     report = CheckReport()
     vdd, gnd = _find_rails(circuit, vdd_names, gnd_names)
     _check_malformed(circuit, report)
@@ -82,12 +61,15 @@ def _find_rails(
     vdd_names: tuple[str, ...],
     gnd_names: tuple[str, ...],
 ) -> tuple[set[int], set[int]]:
+    vdd_set = {name.casefold() for name in vdd_names}
+    gnd_set = {name.casefold() for name in gnd_names}
     vdd: set[int] = set()
     gnd: set[int] = set()
     for net in circuit.nets:
-        if any(name in net.names for name in vdd_names):
+        folded = {name.casefold() for name in net.names}
+        if folded & vdd_set:
             vdd.add(net.index)
-        if any(name in net.names for name in gnd_names):
+        if folded & gnd_set:
             gnd.add(net.index)
     return vdd, gnd
 

@@ -76,6 +76,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the static checker and print diagnostics to stderr",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the design-rule checker (sharing the extraction "
+        "scanline in flat mode) and print diagnostics to stderr",
+    )
+    parser.add_argument(
+        "--vdd",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="extra VDD rail name for --check (repeatable, "
+        "case-insensitive)",
+    )
+    parser.add_argument(
+        "--gnd",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="extra GND rail name for --check (repeatable, "
+        "case-insensitive)",
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="print an ASCII rendering of the artwork to stderr",
@@ -93,6 +115,11 @@ def main(argv: "list[str] | None" = None) -> int:
     tech = NMOS(args.lambda_) if args.lambda_ else NMOS()
     layout = parse_file(args.cif)
     name = args.cif.rsplit("/", 1)[-1]
+    drc_checker = None
+    if args.lint:
+        from .drc import DrcChecker
+
+        drc_checker = DrcChecker(tech)
 
     if args.plot or args.svg:
         from .plot import ascii_plot, svg_plot
@@ -144,6 +171,7 @@ def main(argv: "list[str] | None" = None) -> int:
         report = extract_report(
             layout, tech, keep_geometry=args.geometry,
             jobs=args.jobs, cache=args.cache,
+            strip_consumers=(drc_checker,) if drc_checker else (),
         )
         circuit = report.circuit
         wirelist = to_wirelist(
@@ -184,13 +212,38 @@ def main(argv: "list[str] | None" = None) -> int:
     for warning in circuit.warnings:
         print(f"warning: {warning}", file=sys.stderr)
 
+    failed = False
+    if drc_checker is not None:
+        from .diagnostics import SourceIndex, format_diagnostic
+
+        if args.hierarchical:
+            # The hierarchical extractor works window by window; the DRC
+            # needs the whole-chip strip feed, so run one flat pass.
+            extract_report(layout, tech, strip_consumers=(drc_checker,))
+        lint_report = drc_checker.report(artifact=name)
+        if lint_report.diagnostics:
+            lint_report = SourceIndex(layout).attribute(lint_report)
+        for diag in lint_report.diagnostics:
+            print(format_diagnostic(diag), file=sys.stderr)
+        print(
+            f"lint: {len(lint_report.errors)} error(s)", file=sys.stderr
+        )
+        if not lint_report.ok:
+            failed = True
+
     if args.check:
-        report = static_check(circuit)
+        from .analysis.static_check import DEFAULT_GND_NAMES, DEFAULT_VDD_NAMES
+
+        report = static_check(
+            circuit,
+            vdd_names=DEFAULT_VDD_NAMES + tuple(args.vdd or ()),
+            gnd_names=DEFAULT_GND_NAMES + tuple(args.gnd or ()),
+        )
         for diag in report.diagnostics:
             print(f"{diag.severity.value}: [{diag.rule}] {diag.message}", file=sys.stderr)
         if not report.ok:
-            return 1
-    return 0
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

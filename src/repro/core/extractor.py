@@ -64,6 +64,7 @@ def extract_report(
     window: Box | None = None,
     jobs: "int | None" = None,
     cache: "str | None" = None,
+    strip_consumers: tuple = (),
 ) -> ExtractionReport:
     """Like :func:`extract` but returns timers and counters as well.
 
@@ -73,6 +74,10 @@ def extract_report(
     active lists the previous stop left behind); the hierarchical
     extractor is where they take effect, by fanning the independent
     unique-window extractions out through :mod:`repro.parallel`.
+
+    ``strip_consumers`` ride the same sweep
+    (:class:`~repro.core.scanline.StripConsumer`); the design-rule
+    checker attaches here so extraction and DRC share one pass.
     """
     tech = tech or NMOS()
     timer = PhaseTimer()
@@ -80,7 +85,11 @@ def extract_report(
     layout = parse(source) if isinstance(source, str) else source
     stream = GeometryStream(layout, resolution=resolution)
     engine = ScanlineEngine(
-        tech, keep_geometry=keep_geometry, window=window, timer=timer
+        tech,
+        keep_geometry=keep_geometry,
+        window=window,
+        timer=timer,
+        strip_consumers=strip_consumers,
     )
     circuit = engine.run(stream)
     return ExtractionReport(

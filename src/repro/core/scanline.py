@@ -62,6 +62,34 @@ _X1, _X2, _YBOT, _NET, _LIVE, _BORN = 0, 1, 2, 3, 4, 5
 FAULTS: frozenset[str] = frozenset()
 
 
+class StripConsumer:
+    """A second consumer of the scanline strip decomposition.
+
+    The engine already pays for the per-layer active lists; a consumer
+    rides the same sweep instead of re-sorting the geometry stream.
+    :meth:`observe_strip` is called once per strip, top to bottom, with
+    contiguous ``[y_lo, y_hi)`` bands, ``spans`` holding each tracked
+    layer's disjoint sorted ``(x1, x2)`` intervals for the strip, and
+    ``channels`` the strip's transistor-channel spans ``(x1, x2, net)``
+    (diffusion AND poly AND NOT buried).  :meth:`finish` is called once
+    after the sweep ends.  The design-rule checker
+    (:class:`repro.drc.checker.DrcChecker`) is the canonical
+    implementation.
+    """
+
+    def observe_strip(
+        self,
+        y_lo: int,
+        y_hi: int,
+        spans: dict[str, list[tuple[int, int]]],
+        channels: list[tuple[int, int, int]],
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finish(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
 class ScanlineEngine:
     """One extraction run over a geometry stream."""
 
@@ -72,12 +100,14 @@ class ScanlineEngine:
         keep_geometry: bool = False,
         window: Box | None = None,
         timer: PhaseTimer | None = None,
+        strip_consumers: "tuple[StripConsumer, ...]" = (),
     ) -> None:
         self.tech = tech
         self.keep_geometry = keep_geometry
         self.window = window
         self.timer = timer or PhaseTimer()
         self.stats = ScanStats()
+        self.strip_consumers = tuple(strip_consumers)
 
         self._metal = tech.conducting_layers[0].cif_name
         self._poly = tech.channel_layers[1].cif_name
@@ -183,6 +213,8 @@ class ScanlineEngine:
             y = y_next
 
         timer.start("output")
+        for consumer in self.strip_consumers:
+            consumer.finish()
         circuit = self._finalize()
         timer.stop()
         return circuit
@@ -636,6 +668,14 @@ class ScanlineEngine:
 
         if self.window is not None:
             self._capture_boundary(y_lo, y_hi, cond, strip_channels)
+
+        if self.strip_consumers:
+            spans = {
+                layer: [(iv[_X1], iv[_X2]) for iv in ivs]
+                for layer, ivs in self._active.items()
+            }
+            for consumer in self.strip_consumers:
+                consumer.observe_strip(y_lo, y_hi, spans, channels)
 
         return cond, strip_channels
 

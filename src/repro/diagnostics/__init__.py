@@ -1,0 +1,50 @@
+"""Shared diagnostics: one model, writers, baselines, attribution.
+
+Every checker in the repository -- the geometric DRC
+(:mod:`repro.drc`) and the electrical static checker
+(:mod:`repro.analysis.static_check`) -- emits into this framework, so
+``repro-lint`` can merge, suppress, and serialize findings uniformly.
+"""
+
+from .baseline import (
+    Baseline,
+    apply_baseline,
+    baseline_from_json,
+    load_baseline,
+    stale_entries,
+    write_baseline,
+)
+from .model import CheckReport, Diagnostic, Severity, SourceRef
+from .source import SourceIndex
+from .writers import (
+    format_diagnostic,
+    format_text,
+    report_from_json,
+    report_to_json,
+    reports_from_json,
+    reports_from_sarif,
+    write_json,
+    write_sarif,
+)
+
+__all__ = [
+    "Baseline",
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "SourceIndex",
+    "SourceRef",
+    "apply_baseline",
+    "baseline_from_json",
+    "format_diagnostic",
+    "format_text",
+    "load_baseline",
+    "report_from_json",
+    "report_to_json",
+    "reports_from_json",
+    "reports_from_sarif",
+    "stale_entries",
+    "write_baseline",
+    "write_json",
+    "write_sarif",
+]

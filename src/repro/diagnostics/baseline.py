@@ -1,0 +1,132 @@
+"""Baseline suppression: committed lists of known findings.
+
+A baseline file records the fingerprints of findings that are accepted
+(legacy artwork, deliberate fixtures) so CI can fail only on *new*
+findings.  Fingerprints come from :meth:`Diagnostic.fingerprint`, which
+hashes the geometric identity of a finding rather than its message, so
+message rewording does not churn baselines.
+
+The file is JSON::
+
+    {
+      "version": 1,
+      "entries": {
+        "<artifact or *>": ["<fingerprint>", ...]
+      }
+    }
+
+An artifact key of ``"*"`` suppresses the fingerprint in every file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .model import CheckReport
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Known-finding fingerprints, keyed by artifact."""
+
+    entries: dict[str, set[str]] = field(default_factory=dict)
+
+    def covers(self, artifact: "str | None", fingerprint: str) -> bool:
+        if fingerprint in self.entries.get("*", ()):
+            return True
+        if artifact is None:
+            return False
+        return fingerprint in self.entries.get(artifact, ())
+
+    def add_report(self, report: CheckReport) -> None:
+        key = report.artifact or "*"
+        bucket = self.entries.setdefault(key, set())
+        for diag in report.diagnostics:
+            bucket.add(diag.fingerprint())
+
+    def to_json(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": {
+                key: sorted(values)
+                for key, values in sorted(self.entries.items())
+                if values
+            },
+        }
+
+    def dump(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+
+def baseline_from_json(data: dict) -> Baseline:
+    version = data.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version {version}")
+    return Baseline(
+        entries={
+            key: set(values)
+            for key, values in data.get("entries", {}).items()
+        }
+    )
+
+
+def load_baseline(path: str) -> Baseline:
+    with open(path) as handle:
+        return baseline_from_json(json.load(handle))
+
+
+def write_baseline(path: str, reports: "list[CheckReport]") -> Baseline:
+    baseline = Baseline()
+    for report in reports:
+        baseline.add_report(report)
+    with open(path, "w") as handle:
+        handle.write(baseline.dump())
+    return baseline
+
+
+def apply_baseline(report: CheckReport, baseline: Baseline) -> CheckReport:
+    """``report`` minus baselined findings; counts the suppressions."""
+    kept = []
+    suppressed = 0
+    for diag in report.diagnostics:
+        if baseline.covers(report.artifact, diag.fingerprint()):
+            suppressed += 1
+        else:
+            kept.append(diag)
+    return CheckReport(
+        diagnostics=kept,
+        artifact=report.artifact,
+        suppressed=report.suppressed + suppressed,
+    )
+
+
+def stale_entries(
+    reports: "list[CheckReport]", baseline: Baseline
+) -> dict[str, list[str]]:
+    """Baseline fingerprints no current finding matches (fixed or moved).
+
+    Only artifacts present in ``reports`` are audited; the wildcard
+    bucket is audited against the union of all reports.
+    """
+    seen_by_artifact: dict[str, set[str]] = {}
+    all_seen: set[str] = set()
+    for report in reports:
+        prints = {d.fingerprint() for d in report.diagnostics}
+        all_seen |= prints
+        if report.artifact:
+            seen_by_artifact[report.artifact] = prints
+
+    stale: dict[str, list[str]] = {}
+    for key, fingerprints in baseline.entries.items():
+        if key == "*":
+            missing = sorted(fingerprints - all_seen)
+        elif key in seen_by_artifact:
+            missing = sorted(fingerprints - seen_by_artifact[key])
+        else:
+            continue
+        if missing:
+            stale[key] = missing
+    return stale

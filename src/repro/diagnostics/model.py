@@ -1,0 +1,139 @@
+"""The shared diagnostics model every checker emits into.
+
+Both the geometric design-rule checker (:mod:`repro.drc`) and the
+electrical static checker (:mod:`repro.analysis.static_check`) produce
+:class:`Diagnostic` records collected in a :class:`CheckReport`.  One
+model means one set of writers (text, JSON, SARIF), one baseline
+suppression format, and one exit-code policy for every lint front-end.
+
+A diagnostic names the *rule* that fired (a stable id such as
+``drc.width`` or ``ratio``), the severity, a human message, and -- where
+the checker knows them -- the layout coordinates of the offending
+artwork, the CIF layer, the net or device index, and a
+:class:`SourceRef` pointing at the CIF symbol whose expansion produced
+the geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class Severity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class SourceRef:
+    """Attribution of a finding to the CIF symbol that produced it.
+
+    ``symbol`` is the CIF symbol number (-1 for top-level geometry);
+    ``path`` is the call chain of symbol numbers from the top symbol
+    down to (and including) ``symbol``, so nested instantiations stay
+    traceable.
+    """
+
+    symbol: int
+    name: "str | None" = None
+    path: "tuple[int, ...]" = ()
+
+    def describe(self) -> str:
+        where = f"symbol {self.symbol}" if self.symbol >= 0 else "top level"
+        if self.name:
+            where += f" ({self.name})"
+        if len(self.path) > 1:
+            chain = " > ".join(str(n) for n in self.path)
+            where += f" via {chain}"
+        return where
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One checker finding."""
+
+    severity: Severity
+    rule: str
+    message: str
+    device: "int | None" = None
+    net: "int | None" = None
+    tool: str = "erc"
+    layer: "str | None" = None
+    #: layout coordinates (xmin, ymin, xmax, ymax) in CIF centimicrons.
+    box: "tuple[int, int, int, int] | None" = None
+    source: "SourceRef | None" = None
+
+    def located(self, source: "SourceRef | None") -> "Diagnostic":
+        """A copy carrying ``source`` attribution."""
+        if source is None:
+            return self
+        return replace(self, source=source)
+
+    def fingerprint(self) -> str:
+        """Stable identity used by baseline suppression.
+
+        Built from the rule and the geometric/structural identity of
+        the finding, not the message text, so message rewording does
+        not invalidate a committed baseline.
+        """
+        parts = [self.tool, self.rule, self.layer or "-"]
+        if self.box is not None:
+            parts.append(",".join(str(v) for v in self.box))
+        else:
+            parts.append("-")
+        parts.append("-" if self.device is None else f"D{self.device}")
+        parts.append("-" if self.net is None else f"N{self.net}")
+        return ":".join(parts)
+
+    def sort_key(self) -> tuple:
+        return (
+            self.tool,
+            self.rule,
+            self.layer or "",
+            self.box or (0, 0, 0, 0),
+            self.device if self.device is not None else -1,
+            self.net if self.net is not None else -1,
+            self.message,
+        )
+
+
+@dataclass
+class CheckReport:
+    """All findings for one artifact (a layout / CIF file)."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    artifact: "str | None" = None
+    #: number of findings removed by baseline suppression, if applied.
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def rule_ids(self) -> list[str]:
+        """Distinct rule ids present, sorted."""
+        return sorted({d.rule for d in self.diagnostics})
+
+    def extend(self, other: "CheckReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed += other.suppressed
+
+    def sorted(self) -> "CheckReport":
+        """A copy with diagnostics in deterministic order."""
+        return CheckReport(
+            diagnostics=sorted(self.diagnostics, key=Diagnostic.sort_key),
+            artifact=self.artifact,
+            suppressed=self.suppressed,
+        )

@@ -1,0 +1,272 @@
+"""Text, JSON, and SARIF renderings of a :class:`CheckReport`.
+
+The JSON form round-trips (:func:`report_to_json` /
+:func:`report_from_json`) so reports can be archived and diffed; the
+SARIF form targets code-scanning UIs (one ``run`` per report, layout
+coordinates carried in each result's property bag) and also parses back
+via :func:`reports_from_sarif` for baseline tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .model import CheckReport, Diagnostic, Severity, SourceRef
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+# ----------------------------------------------------------------------
+# text
+# ----------------------------------------------------------------------
+
+
+def format_diagnostic(diag: Diagnostic, artifact: "str | None" = None) -> str:
+    """One human-readable line per finding."""
+    prefix = f"{artifact}: " if artifact else ""
+    where = ""
+    if diag.box is not None:
+        x1, y1, x2, y2 = diag.box
+        where = f" at ({x1},{y1})..({x2},{y2})"
+        if diag.layer:
+            where += f" on {diag.layer}"
+    elif diag.layer:
+        where = f" on {diag.layer}"
+    source = f" [{diag.source.describe()}]" if diag.source else ""
+    return (
+        f"{prefix}{diag.severity.value}: [{diag.rule}] "
+        f"{diag.message}{where}{source}"
+    )
+
+
+def format_text(report: CheckReport) -> str:
+    """The full text report, deterministic order, trailing summary."""
+    ordered = report.sorted()
+    lines = [
+        format_diagnostic(diag, ordered.artifact)
+        for diag in ordered.diagnostics
+    ]
+    summary = (
+        f"{len(ordered.errors)} error(s), "
+        f"{len(ordered.warnings)} warning(s)"
+    )
+    if ordered.suppressed:
+        summary += f", {ordered.suppressed} suppressed by baseline"
+    prefix = f"{ordered.artifact}: " if ordered.artifact else ""
+    lines.append(prefix + summary)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+
+
+def diagnostic_to_json(diag: Diagnostic) -> dict:
+    data: dict = {
+        "severity": diag.severity.value,
+        "rule": diag.rule,
+        "message": diag.message,
+        "tool": diag.tool,
+    }
+    if diag.layer is not None:
+        data["layer"] = diag.layer
+    if diag.box is not None:
+        data["box"] = list(diag.box)
+    if diag.device is not None:
+        data["device"] = diag.device
+    if diag.net is not None:
+        data["net"] = diag.net
+    if diag.source is not None:
+        data["source"] = {
+            "symbol": diag.source.symbol,
+            "name": diag.source.name,
+            "path": list(diag.source.path),
+        }
+    return data
+
+
+def diagnostic_from_json(data: dict) -> Diagnostic:
+    source = None
+    if "source" in data:
+        source = SourceRef(
+            symbol=data["source"]["symbol"],
+            name=data["source"].get("name"),
+            path=tuple(data["source"].get("path", ())),
+        )
+    box = data.get("box")
+    return Diagnostic(
+        severity=Severity(data["severity"]),
+        rule=data["rule"],
+        message=data["message"],
+        tool=data.get("tool", "erc"),
+        layer=data.get("layer"),
+        box=tuple(box) if box is not None else None,
+        device=data.get("device"),
+        net=data.get("net"),
+        source=source,
+    )
+
+
+def report_to_json(report: CheckReport) -> dict:
+    ordered = report.sorted()
+    return {
+        "version": 1,
+        "artifact": ordered.artifact,
+        "suppressed": ordered.suppressed,
+        "diagnostics": [
+            diagnostic_to_json(d) for d in ordered.diagnostics
+        ],
+    }
+
+
+def report_from_json(data: dict) -> CheckReport:
+    return CheckReport(
+        diagnostics=[
+            diagnostic_from_json(d) for d in data.get("diagnostics", ())
+        ],
+        artifact=data.get("artifact"),
+        suppressed=data.get("suppressed", 0),
+    )
+
+
+def write_json(reports: "CheckReport | Sequence[CheckReport]") -> str:
+    if isinstance(reports, CheckReport):
+        reports = [reports]
+    payload = {
+        "version": 1,
+        "reports": [report_to_json(r) for r in reports],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def reports_from_json(text: str) -> list[CheckReport]:
+    data = json.loads(text)
+    return [report_from_json(entry) for entry in data.get("reports", ())]
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+_SEVERITY_OF_LEVEL = {v: k for k, v in _SARIF_LEVEL.items()}
+
+
+def _sarif_result(diag: Diagnostic, artifact: "str | None") -> dict:
+    properties = diagnostic_to_json(diag)
+    result: dict = {
+        "ruleId": diag.rule,
+        "level": _SARIF_LEVEL[diag.severity],
+        "message": {"text": diag.message},
+        "properties": properties,
+    }
+    location: dict = {}
+    if artifact:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": artifact},
+        }
+    if diag.source is not None:
+        location["logicalLocations"] = [
+            {
+                "name": diag.source.name or f"symbol-{diag.source.symbol}",
+                "kind": "module",
+                "fullyQualifiedName": diag.source.describe(),
+            }
+        ]
+    if location:
+        result["locations"] = [location]
+    return result
+
+
+def write_sarif(
+    reports: "CheckReport | Sequence[CheckReport]",
+    *,
+    tool_name: str = "repro-lint",
+    tool_version: str = "1.0.0",
+    rule_help: "dict[str, str] | None" = None,
+) -> str:
+    """Render one SARIF log; each report becomes one run."""
+    if isinstance(reports, CheckReport):
+        reports = [reports]
+    runs = []
+    for report in reports:
+        ordered = report.sorted()
+        rules = [
+            {
+                "id": rule,
+                "shortDescription": {
+                    "text": (rule_help or {}).get(rule, rule)
+                },
+            }
+            for rule in ordered.rule_ids()
+        ]
+        runs.append(
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://github.com/paper-repro/ace"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(d, ordered.artifact)
+                    for d in ordered.diagnostics
+                ],
+                "properties": {
+                    "artifact": ordered.artifact,
+                    "suppressed": ordered.suppressed,
+                },
+            }
+        )
+    log = {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": runs}
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+def reports_from_sarif(text: str) -> list[CheckReport]:
+    """Parse a SARIF log produced by :func:`write_sarif` back."""
+    log = json.loads(text)
+    reports = []
+    for run in log.get("runs", ()):
+        diagnostics = []
+        for result in run.get("results", ()):
+            properties = result.get("properties")
+            if properties and "rule" in properties:
+                diagnostics.append(diagnostic_from_json(properties))
+            else:  # a foreign SARIF file: recover what is recoverable
+                diagnostics.append(
+                    Diagnostic(
+                        severity=_SEVERITY_OF_LEVEL.get(
+                            result.get("level", "warning"),
+                            Severity.WARNING,
+                        ),
+                        rule=result.get("ruleId", "unknown"),
+                        message=result.get("message", {}).get("text", ""),
+                    )
+                )
+        run_properties = run.get("properties", {})
+        reports.append(
+            CheckReport(
+                diagnostics=diagnostics,
+                artifact=run_properties.get("artifact"),
+                suppressed=run_properties.get("suppressed", 0),
+            )
+        )
+    return reports
+
+
+def iter_diagnostics(
+    reports: Iterable[CheckReport],
+) -> "Iterable[tuple[str | None, Diagnostic]]":
+    for report in reports:
+        for diag in report.diagnostics:
+            yield report.artifact, diag

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         "harness to find and shrink it",
     )
     parser.add_argument(
+        "--drc-self-test", action="store_true",
+        help="self-test: plant each class of design-rule violation into "
+        "clean host cells and require the DRC to catch and shrink it",
+    )
+    parser.add_argument(
         "--list-oracles", action="store_true",
         help="print the oracle registry and exit",
     )
@@ -93,6 +98,47 @@ def main(argv: "list[str] | None" = None) -> int:
     def progress(line: str) -> None:
         if not args.quiet:
             print(f"difftest: {line}", file=sys.stderr)
+
+    if args.drc_self_test:
+        from .drcplant import run_drc_self_test
+
+        result = run_drc_self_test(
+            tech, do_shrink=not args.no_shrink, progress=progress
+        )
+        missed = sorted(
+            {p.rule for p in result.plants if not p.caught}
+        )
+        unshrunk = sorted(
+            {p.rule for p in result.plants if p.caught and not p.ok}
+        )
+        if result.ok:
+            print(
+                f"difftest: DRC self-test PASSED -- "
+                f"{len(result.plants)} plant(s) over "
+                f"{len(result.clean_hosts)} clean host(s), every "
+                f"violation class caught and shrunk",
+                file=sys.stderr,
+            )
+            return 0
+        if result.dirty_hosts:
+            print(
+                "difftest: DRC self-test FAILED -- host(s) not clean: "
+                + ", ".join(result.dirty_hosts),
+                file=sys.stderr,
+            )
+        if missed:
+            print(
+                "difftest: DRC self-test FAILED -- missed rule(s): "
+                + ", ".join(missed),
+                file=sys.stderr,
+            )
+        if unshrunk:
+            print(
+                "difftest: DRC self-test FAILED -- shrink lost rule(s): "
+                + ", ".join(unshrunk),
+                file=sys.stderr,
+            )
+        return 1
 
     result = run_difftest(
         iterations=args.iterations,

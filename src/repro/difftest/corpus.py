@@ -18,7 +18,7 @@ no difftest machinery involved.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cif import Layout
 from ..cif.writer import write as write_cif

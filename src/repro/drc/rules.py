@@ -1,0 +1,121 @@
+"""The NMOS lambda-rule deck.
+
+Mead & Conway's composition rules (chapter 2), parameterized by lambda
+so one deck serves any process scale.  A few values are deliberately
+relaxed from the textbook numbers to match the composition style of this
+repository's canonical cells (see ``docs/STATIC_ANALYSIS.md`` for the
+deviations and their rationale); the deck is a dataclass precisely so a
+stricter variant is one ``replace()`` away.
+
+Rule identifiers are stable strings -- they key golden snapshots,
+baseline suppression files, and SARIF rule metadata, so changing one is
+a breaking change to every consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tech import DEFAULT_LAMBDA
+
+# Stable rule identifiers.
+RULE_WIDTH = "drc.width"
+RULE_SPACING = "drc.spacing"
+RULE_GATE_EXTENSION = "drc.gate-extension"
+RULE_CONTACT_ENCLOSURE = "drc.contact-enclosure"
+RULE_BURIED_ENCLOSURE = "drc.buried-enclosure"
+RULE_IMPLANT_COVERAGE = "drc.implant-coverage"
+
+ALL_RULES: tuple[str, ...] = (
+    RULE_WIDTH,
+    RULE_SPACING,
+    RULE_GATE_EXTENSION,
+    RULE_CONTACT_ENCLOSURE,
+    RULE_BURIED_ENCLOSURE,
+    RULE_IMPLANT_COVERAGE,
+)
+
+#: One-line help per rule, surfaced by ``repro-lint --list-rules`` and
+#: embedded as SARIF rule descriptions.
+RULE_HELP: dict[str, str] = {
+    RULE_WIDTH: "region narrower than the layer's minimum width",
+    RULE_SPACING: "same-layer regions closer than the minimum spacing",
+    RULE_GATE_EXTENSION: (
+        "poly or diffusion does not extend past the channel edge"
+    ),
+    RULE_CONTACT_ENCLOSURE: "contact cut not covered by metal",
+    RULE_BURIED_ENCLOSURE: (
+        "buried window not covered by diffusion, or never overlapping poly"
+    ),
+    RULE_IMPLANT_COVERAGE: (
+        "depletion implant does not cover its channel with margin"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LambdaRules:
+    """Minimum dimensions in lambda units.
+
+    ``min_width`` / ``min_spacing`` are keyed by CIF layer name; layers
+    absent from a map are simply not checked for that rule.
+    """
+
+    lambda_: int = DEFAULT_LAMBDA
+    min_width: dict[str, int] = field(
+        default_factory=lambda: {
+            "ND": 2,
+            "NP": 2,
+            "NM": 3,
+            "NC": 2,
+            "NB": 2,
+            "NI": 2,
+        }
+    )
+    min_spacing: dict[str, int] = field(
+        default_factory=lambda: {
+            "ND": 3,
+            "NP": 2,
+            "NM": 1,
+            "NC": 1,
+            "NB": 2,
+            "NI": 2,
+        }
+    )
+    #: Poly (or diffusion) overhang required beyond a channel edge.
+    gate_extension: int = 1
+    #: Extra metal required around a contact cut (0 = full coverage).
+    contact_margin: int = 0
+    #: Extra diffusion required around a buried window (0 = coverage).
+    buried_margin: int = 0
+    #: Implant overhang required around a depletion channel.
+    implant_margin: int = 1
+
+    def width_cm(self, layer: str) -> int:
+        """Minimum width for ``layer`` in centimicrons (0 = unchecked)."""
+        return self.min_width.get(layer, 0) * self.lambda_
+
+    def spacing_cm(self, layer: str) -> int:
+        """Minimum spacing for ``layer`` in centimicrons (0 = unchecked)."""
+        return self.min_spacing.get(layer, 0) * self.lambda_
+
+    @property
+    def gate_extension_cm(self) -> int:
+        return self.gate_extension * self.lambda_
+
+    @property
+    def contact_margin_cm(self) -> int:
+        return self.contact_margin * self.lambda_
+
+    @property
+    def buried_margin_cm(self) -> int:
+        return self.buried_margin * self.lambda_
+
+    @property
+    def implant_margin_cm(self) -> int:
+        return self.implant_margin * self.lambda_
+
+
+def default_rules(lambda_: int = DEFAULT_LAMBDA) -> LambdaRules:
+    """The standard deck at the given lambda."""
+    return LambdaRules(lambda_=lambda_)

@@ -1,0 +1,103 @@
+"""Interval-set algebra on disjoint, sorted ``(x1, x2)`` span lists.
+
+The scanline hands the DRC per-layer active lists that are already
+disjoint and sorted by ``x1``; every rule below reduces to intersection,
+subtraction, and overlap queries over such lists.  All helpers are
+single merged sweeps -- no quadratic pairing.
+"""
+
+from __future__ import annotations
+
+Span = "tuple[int, int]"
+
+
+def intersect_spans(
+    a: list[tuple[int, int]], b: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Positive-length overlaps of two disjoint sorted span lists."""
+    out: list[tuple[int, int]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def subtract_spans(
+    a: list[tuple[int, int]], holes: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Portions of ``a`` not covered by ``holes``."""
+    out: list[tuple[int, int]] = []
+    j = 0
+    for x1, x2 in a:
+        pos = x1
+        while j < len(holes) and holes[j][1] <= pos:
+            j += 1
+        k = j
+        while k < len(holes) and holes[k][0] < x2:
+            h1, h2 = holes[k]
+            if h1 > pos:
+                out.append((pos, h1))
+            if h2 > pos:
+                pos = h2
+            if pos >= x2:
+                break
+            k += 1
+        if pos < x2:
+            out.append((pos, x2))
+    return out
+
+
+def union_spans(
+    a: list[tuple[int, int]], b: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Merged union (abutting spans coalesce)."""
+    merged: list[tuple[int, int]] = []
+    i = j = 0
+    while i < len(a) or j < len(b):
+        if j >= len(b) or (i < len(a) and a[i][0] <= b[j][0]):
+            span = a[i]
+            i += 1
+        else:
+            span = b[j]
+            j += 1
+        if merged and span[0] <= merged[-1][1]:
+            if span[1] > merged[-1][1]:
+                merged[-1] = (merged[-1][0], span[1])
+        else:
+            merged.append(span)
+    return merged
+
+
+def overlaps_any(
+    spans: list[tuple[int, int]], x1: int, x2: int
+) -> bool:
+    """True if ``(x1, x2)`` has positive overlap with any span."""
+    for s1, s2 in spans:
+        if s1 >= x2:
+            return False
+        if s2 > x1:
+            return True
+    return False
+
+
+def span_containing(
+    spans: list[tuple[int, int]], x: int
+) -> "tuple[int, int] | None":
+    """The span with ``x1 <= x < x2``, if any (linear from bisect)."""
+    lo, hi = 0, len(spans)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if spans[mid][0] <= x:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo and spans[lo - 1][1] > x:
+        return spans[lo - 1]
+    return None

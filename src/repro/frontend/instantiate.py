@@ -67,6 +67,53 @@ def instantiate(
     return boxes, labels
 
 
+def instantiate_with_origins(
+    layout: Layout, resolution: int = 50
+) -> list[tuple[str, Box, int, tuple[int, ...]]]:
+    """Fully instantiate ``layout``, keeping each box's source symbol.
+
+    Returns ``(layer, box, symbol, path)`` per primitive box, where
+    ``symbol`` is the number of the symbol whose body contains the
+    artwork (``TOP_SYMBOL`` for top-level geometry) and ``path`` is the
+    call chain of symbol numbers from the top down to ``symbol``.  The
+    diagnostics layer uses this to attribute a design-rule violation to
+    the symbol call that produced the offending geometry.
+    """
+    out: list[tuple[str, Box, int, tuple[int, ...]]] = []
+    fractured: dict[int, list[tuple[str, Box]]] = {}
+
+    def local_boxes(number: int, symbol: Symbol) -> list[tuple[str, Box]]:
+        cached = fractured.get(number)
+        if cached is None:
+            cached = symbol.fractured_boxes(resolution)
+            fractured[number] = cached
+        return cached
+
+    def emit(
+        number: int, transform: Transform, path: tuple[int, ...]
+    ) -> None:
+        symbol = layout.symbol(number)
+        if transform.is_identity:
+            out.extend(
+                (layer, box, number, path)
+                for layer, box in local_boxes(number, symbol)
+            )
+        else:
+            out.extend(
+                (layer, transform.apply_box(box), number, path)
+                for layer, box in local_boxes(number, symbol)
+            )
+        for call in symbol.calls:
+            emit(
+                call.symbol,
+                call.transform.then(transform),
+                path + (call.symbol,),
+            )
+
+    emit(TOP_SYMBOL, Transform.identity(), (TOP_SYMBOL,))
+    return out
+
+
 def symbol_bboxes(layout: Layout, resolution: int = 50) -> dict[int, Box | None]:
     """Bounding box of each symbol's full expansion, in local coordinates.
 

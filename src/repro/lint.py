@@ -1,0 +1,280 @@
+"""Command-line interface: ``repro-lint``.
+
+One front-end over both checkers: the geometric design-rule checker
+(:mod:`repro.drc`) and the electrical static checker
+(:mod:`repro.analysis.static_check`).  Each input file is extracted
+once -- the DRC rides the extraction scanline as a strip consumer, so
+lint costs a single pass per layout -- and the merged findings go out
+as text, JSON, or SARIF, optionally filtered through a committed
+baseline file.
+
+Exit codes: 0 when no (unsuppressed) errors remain; otherwise the error
+count, capped at 99; 120 for usage, parse, or internal failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.static_check import (
+    DEFAULT_GND_NAMES,
+    DEFAULT_VDD_NAMES,
+    static_check,
+)
+from .cif import Layout, parse_file
+from .core import extract_report
+from .diagnostics import (
+    CheckReport,
+    SourceIndex,
+    apply_baseline,
+    format_text,
+    load_baseline,
+    write_baseline,
+    write_json,
+    write_sarif,
+)
+from .drc import ALL_RULES, RULE_HELP, DrcChecker, default_rules
+from .tech import NMOS, Technology
+
+#: Exit code cap: large error counts must not collide with shell
+#: signal/usage codes above 125.
+MAX_ERROR_EXIT = 99
+#: Exit code for parse or internal failures (distinct from any count).
+INTERNAL_ERROR_EXIT = 120
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Design-rule and static checks over CIF layouts, "
+        "in one scanline pass per file.",
+    )
+    parser.add_argument("files", nargs="*", help="input CIF files")
+    parser.add_argument(
+        "--lambda",
+        dest="lambda_",
+        type=int,
+        default=None,
+        metavar="CENTIMICRONS",
+        help="process lambda in centimicrons (default 250)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "-o", "--output", help="report output file (default: stdout)"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="record the current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-drc",
+        action="store_true",
+        help="skip the geometric design-rule checks",
+    )
+    parser.add_argument(
+        "--no-erc",
+        action="store_true",
+        help="skip the electrical static checks",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        action="append",
+        default=None,
+        help="only report these rule ids (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--vdd",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="extra VDD rail name (repeatable, case-insensitive)",
+    )
+    parser.add_argument(
+        "--gnd",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="extra GND rail name (repeatable, case-insensitive)",
+    )
+    parser.add_argument(
+        "--no-attribution",
+        action="store_true",
+        help="skip mapping findings back to CIF symbols",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the design-rule ids and exit",
+    )
+    return parser
+
+
+def _rule_filter(specs: "list[str] | None") -> "frozenset[str] | None":
+    if not specs:
+        return None
+    ids = set()
+    for spec in specs:
+        ids.update(part.strip() for part in spec.split(",") if part.strip())
+    return frozenset(ids)
+
+
+def lint_layout(
+    layout: "Layout",
+    *,
+    tech: "Technology | None" = None,
+    drc: bool = True,
+    erc: bool = True,
+    rule_ids: "frozenset[str] | None" = None,
+    vdd_names: "tuple[str, ...]" = DEFAULT_VDD_NAMES,
+    gnd_names: "tuple[str, ...]" = DEFAULT_GND_NAMES,
+    attribute: bool = True,
+    artifact: "str | None" = None,
+) -> CheckReport:
+    """Lint a parsed layout: a single extraction pass feeds both checkers."""
+    tech = tech or NMOS()
+    checker = (
+        DrcChecker(
+            tech,
+            default_rules(tech.lambda_),
+            enabled=(
+                frozenset(r for r in rule_ids if r in ALL_RULES)
+                if rule_ids is not None
+                else None
+            ),
+        )
+        if drc
+        else None
+    )
+    extraction = extract_report(
+        layout, tech, strip_consumers=(checker,) if checker else ()
+    )
+    report = CheckReport(artifact=artifact)
+    if checker is not None:
+        drc_report = checker.report(artifact=artifact)
+        if attribute and drc_report.diagnostics:
+            drc_report = SourceIndex(layout).attribute(drc_report)
+        report.extend(drc_report)
+    if erc:
+        erc_report = static_check(
+            extraction.circuit, vdd_names=vdd_names, gnd_names=gnd_names
+        )
+        if rule_ids is not None:
+            erc_report = CheckReport(
+                diagnostics=[
+                    d for d in erc_report.diagnostics if d.rule in rule_ids
+                ]
+            )
+        report.extend(erc_report)
+    return report.sorted()
+
+
+def lint_file(
+    path: str,
+    *,
+    lambda_: "int | None" = None,
+    drc: bool = True,
+    erc: bool = True,
+    rule_ids: "frozenset[str] | None" = None,
+    vdd_names: "tuple[str, ...]" = DEFAULT_VDD_NAMES,
+    gnd_names: "tuple[str, ...]" = DEFAULT_GND_NAMES,
+    attribute: bool = True,
+) -> CheckReport:
+    """Lint one CIF file (see :func:`lint_layout`)."""
+    return lint_layout(
+        parse_file(path),
+        tech=NMOS(lambda_) if lambda_ else NMOS(),
+        drc=drc,
+        erc=erc,
+        rule_ids=rule_ids,
+        vdd_names=vdd_names,
+        gnd_names=gnd_names,
+        attribute=attribute,
+        artifact=path,
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule}: {RULE_HELP[rule]}")
+        return 0
+    if not args.files:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no input files", file=sys.stderr)
+        return INTERNAL_ERROR_EXIT
+
+    rule_ids = _rule_filter(args.rules)
+    vdd = DEFAULT_VDD_NAMES + tuple(args.vdd or ())
+    gnd = DEFAULT_GND_NAMES + tuple(args.gnd or ())
+
+    reports: list[CheckReport] = []
+    for path in args.files:
+        try:
+            reports.append(
+                lint_file(
+                    path,
+                    lambda_=args.lambda_,
+                    drc=not args.no_drc,
+                    erc=not args.no_erc,
+                    rule_ids=rule_ids,
+                    vdd_names=vdd,
+                    gnd_names=gnd,
+                    attribute=not args.no_attribution,
+                )
+            )
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: {path}: {exc}", file=sys.stderr)
+            return INTERNAL_ERROR_EXIT
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, reports)
+        total = sum(len(r.diagnostics) for r in reports)
+        print(
+            f"repro-lint: wrote baseline of {total} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: {args.baseline}: {exc}", file=sys.stderr)
+            return INTERNAL_ERROR_EXIT
+        reports = [apply_baseline(r, baseline) for r in reports]
+
+    if args.format == "json":
+        text = write_json(reports)
+    elif args.format == "sarif":
+        text = write_sarif(reports, rule_help=RULE_HELP)
+    else:
+        text = "".join(format_text(r) for r in reports)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+    errors = sum(len(r.errors) for r in reports)
+    return min(errors, MAX_ERROR_EXIT)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,7 +1,5 @@
 """Static checker rules."""
 
-import pytest
-
 from repro import extract
 from repro.analysis import Severity, static_check
 from repro.cif import Label, Layout
@@ -42,6 +40,31 @@ class TestMalformed:
 
 
 class TestRails:
+    def test_rail_names_match_case_insensitively(self):
+        circuit = extract(
+            _layout(
+                [("NM", 0, 0, 100, 10), ("NM", 0, 20, 100, 30)],
+                labels=[("vdd", 5, 5, "NM"), ("Vss", 5, 25, "NM")],
+            )
+        )
+        report = static_check(circuit)
+        assert report.by_rule("no-vdd") == []
+        assert report.by_rule("no-gnd") == []
+
+    def test_custom_rail_names(self):
+        circuit = extract(
+            _layout(
+                [("NM", 0, 0, 100, 10), ("NM", 0, 20, 100, 30)],
+                labels=[("PWR", 5, 5, "NM"), ("COM", 5, 25, "NM")],
+            )
+        )
+        assert static_check(circuit).by_rule("no-vdd")
+        report = static_check(
+            circuit, vdd_names=("PWR",), gnd_names=("COM",)
+        )
+        assert report.by_rule("no-vdd") == []
+        assert report.by_rule("no-gnd") == []
+
     def test_rail_short_detected(self):
         circuit = extract(
             _layout(

@@ -1,0 +1,80 @@
+"""Baseline suppression files."""
+
+import json
+
+from repro.diagnostics import (
+    Baseline,
+    CheckReport,
+    Diagnostic,
+    Severity,
+    apply_baseline,
+    baseline_from_json,
+    load_baseline,
+    stale_entries,
+    write_baseline,
+)
+
+
+def _diag(rule="drc.width", box=(0, 0, 250, 500)):
+    return Diagnostic(
+        Severity.ERROR, rule, "msg", tool="drc", layer="NP", box=box
+    )
+
+
+def _report(artifact="a.cif", diags=None):
+    return CheckReport(
+        diagnostics=list(diags) if diags is not None else [_diag()],
+        artifact=artifact,
+    )
+
+
+def test_apply_baseline_suppresses_known_findings():
+    report = _report(diags=[_diag(), _diag(rule="drc.spacing")])
+    baseline = Baseline()
+    baseline.add_report(_report(diags=[_diag()]))
+    filtered = apply_baseline(report, baseline)
+    assert [d.rule for d in filtered.diagnostics] == ["drc.spacing"]
+    assert filtered.suppressed == 1
+
+
+def test_baseline_is_per_artifact():
+    baseline = Baseline()
+    baseline.add_report(_report(artifact="a.cif"))
+    assert apply_baseline(_report(artifact="a.cif"), baseline).suppressed == 1
+    assert apply_baseline(_report(artifact="b.cif"), baseline).suppressed == 0
+
+
+def test_wildcard_bucket_covers_every_artifact():
+    baseline = baseline_from_json(
+        {"version": 1, "entries": {"*": [_diag().fingerprint()]}}
+    )
+    assert apply_baseline(_report(artifact="b.cif"), baseline).suppressed == 1
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    written = write_baseline(str(path), [_report()])
+    loaded = load_baseline(str(path))
+    assert loaded.entries == written.entries
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert list(data["entries"]) == ["a.cif"]
+
+
+def test_unsupported_version_rejected(tmp_path):
+    try:
+        baseline_from_json({"version": 99, "entries": {}})
+    except ValueError as exc:
+        assert "version" in str(exc)
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_stale_entries_reports_fixed_findings():
+    gone = _diag(rule="drc.spacing", box=(9, 9, 99, 99))
+    baseline = Baseline()
+    baseline.add_report(_report(diags=[_diag(), gone]))
+    stale = stale_entries([_report(diags=[_diag()])], baseline)
+    assert stale == {"a.cif": [gone.fingerprint()]}
+    # artifacts not re-linted are not audited
+    assert stale_entries([_report(artifact="other.cif")], baseline) == {}

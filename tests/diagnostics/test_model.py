@@ -1,0 +1,81 @@
+"""The shared Diagnostic/CheckReport model."""
+
+from repro.diagnostics import CheckReport, Diagnostic, Severity, SourceRef
+
+
+def _diag(**overrides):
+    base = dict(
+        severity=Severity.ERROR,
+        rule="drc.width",
+        message="too narrow",
+        tool="drc",
+        layer="NP",
+        box=(0, 0, 250, 1500),
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_positional_compatibility_with_erc_callers(self):
+        # analysis.static_check constructs positionally; the field order
+        # is part of the model's compatibility contract.
+        d = Diagnostic(Severity.WARNING, "ratio", "low ratio", device=3, net=7)
+        assert d.tool == "erc"
+        assert d.device == 3 and d.net == 7
+        assert d.box is None and d.layer is None
+
+    def test_fingerprint_ignores_message(self):
+        assert (
+            _diag(message="one wording").fingerprint()
+            == _diag(message="another wording").fingerprint()
+        )
+
+    def test_fingerprint_distinguishes_geometry(self):
+        assert _diag().fingerprint() != _diag(box=(0, 0, 250, 1750)).fingerprint()
+        assert _diag().fingerprint() != _diag(rule="drc.spacing").fingerprint()
+        assert _diag().fingerprint() != _diag(tool="erc").fingerprint()
+
+    def test_located_attaches_source(self):
+        ref = SourceRef(symbol=2, name="cell", path=(0, 2))
+        assert _diag().located(ref).source is ref
+        assert _diag().located(None).source is None
+
+    def test_source_describe(self):
+        assert "top level" in SourceRef(symbol=-1).describe()
+        ref = SourceRef(symbol=2, name="cell", path=(0, 1, 2))
+        text = ref.describe()
+        assert "symbol 2" in text and "cell" in text and "0 > 1 > 2" in text
+
+
+class TestCheckReport:
+    def test_errors_warnings_ok(self):
+        report = CheckReport(
+            diagnostics=[
+                _diag(),
+                _diag(severity=Severity.WARNING, rule="ratio"),
+            ]
+        )
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok
+        assert CheckReport().ok
+
+    def test_rule_ids_sorted_unique(self):
+        report = CheckReport(
+            diagnostics=[_diag(), _diag(), _diag(rule="drc.spacing")]
+        )
+        assert report.rule_ids() == ["drc.spacing", "drc.width"]
+
+    def test_sorted_is_deterministic(self):
+        a = _diag(box=(500, 0, 750, 100))
+        b = _diag(box=(0, 0, 250, 100))
+        report = CheckReport(diagnostics=[a, b])
+        assert report.sorted().diagnostics == [b, a]
+
+    def test_extend_accumulates_suppressed(self):
+        first = CheckReport(diagnostics=[_diag()], suppressed=2)
+        second = CheckReport(diagnostics=[_diag(rule="drc.spacing")], suppressed=1)
+        first.extend(second)
+        assert len(first.diagnostics) == 2
+        assert first.suppressed == 3

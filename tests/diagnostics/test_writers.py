@@ -1,0 +1,132 @@
+"""Round-tripping reports through the JSON and SARIF writers."""
+
+import json
+
+import pytest
+
+from repro.diagnostics import (
+    CheckReport,
+    Diagnostic,
+    Severity,
+    SourceRef,
+    format_text,
+    report_from_json,
+    report_to_json,
+    reports_from_json,
+    reports_from_sarif,
+    write_json,
+    write_sarif,
+)
+
+
+def sample_report() -> CheckReport:
+    return CheckReport(
+        diagnostics=[
+            Diagnostic(
+                Severity.ERROR,
+                "drc.width",
+                "NP region narrower than the 2 lambda minimum width",
+                tool="drc",
+                layer="NP",
+                box=(0, 0, 250, 1500),
+                source=SourceRef(symbol=1, name="leaf", path=(0, 1)),
+            ),
+            Diagnostic(
+                Severity.WARNING,
+                "ratio",
+                "pullup/pulldown ratio 2.00 below 4",
+                device=3,
+                net=7,
+            ),
+        ],
+        artifact="chip.cif",
+        suppressed=2,
+    )
+
+
+class TestJsonRoundTrip:
+    def test_report_round_trips(self):
+        report = sample_report()
+        assert report_from_json(report_to_json(report)) == report.sorted()
+
+    def test_multi_report_round_trips(self):
+        reports = [sample_report(), CheckReport(artifact="other.cif")]
+        parsed = reports_from_json(write_json(reports))
+        assert parsed == [r.sorted() for r in reports]
+
+    def test_json_carries_stable_rule_ids_and_coordinates(self):
+        data = report_to_json(sample_report())
+        by_rule = {d["rule"]: d for d in data["diagnostics"]}
+        assert set(by_rule) == {"drc.width", "ratio"}
+        assert by_rule["drc.width"]["box"] == [0, 0, 250, 1500]
+        assert by_rule["drc.width"]["layer"] == "NP"
+        assert by_rule["drc.width"]["tool"] == "drc"
+        assert by_rule["ratio"]["device"] == 3
+        assert by_rule["ratio"]["net"] == 7
+
+    def test_single_report_write_json_shape(self):
+        payload = json.loads(write_json(sample_report()))
+        assert payload["version"] == 1
+        assert len(payload["reports"]) == 1
+
+
+class TestSarifRoundTrip:
+    def test_sarif_round_trips(self):
+        reports = [sample_report(), CheckReport(artifact="clean.cif")]
+        parsed = reports_from_sarif(write_sarif(reports))
+        assert parsed == [r.sorted() for r in reports]
+
+    def test_sarif_structure(self):
+        log = json.loads(write_sarif(sample_report(), rule_help={"ratio": "x"}))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == {"drc.width", "ratio"}
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {"drc.width": "error", "ratio": "warning"}
+        assert run["properties"]["artifact"] == "chip.cif"
+        assert run["properties"]["suppressed"] == 2
+        located = [
+            r for r in run["results"] if r["ruleId"] == "drc.width"
+        ][0]
+        physical = located["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "chip.cif"
+        assert located["properties"]["box"] == [0, 0, 250, 1500]
+
+    def test_foreign_sarif_degrades_gracefully(self):
+        foreign = {
+            "runs": [
+                {
+                    "results": [
+                        {"ruleId": "x1", "level": "error",
+                         "message": {"text": "boom"}}
+                    ]
+                }
+            ]
+        }
+        (report,) = reports_from_sarif(json.dumps(foreign))
+        (diag,) = report.diagnostics
+        assert diag.rule == "x1"
+        assert diag.severity == Severity.ERROR
+        assert diag.message == "boom"
+
+
+class TestText:
+    def test_format_text_summary_and_order(self):
+        text = format_text(sample_report())
+        lines = text.strip().splitlines()
+        assert lines[-1] == (
+            "chip.cif: 1 error(s), 1 warning(s), 2 suppressed by baseline"
+        )
+        # sorted: drc tool before erc tool
+        assert "[drc.width]" in lines[0]
+        assert "(0,0)..(250,1500)" in lines[0]
+        assert "symbol 1 (leaf)" in lines[0]
+
+    def test_empty_report(self):
+        assert format_text(CheckReport()) == "0 error(s), 0 warning(s)\n"
+
+
+@pytest.mark.parametrize("writer", [write_json, write_sarif])
+def test_writers_are_deterministic(writer):
+    assert writer(sample_report()) == writer(sample_report())

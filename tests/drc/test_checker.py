@@ -1,0 +1,182 @@
+"""The streaming DRC: rule-by-rule units plus integration.
+
+Horizontal variants of each rule are exercised by the snippet fixtures
+in :mod:`repro.workloads.violations`; the vertical variants (which take
+the graveyard / history / pending-queue machinery) get explicit layouts
+here.
+"""
+
+import pytest
+
+from repro.core import extract_report
+from repro.drc import (
+    ALL_RULES,
+    RULE_BURIED_ENCLOSURE,
+    RULE_CONTACT_ENCLOSURE,
+    RULE_GATE_EXTENSION,
+    RULE_IMPLANT_COVERAGE,
+    RULE_SPACING,
+    RULE_WIDTH,
+    DrcChecker,
+    run_drc,
+)
+from repro.tech import NMOS
+from repro.workloads import inverter
+from repro.workloads.builder import LayoutBuilder
+from repro.workloads.violations import (
+    VIOLATION_SNIPPETS,
+    drc_violations,
+    plant_snippet,
+)
+
+TECH = NMOS()
+
+
+def rules_fired(layout):
+    return [d.rule for d in run_drc(layout, TECH, attribute=False).diagnostics]
+
+
+def build(*boxes):
+    b = LayoutBuilder(TECH.lambda_)
+    for layer, x1, y1, x2, y2 in boxes:
+        b.top.box(layer, x1, y1, x2, y2)
+    return b.done()
+
+
+class TestSnippets:
+    @pytest.mark.parametrize("rule", sorted(VIOLATION_SNIPPETS))
+    def test_each_snippet_fires_exactly_its_rule(self, rule):
+        b = LayoutBuilder(TECH.lambda_)
+        plant_snippet(b, rule)
+        assert rules_fired(b.done()) == [rule]
+
+    def test_fixture_reports_one_region_per_rule(self):
+        report = run_drc(drc_violations(), TECH, attribute=False)
+        assert report.rule_ids() == sorted(VIOLATION_SNIPPETS)
+        assert len(report.diagnostics) == len(VIOLATION_SNIPPETS)
+
+
+class TestVerticalVariants:
+    def test_width_of_a_short_run(self):
+        # 2-lambda-tall metal bar; the minimum is 3 in any direction.
+        assert rules_fired(build(("NM", 0, 0, 10, 2))) == [RULE_WIDTH]
+
+    def test_vertical_spacing_gap(self):
+        # Two diffusion regions 2 lambda apart vertically (minimum 3).
+        layout = build(("ND", 0, 4, 6, 8), ("ND", 0, 0, 6, 2))
+        assert rules_fired(layout) == [RULE_SPACING]
+
+    def test_vertical_spacing_at_minimum_is_clean(self):
+        layout = build(("ND", 0, 5, 6, 9), ("ND", 0, 0, 6, 2))
+        assert rules_fired(layout) == []
+
+    def test_vertical_gap_only_counts_with_x_overlap(self):
+        layout = build(("ND", 0, 4, 6, 8), ("ND", 10, 0, 16, 2))
+        assert rules_fired(layout) == []
+
+    def test_gate_extension_missing_above(self):
+        # Poly gate flush with the top of the diffusion: the channel's
+        # top edge has no poly or diffusion overhang.
+        layout = build(("ND", 0, 0, 2, 6), ("NP", -2, 4, 2, 6))
+        assert RULE_GATE_EXTENSION in rules_fired(layout)
+
+    def test_gate_extension_satisfied_vertically(self):
+        # Classic cross: vertical diffusion, horizontal poly, both
+        # overhanging by >= 1 lambda on every side.
+        layout = build(("ND", 0, 0, 2, 6), ("NP", -2, 2, 4, 4))
+        assert rules_fired(layout) == []
+
+    def test_contact_uncovered_above_metal(self):
+        layout = build(("NC", 0, 0, 2, 4), ("NM", -1, 0, 3, 3))
+        assert rules_fired(layout) == [RULE_CONTACT_ENCLOSURE]
+
+    def test_buried_uncovered_above_diffusion(self):
+        layout = build(
+            ("NB", 0, 0, 2, 4), ("ND", -1, 0, 3, 2), ("NP", 0, 0, 2, 4)
+        )
+        assert rules_fired(layout) == [RULE_BURIED_ENCLOSURE]
+
+    def test_buried_without_poly_overlap(self):
+        # Coverage is fine, but a buried window that never meets poly
+        # connects nothing.
+        layout = build(("NB", 0, 0, 2, 2), ("ND", -1, -1, 3, 3))
+        fired = rules_fired(layout)
+        assert fired == [RULE_BURIED_ENCLOSURE]
+
+    def test_implant_flush_with_channel_top(self):
+        layout = build(
+            ("ND", 0, 0, 2, 8), ("NP", -2, 3, 4, 5), ("NI", -1, 2, 3, 5)
+        )
+        assert rules_fired(layout) == [RULE_IMPLANT_COVERAGE]
+
+    def test_implant_with_full_margin_is_clean(self):
+        layout = build(
+            ("ND", 0, 0, 2, 8), ("NP", -2, 3, 4, 5), ("NI", -1, 2, 3, 6)
+        )
+        assert rules_fired(layout) == []
+
+
+class TestReporting:
+    def test_violation_regions_merge_across_strips(self):
+        # A nearby diffusion box adds y-stops that slice the thin poly
+        # wire into three strips; the per-strip flags still come out as
+        # one merged diagnostic.
+        layout = build(("NP", 0, 0, 1, 6), ("ND", 4, 2, 8, 4))
+        report = run_drc(layout, TECH, attribute=False)
+        width = report.by_rule(RULE_WIDTH)
+        assert len(width) == 1
+        assert width[0].box == (0, 0, 250, 1500)
+
+    def test_wide_crossing_splits_violation_regions(self):
+        # The same wire with a wide poly arm across the middle: the two
+        # thin segments are genuinely separate violations.
+        layout = build(("NP", 0, 0, 1, 6), ("NP", 0, 3, 5, 4))
+        report = run_drc(layout, TECH, attribute=False)
+        assert len(report.by_rule(RULE_WIDTH)) == 2
+
+    def test_diagnostics_carry_layer_box_and_tool(self):
+        (diag,) = run_drc(
+            build(("NM", 0, 0, 1, 6)), TECH, attribute=False
+        ).diagnostics
+        assert diag.tool == "drc"
+        assert diag.layer == "NM"
+        assert diag.box is not None
+        assert diag.rule == RULE_WIDTH
+
+    def test_enabled_filter(self):
+        report = run_drc(
+            drc_violations(),
+            TECH,
+            attribute=False,
+            enabled=frozenset({RULE_WIDTH}),
+        )
+        assert report.rule_ids() == [RULE_WIDTH]
+
+    def test_attribution_points_at_defining_symbol(self):
+        b = LayoutBuilder(TECH.lambda_)
+        leaf = b.new_symbol()
+        leaf.box("NP", 0, 0, 1, 6)  # too narrow
+        b.top.call(leaf, 4, 0)
+        (diag,) = run_drc(b.done(), TECH).diagnostics
+        assert diag.source is not None
+        assert diag.source.symbol == leaf.number
+
+    def test_empty_layout(self):
+        assert rules_fired(LayoutBuilder(TECH.lambda_).done()) == []
+
+
+class TestIntegration:
+    def test_checker_rides_the_extraction_pass(self):
+        checker = DrcChecker(TECH)
+        report = extract_report(inverter(), TECH, strip_consumers=(checker,))
+        assert len(report.circuit.devices) == 2
+        assert checker.report().ok
+
+    def test_all_rules_catalog_matches_snippets(self):
+        assert set(VIOLATION_SNIPPETS) == set(ALL_RULES)
+
+    def test_run_drc_accepts_cif_text(self):
+        cif = "DS 1;\nL NP;\nB 250 1500 125 750;\nDF;\nC 1;\nE\n"
+        assert [
+            d.rule for d in run_drc(cif, TECH, attribute=False).diagnostics
+        ] == [RULE_WIDTH]

@@ -1,0 +1,56 @@
+"""The DRC fault-planting self-test."""
+
+import pytest
+
+from repro.difftest.drcplant import (
+    plant_violation,
+    run_drc_self_test,
+)
+from repro.drc import run_drc
+from repro.tech import NMOS
+from repro.workloads import single_transistor
+from repro.workloads.violations import VIOLATION_SNIPPETS
+
+TECH = NMOS()
+
+
+def test_planting_keeps_host_geometry_clear():
+    layout = plant_violation(single_transistor(), "drc.width", TECH.lambda_)
+    report = run_drc(layout, TECH, attribute=False)
+    assert report.rule_ids() == ["drc.width"]
+
+
+def test_self_test_passes_on_one_host():
+    result = run_drc_self_test(
+        TECH,
+        hosts={"single_transistor": single_transistor},
+        do_shrink=True,
+        max_probes=80,
+    )
+    assert result.ok
+    assert result.clean_hosts == ["single_transistor"]
+    assert len(result.plants) == len(VIOLATION_SNIPPETS)
+    for plant in result.plants:
+        assert plant.caught, plant.rule
+        assert plant.shrunk is not None
+        assert plant.shrunk.after <= plant.shrunk.before
+        assert plant.shrunk_still_fails
+
+
+def test_dirty_host_is_reported_not_planted():
+    from repro.workloads.violations import drc_violations
+
+    result = run_drc_self_test(
+        TECH,
+        hosts={"dirty": lambda lam: drc_violations(lam)},
+        do_shrink=False,
+    )
+    assert not result.ok
+    assert result.dirty_hosts == ["dirty"]
+    assert result.plants == []
+
+
+@pytest.mark.slow
+def test_self_test_full_hosts():
+    result = run_drc_self_test(TECH, do_shrink=True)
+    assert result.ok

@@ -1,0 +1,74 @@
+"""Interval-set helpers behind the DRC."""
+
+from repro.drc.spans import (
+    intersect_spans,
+    overlaps_any,
+    span_containing,
+    subtract_spans,
+    union_spans,
+)
+
+
+class TestIntersect:
+    def test_basic_overlap(self):
+        assert intersect_spans([(0, 10)], [(5, 15)]) == [(5, 10)]
+
+    def test_touching_is_empty(self):
+        assert intersect_spans([(0, 5)], [(5, 10)]) == []
+
+    def test_multiple_pieces(self):
+        assert intersect_spans(
+            [(0, 4), (6, 10)], [(2, 8)]
+        ) == [(2, 4), (6, 8)]
+
+    def test_empty_inputs(self):
+        assert intersect_spans([], [(0, 5)]) == []
+        assert intersect_spans([(0, 5)], []) == []
+
+
+class TestSubtract:
+    def test_hole_splits_span(self):
+        assert subtract_spans([(0, 10)], [(4, 6)]) == [(0, 4), (6, 10)]
+
+    def test_full_cover_removes(self):
+        assert subtract_spans([(2, 8)], [(0, 10)]) == []
+
+    def test_no_overlap_keeps(self):
+        assert subtract_spans([(0, 4)], [(6, 8)]) == [(0, 4)]
+
+    def test_multiple_spans_share_hole_cursor(self):
+        assert subtract_spans(
+            [(0, 4), (6, 10)], [(2, 7)]
+        ) == [(0, 2), (7, 10)]
+
+    def test_hole_at_edges(self):
+        assert subtract_spans([(0, 10)], [(0, 3), (8, 10)]) == [(3, 8)]
+
+
+class TestUnion:
+    def test_merges_overlap_and_abutment(self):
+        assert union_spans([(0, 5)], [(5, 10)]) == [(0, 10)]
+        assert union_spans([(0, 6)], [(4, 10)]) == [(0, 10)]
+
+    def test_keeps_gaps(self):
+        assert union_spans([(0, 2)], [(4, 6)]) == [(0, 2), (4, 6)]
+
+    def test_interleaved(self):
+        assert union_spans(
+            [(0, 2), (8, 10)], [(1, 9)]
+        ) == [(0, 10)]
+
+
+class TestQueries:
+    def test_overlaps_any_requires_positive_overlap(self):
+        assert overlaps_any([(0, 5)], 4, 8)
+        assert not overlaps_any([(0, 5)], 5, 8)
+        assert not overlaps_any([], 0, 1)
+
+    def test_span_containing(self):
+        spans = [(0, 5), (10, 15)]
+        assert span_containing(spans, 0) == (0, 5)
+        assert span_containing(spans, 4) == (0, 5)
+        assert span_containing(spans, 5) is None
+        assert span_containing(spans, 12) == (10, 15)
+        assert span_containing(spans, 20) is None

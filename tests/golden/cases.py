@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from repro.cif import Layout
 from repro.core import extract
+from repro.diagnostics import format_text
+from repro.lint import lint_layout
 from repro.tech import NMOS
 from repro.wirelist import to_wirelist, write_wirelist
 from repro.workloads.builder import LayoutBuilder
@@ -22,6 +24,7 @@ from repro.workloads.cells import (
     inverter,
     nand2,
 )
+from repro.workloads.violations import drc_violations
 
 TECH = NMOS()
 
@@ -100,9 +103,23 @@ GOLDEN_CASES: "dict[str, callable]" = {
     "hier_pair": hier_pair,
 }
 
+#: Lint-report snapshot cases: every wirelist golden (all of which must
+#: stay DRC-clean) plus the deliberately violating fixture, whose report
+#: must list exactly its planted rule ids.
+LINT_CASES: "dict[str, callable]" = {
+    **GOLDEN_CASES,
+    "drc_violations": drc_violations,
+}
+
 
 def render_case(name: str) -> str:
     """The wirelist text a snapshot pins: extract + flat CMU format."""
     layout = GOLDEN_CASES[name]()
     circuit = extract(layout, TECH, keep_geometry=True)
     return write_wirelist(to_wirelist(circuit, name=name))
+
+
+def render_lint_case(name: str) -> str:
+    """The ``repro-lint`` text report a ``<case>.lint`` snapshot pins."""
+    layout = LINT_CASES[name]()
+    return format_text(lint_layout(layout, tech=TECH, artifact=name))

@@ -1,0 +1,76 @@
+"""Golden lint-report snapshot tests.
+
+Every canonical layout's ``repro-lint`` text report is pinned as
+``<case>.lint``: the five wirelist goldens must stay free of DRC errors,
+and the deliberately violating ``drc_violations`` fixture must report
+exactly its planted rule ids -- no more, no fewer.
+"""
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_layout
+from repro.tech import NMOS
+from repro.workloads.violations import drc_violations, snippet_rules
+
+from .cases import GOLDEN_CASES, LINT_CASES, render_lint_case
+
+GOLDEN_DIR = Path(__file__).parent
+REGEN = "PYTHONPATH=src python tools/regen_golden.py"
+
+
+@pytest.mark.parametrize("name", sorted(LINT_CASES))
+def test_lint_report_matches_golden(name):
+    path = GOLDEN_DIR / f"{name}.lint"
+    assert path.exists(), (
+        f"missing snapshot {path.name}; create it with: {REGEN} {name}"
+    )
+    expected = path.read_text()
+    actual = render_lint_case(name)
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{name}.lint",
+                tofile="linted",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"lint report for {name!r} drifted from its golden snapshot.\n"
+            f"{diff}\n\nIf the change is intentional: {REGEN} {name}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_canonical_layouts_have_no_drc_errors(name):
+    report = lint_layout(GOLDEN_CASES[name](), tech=NMOS(), erc=False)
+    assert report.diagnostics == [], (
+        f"{name} is a known-clean layout but the DRC flagged: "
+        f"{[d.rule for d in report.diagnostics]}"
+    )
+
+
+def test_violation_fixture_reports_exactly_planted_rules():
+    report = lint_layout(drc_violations(), tech=NMOS(), erc=False)
+    assert sorted(report.rule_ids()) == sorted(snippet_rules())
+    # one merged region per planted snippet
+    assert len(report.diagnostics) == len(snippet_rules())
+    assert all(d.tool == "drc" for d in report.diagnostics)
+
+
+def test_no_stale_lint_snapshots():
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.lint")}
+    assert on_disk == set(LINT_CASES), (
+        "lint snapshots and cases out of sync; "
+        f"extra={sorted(on_disk - set(LINT_CASES))}, "
+        f"missing={sorted(set(LINT_CASES) - on_disk)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LINT_CASES))
+def test_lint_cases_are_deterministic(name):
+    assert render_lint_case(name) == render_lint_case(name)

@@ -1,7 +1,5 @@
 """The benchmark harness utilities."""
 
-import pytest
-
 from repro.bench import (
     SuiteRow,
     Timed,

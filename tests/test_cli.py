@@ -1,16 +1,27 @@
-"""The ace-extract command-line interface."""
+"""The ace-extract and repro-lint command-line interfaces."""
+
+import json
 
 import pytest
 
 from repro.cif import write
 from repro.cli import main
+from repro.lint import INTERNAL_ERROR_EXIT, main as lint_main
 from repro.workloads import inverter
+from repro.workloads.violations import VIOLATION_SNIPPETS, drc_violations
 
 
 @pytest.fixture()
 def inverter_cif(tmp_path):
     path = tmp_path / "inverter.cif"
     path.write_text(write(inverter()))
+    return str(path)
+
+
+@pytest.fixture()
+def violations_cif(tmp_path):
+    path = tmp_path / "violations.cif"
+    path.write_text(write(drc_violations()))
     return str(path)
 
 
@@ -93,6 +104,107 @@ class TestCheckFailures:
         path.write_text(write_cif(layout))
         assert main([str(path), "--check"]) == 1
         assert "malformed" in capsys.readouterr().err
+
+
+class TestLintFlag:
+    def test_clean_layout_passes(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--lint"]) == 0
+        assert "0 error(s)" in capsys.readouterr().err
+
+    def test_violations_fail_lint(self, violations_cif, capsys):
+        assert main([violations_cif, "--lint"]) == 1
+        err = capsys.readouterr().err
+        for rule in VIOLATION_SNIPPETS:
+            assert rule in err
+
+    def test_lint_with_hierarchical_extraction(self, violations_cif, capsys):
+        assert main([violations_cif, "--lint", "--hierarchical"]) == 1
+        assert "drc.width" in capsys.readouterr().err
+
+    def test_custom_rails_quiet_no_vdd(self, tmp_path, capsys):
+        from repro.cif import Label, Layout, write as write_cif
+        from repro.geometry import Box
+
+        layout = Layout()
+        layout.top.add_box("NM", Box(0, 0, 2500, 750))
+        layout.top.add_box("NM", Box(0, 5000, 2500, 5750))
+        layout.top.add_label(Label("PWR", 100, 100, "NM"))
+        layout.top.add_label(Label("COM", 100, 5100, "NM"))
+        path = tmp_path / "rails.cif"
+        path.write_text(write_cif(layout))
+        assert main([str(path), "--check"]) == 0
+        assert "no-vdd" in capsys.readouterr().err
+        argv = [str(path), "--check", "--vdd", "PWR", "--gnd", "COM"]
+        assert main(argv) == 0
+        assert "no-vdd" not in capsys.readouterr().err
+
+
+class TestReproLint:
+    def test_clean_file_exits_zero(self, inverter_cif, capsys):
+        assert lint_main([inverter_cif]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_exit_code_is_error_count(self, violations_cif, capsys):
+        assert lint_main([violations_cif]) == len(VIOLATION_SNIPPETS)
+        out = capsys.readouterr().out
+        for rule in VIOLATION_SNIPPETS:
+            assert f"[{rule}]" in out
+
+    def test_json_output(self, violations_cif, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = lint_main(
+            [violations_cif, "--format", "json", "-o", str(target)]
+        )
+        assert code == len(VIOLATION_SNIPPETS)
+        payload = json.loads(target.read_text())
+        (report,) = payload["reports"]
+        assert report["artifact"] == violations_cif
+        rules = {d["rule"] for d in report["diagnostics"]}
+        assert set(VIOLATION_SNIPPETS) <= rules
+        assert capsys.readouterr().out == ""
+
+    def test_sarif_output(self, violations_cif, capsys):
+        assert lint_main([violations_cif, "--format", "sarif"]) > 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} >= set(VIOLATION_SNIPPETS)
+
+    def test_baseline_flow(self, violations_cif, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [violations_cif, "--write-baseline", str(baseline)]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert lint_main([violations_cif, "--baseline", str(baseline)]) == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
+
+    def test_rule_filter(self, violations_cif, capsys):
+        assert lint_main([violations_cif, "--rules", "drc.width"]) == 1
+        out = capsys.readouterr().out
+        assert "[drc.width]" in out
+        assert "[drc.spacing]" not in out
+
+    def test_no_drc_no_erc_toggles(self, violations_cif, capsys):
+        assert lint_main([violations_cif, "--no-drc"]) == 0
+        assert lint_main([violations_cif, "--no-erc"]) == len(
+            VIOLATION_SNIPPETS
+        )
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in VIOLATION_SNIPPETS:
+            assert rule in out
+
+    def test_missing_file_is_internal_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.cif")
+        assert lint_main([missing]) == INTERNAL_ERROR_EXIT
+        assert "nope.cif" in capsys.readouterr().err
+
+    def test_no_input_files_is_internal_error(self, capsys):
+        assert lint_main([]) == INTERNAL_ERROR_EXIT
 
 
 class TestPlotting:

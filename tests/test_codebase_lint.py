@@ -1,0 +1,38 @@
+"""Run the repo's own linters when they are installed.
+
+CI installs ruff and mypy (see .github/workflows/ci.yml) and runs them
+with the configuration in pyproject.toml; these tests mirror that job
+so local environments with the tools get the same signal, and
+environments without them skip cleanly.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run(argv):
+    return subprocess.run(
+        argv, cwd=REPO, capture_output=True, text=True
+    )
+
+
+def test_ruff_clean():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed")
+    proc = _run(["ruff", "check", "src/repro", "tests", "tools"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean():
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        pytest.skip("mypy not installed")
+    proc = _run([sys.executable, "-m", "mypy"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr

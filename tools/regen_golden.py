@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate the golden wirelist snapshots under tests/golden/.
+"""Regenerate the golden wirelist and lint-report snapshots under tests/golden/.
 
 Usage::
 
@@ -19,28 +19,37 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO))
 
-from tests.golden.cases import GOLDEN_CASES, render_case  # noqa: E402
+from tests.golden.cases import (  # noqa: E402
+    GOLDEN_CASES,
+    LINT_CASES,
+    render_case,
+    render_lint_case,
+)
 
 GOLDEN_DIR = REPO / "tests" / "golden"
 
 
+def _refresh(path: Path, text: str) -> None:
+    old = path.read_text() if path.exists() else None
+    if old == text:
+        print(f"  unchanged  {path.relative_to(REPO)}")
+        return
+    path.write_text(text)
+    verb = "updated" if old is not None else "created"
+    print(f"  {verb:>9}  {path.relative_to(REPO)}")
+
+
 def main(argv: "list[str] | None" = None) -> int:
-    names = (argv if argv is not None else sys.argv[1:]) or sorted(GOLDEN_CASES)
-    unknown = [n for n in names if n not in GOLDEN_CASES]
+    names = (argv if argv is not None else sys.argv[1:]) or sorted(LINT_CASES)
+    unknown = [n for n in names if n not in LINT_CASES]
     if unknown:
         print(f"unknown case(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(sorted(GOLDEN_CASES))}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(LINT_CASES))}", file=sys.stderr)
         return 2
     for name in names:
-        path = GOLDEN_DIR / f"{name}.wirelist"
-        text = render_case(name)
-        old = path.read_text() if path.exists() else None
-        if old == text:
-            print(f"  unchanged  {path.relative_to(REPO)}")
-            continue
-        path.write_text(text)
-        verb = "updated" if old is not None else "created"
-        print(f"  {verb:>9}  {path.relative_to(REPO)}")
+        if name in GOLDEN_CASES:
+            _refresh(GOLDEN_DIR / f"{name}.wirelist", render_case(name))
+        _refresh(GOLDEN_DIR / f"{name}.lint", render_lint_case(name))
     return 0
 
 
