@@ -21,12 +21,34 @@ from .tech import NMOS
 from .wirelist import to_wirelist, write_wirelist
 
 
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
+def add_version_argument(parser: argparse.ArgumentParser) -> None:
+    """Give ``parser`` the uniform ``--version`` flag every CLI shares."""
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ace-extract",
         description="Flat edge-based (and hierarchical) NMOS circuit "
         "extraction from CIF layouts.",
     )
+    add_version_argument(parser)
     parser.add_argument("cif", help="input CIF file")
     parser.add_argument(
         "-o", "--output", help="wirelist output file (default: stdout)"

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..cli import add_version_argument
 from ..tech import NMOS
 from .driver import run_difftest
 from .faults import KNOWN_FAULTS
@@ -21,10 +22,11 @@ from .oracles import DEFAULT_ORACLES, ORACLES
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-difftest",
-        description="Differential fuzzing of the five extraction oracles "
+        description="Differential fuzzing of the extraction oracles "
         "over seeded random layouts, with failure shrinking and a "
         "persisted repro corpus.",
     )
+    add_version_argument(parser)
     parser.add_argument(
         "-n", "--iterations", type=int, default=100,
         help="number of generated layouts (default 100)",

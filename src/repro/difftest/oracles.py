@@ -1,10 +1,12 @@
 """The oracle registry: every independent implementation of extraction.
 
-An *oracle* maps a layout to a circuit.  The repo has five -- the flat
-edge-based scanline (ACE), serial and parallel HEXT, and the two
-historical baselines -- and the whole correctness argument is that they
-must agree on every layout, up to net renumbering.  Each oracle declares
-two capabilities the driver respects:
+An *oracle* maps a layout to a circuit.  The repo has six -- the flat
+edge-based scanline (ACE), serial and parallel HEXT, the extraction
+*service* (parallel HEXT round-tripped through the long-lived daemon,
+with byte-for-byte wirelist parity enforced inside the runner), and the
+two historical baselines -- and the whole correctness argument is that
+they must agree on every layout, up to net renumbering.  Each oracle
+declares two capabilities the driver respects:
 
 ``grid_exact``
     trustworthy on off-lambda-grid coordinates.  The fixed-grid raster
@@ -19,15 +21,18 @@ two capabilities the driver respects:
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import dataclass
 from typing import Callable
 
 from ..baselines import extract_polyflat, extract_raster
 from ..cif import Layout
+from ..cif import write as write_cif
 from ..core import Circuit, extract
 from ..hext import hext_extract
+from ..hext.wirelist import to_hierarchical_wirelist
 from ..tech import Technology
-from ..wirelist import FlatCircuit, circuit_to_flat
+from ..wirelist import FlatCircuit, circuit_to_flat, write_wirelist
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,65 @@ class OracleResult:
     sizes: tuple
 
 
+class ServiceParityError(AssertionError):
+    """The daemon's wirelist bytes diverged from the in-process ones."""
+
+
+_SERVICE_CLIENT = None
+
+
+def _service_client():
+    """The lazily started shared daemon (one per difftest process).
+
+    Started on the first layout the ``service`` oracle sees and torn
+    down atexit, so a difftest run pays one daemon start, not one per
+    iteration — and every iteration after the first also exercises the
+    daemon's cross-request warm memo on a *different* layout.
+    """
+    global _SERVICE_CLIENT
+    if _SERVICE_CLIENT is None:
+        from ..service import ExtractionService, ServiceClient, ServiceConfig
+
+        service = ExtractionService(
+            ServiceConfig(port=0, workers=2, quiet=True)
+        )
+        service.start()
+        atexit.register(service.close)
+        _SERVICE_CLIENT = ServiceClient(port=service.port, timeout=120.0)
+    return _SERVICE_CLIENT
+
+
+def _service_extract(layout: Layout, tech: Technology) -> Circuit:
+    """Round-trip through the daemon, then demand byte parity.
+
+    The daemon serves the layout with the same configuration as the
+    in-process ``hext-par`` oracle (hierarchical, 2 workers).  The two
+    wirelists must agree *byte for byte* — not just up to renumbering —
+    because serving from a warm memo, a worker pool, or the result
+    cache may move time but never bytes.  Any divergence raises
+    :class:`ServiceParityError`, which the difftest driver reports like
+    any other oracle failure.
+    """
+    local = hext_extract(layout, tech, jobs=2)
+    expected = write_wirelist(
+        to_hierarchical_wirelist(local, name="difftest.cif")
+    )
+    result = _service_client().extract(
+        write_cif(layout),
+        name="difftest.cif",
+        hext=True,
+        jobs=2,
+        lambda_=tech.lambda_,
+        wait_timeout=120.0,
+    )
+    if result["wirelist"] != expected:
+        raise ServiceParityError(
+            "daemon wirelist differs from in-process hext-par "
+            f"({len(result['wirelist'])} vs {len(expected)} bytes)"
+        )
+    return local.circuit
+
+
 ORACLES: dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -88,6 +152,14 @@ ORACLES: dict[str, Oracle] = {
             runner=lambda layout, tech: hext_extract(
                 layout, tech, jobs=2
             ).circuit,
+        ),
+        Oracle(
+            "service",
+            "hext-par round-tripped through the extraction daemon "
+            "(byte-for-byte parity enforced)",
+            grid_exact=True,
+            sizes_exact=True,
+            runner=_service_extract,
         ),
         Oracle(
             "raster",

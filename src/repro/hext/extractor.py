@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..cif import Layout, parse
 from ..cif.layout import Label
@@ -40,6 +41,9 @@ from ..tech import NMOS, Technology
 from .compose import compose
 from .fragment import CHANNEL, ChildRef, DeviceRec, Fragment, IfaceRec, Placed
 from .windows import Content, WindowPlanner
+
+if TYPE_CHECKING:
+    from ..parallel.pool import PersistentPool
 
 
 @dataclass
@@ -235,23 +239,27 @@ def execute_plan(
     jobs: "int | None" = None,
     cache: "str | None" = None,
     memo: "dict | None" = None,
+    pool: "PersistentPool | None" = None,
 ) -> dict:
     """Extract every unique primitive window in the plan.
 
-    Returns (and fills) ``memo``: key -> :class:`Fragment`.  With ``jobs``
-    or ``cache`` set, the work is delegated to :mod:`repro.parallel`,
-    which fans extractions out over a process pool and/or serves them
-    from the persistent on-disk fragment cache; otherwise the extractions
-    run serially in-process.  Keys already present in ``memo`` (the
-    incremental extractor's persistent table) are never re-extracted.
+    Returns (and fills) ``memo``: key -> :class:`Fragment`.  With ``jobs``,
+    ``cache``, or ``pool`` set, the work is delegated to
+    :mod:`repro.parallel`, which fans extractions out over a process pool
+    (a long-lived :class:`~repro.parallel.pool.PersistentPool` when one
+    is passed) and/or serves them from the persistent on-disk fragment
+    cache; otherwise the extractions run serially in-process.  Keys
+    already present in ``memo`` (the incremental extractor's persistent
+    table) are never re-extracted.
     """
     memo = {} if memo is None else memo
-    if jobs is not None and jobs != 1 or cache is not None:
+    if jobs is not None and jobs != 1 or cache is not None or pool is not None:
         from ..parallel import execute_plan_parallel
 
         return execute_plan_parallel(
             plan, tech, stats,
             resolution=resolution, jobs=jobs, cache=cache, memo=memo,
+            pool=pool,
         )
     for key, content in plan.primitives.items():
         if key in memo:
@@ -315,6 +323,7 @@ def hext_extract(
     resolution: int = 50,
     jobs: "int | None" = None,
     cache: "str | None" = None,
+    pool: "PersistentPool | None" = None,
 ) -> HextResult:
     """Hierarchically extract a CIF string or parsed layout.
 
@@ -326,6 +335,8 @@ def hext_extract(
             processes (``None`` or ``1``: serial; ``0``: one per CPU).
         cache: directory of the persistent fragment cache; repeated runs
             over unchanged windows skip extraction entirely.
+        pool: a long-lived worker pool to reuse instead of a one-shot
+            pool (the extraction service's amortization path).
 
     The three phases run plan -> execute -> compose; parallel and cached
     runs produce wirelists equivalent to serial ones because the plan
@@ -341,7 +352,8 @@ def hext_extract(
     stats.frontend_seconds += time.perf_counter() - planner_start
     plan = plan_windows(planner, top, stats)
     memo = execute_plan(
-        plan, tech, stats, resolution=resolution, jobs=jobs, cache=cache
+        plan, tech, stats,
+        resolution=resolution, jobs=jobs, cache=cache, pool=pool,
     )
     fragment = compose_plan(plan, memo, tech, stats)
     return HextResult(

@@ -23,7 +23,9 @@ from the memo.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..cif import Layout, parse
 from ..tech import NMOS, Technology
@@ -36,7 +38,8 @@ from .extractor import (
 )
 from .windows import WindowPlanner
 
-import time
+if TYPE_CHECKING:
+    from ..parallel.pool import PersistentPool
 
 
 @dataclass
@@ -72,8 +75,23 @@ class IncrementalExtractor:
     def __len__(self) -> int:
         return len(self._memo)
 
-    def extract(self, source: "str | Layout") -> HextResult:
-        """Extract, reusing any window seen in previous calls."""
+    def extract(
+        self,
+        source: "str | Layout",
+        *,
+        jobs: "int | None" = None,
+        cache: "str | None" = None,
+        pool: "PersistentPool | None" = None,
+    ) -> HextResult:
+        """Extract, reusing any window seen in previous calls.
+
+        ``jobs``, ``cache``, and ``pool`` pass straight through to the
+        execute phase (see :func:`repro.hext.extractor.execute_plan`):
+        windows the persistent memo does not already hold can be fanned
+        out over worker processes — the extraction service hands in its
+        long-lived :class:`~repro.parallel.pool.PersistentPool` here —
+        or served from the on-disk fragment cache.
+        """
         layout = parse(source) if isinstance(source, str) else source
         previous_keys = frozenset(self._memo)
         stats = HextStats()
@@ -86,6 +104,7 @@ class IncrementalExtractor:
         execute_plan(
             plan, self.tech, stats,
             resolution=self.resolution, memo=self._memo,
+            jobs=jobs, cache=cache, pool=pool,
         )
         fragment = compose_plan(plan, self._memo, self.tech, stats)
         self._last_used = plan.used_keys()

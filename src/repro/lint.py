@@ -23,6 +23,7 @@ from .analysis.static_check import (
     static_check,
 )
 from .cif import Layout, parse_file
+from .cli import add_version_argument
 from .core import extract_report
 from .diagnostics import (
     CheckReport,
@@ -50,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Design-rule and static checks over CIF layouts, "
         "in one scanline pass per file.",
     )
+    add_version_argument(parser)
     parser.add_argument("files", nargs="*", help="input CIF files")
     parser.add_argument(
         "--lambda",

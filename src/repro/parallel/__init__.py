@@ -19,9 +19,9 @@ byte-for-byte the same payload either way, which is what makes serial,
 parallel, and warm-cache runs produce equivalent wirelists.
 """
 
-from .cache import CacheStats, FragmentCache
+from .cache import CacheStats, FragmentCache, JsonEnvelopeStore
 from .executor import execute_plan_parallel, resolve_jobs
-from .pool import PoolUnavailable, extract_contents_parallel
+from .pool import PersistentPool, PoolUnavailable, extract_contents_parallel
 from .serialize import (
     FORMAT_VERSION,
     SerializationError,
@@ -37,6 +37,8 @@ __all__ = [
     "CacheStats",
     "FORMAT_VERSION",
     "FragmentCache",
+    "JsonEnvelopeStore",
+    "PersistentPool",
     "PoolUnavailable",
     "SerializationError",
     "content_from_payload",

@@ -1,23 +1,28 @@
-"""The persistent on-disk fragment cache.
+"""Persistent content-addressed JSON stores, and the fragment cache.
 
-One file per unique window, under a two-level fan-out directory::
+One file per key, under a two-level fan-out directory::
 
     <root>/<key[:2]>/<key>.json
 
-Each file is a small envelope around the fragment payload::
+Each file is a small envelope around an arbitrary JSON payload::
 
     {"format": 1, "key": "<sha256>", "checksum": "<sha256 of payload>",
-     "fragment": {...}}
+     "payload": {...}}
 
 Trust nothing read back: an entry is served only when the envelope's
 format version matches, its recorded key matches the file's name, the
 checksum matches the canonical JSON of the payload, *and* the payload
 survives structural validation.  Any failure counts as ``invalid``, the
-file is deleted, and the window is re-extracted — a corrupted or stale
-cache can cost time, never correctness.
+file is deleted, and the entry is recomputed — a corrupted or stale
+store can cost time, never correctness.
 
 Writes go through a temp file and ``os.replace`` so a crashed run leaves
 either the old entry or the new one, never a torn file.
+
+:class:`JsonEnvelopeStore` is the generic layer (the extraction service
+builds its result cache on it); :class:`FragmentCache` specializes it to
+primitive HEXT fragments, which is why fragment envelopes carry the
+payload under the historical ``"fragment"`` field.
 """
 
 from __future__ import annotations
@@ -53,8 +58,17 @@ class CacheStats:
         return self.hits / looked_up if looked_up else 0.0
 
 
-class FragmentCache:
-    """Content-addressed store of primitive fragments across runs."""
+class JsonEnvelopeStore:
+    """Content-addressed store of JSON payloads across runs.
+
+    Subclasses pin the envelope ``format_version`` (bump it to shed every
+    older entry on the next lookup), may rename the payload field for
+    compatibility (``payload_field``), and hook structural validation via
+    :meth:`validate_payload`.
+    """
+
+    format_version: int = 1
+    payload_field: str = "payload"
 
     def __init__(self, root: "str | os.PathLike") -> None:
         self.root = Path(root)
@@ -64,8 +78,11 @@ class FragmentCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> "Fragment | None":
-        """The cached fragment for ``key``, or None (miss or rejected)."""
+    def validate_payload(self, payload: dict) -> None:
+        """Reject malformed payloads by raising SerializationError."""
+
+    def get_payload(self, key: str) -> "dict | None":
+        """The validated payload for ``key``, or None (miss or rejected)."""
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -76,21 +93,20 @@ class FragmentCache:
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return self._reject(path)
         try:
-            fragment = self._validate(key, envelope)
+            payload = self._validate(key, envelope)
         except SerializationError:
             return self._reject(path)
         self.stats.hits += 1
-        return fragment
+        return payload
 
-    def put(self, key: str, fragment: Fragment, payload: "dict | None" = None) -> None:
-        """Store a primitive fragment under ``key`` (atomic replace)."""
-        payload = fragment_payload(fragment) if payload is None else payload
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Store a JSON payload under ``key`` (atomic replace)."""
         body = canonical_json(payload)
         envelope = {
-            "format": FORMAT_VERSION,
+            "format": self.format_version,
             "key": key,
             "checksum": hashlib.sha256(body.encode()).hexdigest(),
-            "fragment": payload,
+            self.payload_field: payload,
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -100,22 +116,23 @@ class FragmentCache:
         os.replace(tmp, path)
         self.stats.stores += 1
 
-    def _validate(self, key: str, envelope: dict) -> Fragment:
+    def _validate(self, key: str, envelope: dict) -> dict:
         if not isinstance(envelope, dict):
             raise SerializationError("envelope is not an object")
-        if envelope.get("format") != FORMAT_VERSION:
+        if envelope.get("format") != self.format_version:
             raise SerializationError(
                 f"stale cache format {envelope.get('format')!r}"
             )
         if envelope.get("key") != key:
             raise SerializationError("envelope key does not match file name")
-        payload = envelope.get("fragment")
+        payload = envelope.get(self.payload_field)
         if not isinstance(payload, dict):
-            raise SerializationError("missing fragment payload")
+            raise SerializationError("missing payload")
         checksum = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
         if envelope.get("checksum") != checksum:
-            raise SerializationError("fragment checksum mismatch")
-        return fragment_from_payload(payload)
+            raise SerializationError("payload checksum mismatch")
+        self.validate_payload(payload)
+        return payload
 
     def _reject(self, path: Path) -> None:
         self.stats.invalid += 1
@@ -140,3 +157,25 @@ class FragmentCache:
             except OSError:
                 pass
         return removed
+
+
+class FragmentCache(JsonEnvelopeStore):
+    """Content-addressed store of primitive fragments across runs."""
+
+    format_version = FORMAT_VERSION
+    payload_field = "fragment"
+
+    def validate_payload(self, payload: dict) -> None:
+        fragment_from_payload(payload)
+
+    def get(self, key: str) -> "Fragment | None":
+        """The cached fragment for ``key``, or None (miss or rejected)."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        return fragment_from_payload(payload)
+
+    def put(self, key: str, fragment: Fragment, payload: "dict | None" = None) -> None:
+        """Store a primitive fragment under ``key`` (atomic replace)."""
+        payload = fragment_payload(fragment) if payload is None else payload
+        self.put_payload(key, payload)

@@ -27,7 +27,7 @@ import time
 from ..hext.extractor import HextStats, WindowPlan, extract_primitive
 from ..tech import Technology
 from .cache import FragmentCache
-from .pool import PoolUnavailable, extract_contents_parallel
+from .pool import PersistentPool, PoolUnavailable, extract_contents_parallel
 from .serialize import (
     content_payload,
     fragment_from_payload,
@@ -55,10 +55,16 @@ def execute_plan_parallel(
     jobs: "int | None" = None,
     cache: "str | None" = None,
     memo: "dict | None" = None,
+    pool: "PersistentPool | None" = None,
 ) -> dict:
-    """Fill ``memo`` with a fragment per unique primitive window."""
+    """Fill ``memo`` with a fragment per unique primitive window.
+
+    With ``pool`` set, pending extractions go to that long-lived
+    :class:`~repro.parallel.pool.PersistentPool` instead of a one-shot
+    pool sized by ``jobs``; the pool's own worker count wins.
+    """
     memo = {} if memo is None else memo
-    workers = resolve_jobs(jobs)
+    workers = pool.workers if pool is not None else resolve_jobs(jobs)
     phase_start = time.perf_counter()
     store = FragmentCache(cache) if cache is not None else None
 
@@ -79,12 +85,13 @@ def execute_plan_parallel(
 
     if workers > 1 and len(pending) > 1:
         try:
-            produced = extract_contents_parallel(
-                [payload for _, payload, _ in pending],
-                tech,
-                resolution,
-                workers,
-            )
+            batch = [payload for _, payload, _ in pending]
+            if pool is not None:
+                produced = pool.extract(batch)
+            else:
+                produced = extract_contents_parallel(
+                    batch, tech, resolution, workers
+                )
         except PoolUnavailable:
             workers = 1
         else:

@@ -59,34 +59,84 @@ def _pool_context() -> "multiprocessing.context.BaseContext":
     )
 
 
+class PersistentPool:
+    """A process pool kept alive across extraction runs.
+
+    One-shot callers pay pool startup on every chip; a long-lived host
+    (the extraction service daemon) amortizes it by keeping one of these
+    per ``(technology, resolution)`` and handing it to
+    :func:`repro.parallel.executor.execute_plan_parallel` for every
+    request.  Workers are created lazily on the first :meth:`extract`;
+    a pool that breaks mid-flight is torn down (broken executors cannot
+    be reused) and raises :class:`PoolUnavailable`, after which the next
+    :meth:`extract` call transparently builds a fresh pool.
+    """
+
+    def __init__(self, tech: Technology, resolution: int, jobs: int) -> None:
+        self.tech = tech
+        self.resolution = resolution
+        self.workers = max(1, jobs)
+        self._executor: "ProcessPoolExecutor | None" = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_pool_context(),
+                    initializer=_init_worker,
+                    initargs=(self.tech, self.resolution),
+                )
+            except (OSError, PermissionError, ValueError) as exc:
+                raise PoolUnavailable(str(exc)) from exc
+        return self._executor
+
+    def extract(self, payloads: "list[dict]") -> "list[tuple[dict, float]]":
+        """Extract window payloads over the pool's worker processes.
+
+        Returns ``(fragment_payload, worker_seconds)`` per input, in
+        input order.  Raises :class:`PoolUnavailable` when the pool
+        cannot run — the caller decides whether to retry serially.
+        """
+        executor = self._ensure()
+        results: "list[tuple[dict, float] | None]" = [None] * len(payloads)
+        try:
+            for index, payload, seconds in executor.map(
+                _extract_job, list(enumerate(payloads)), chunksize=1
+            ):
+                results[index] = (payload, seconds)
+        except (OSError, PermissionError, process.BrokenProcessPool) as exc:
+            self.close()
+            raise PoolUnavailable(str(exc)) from exc
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise PoolUnavailable(f"workers returned no result for {missing}")
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 def extract_contents_parallel(
     payloads: "list[dict]",
     tech: Technology,
     resolution: int,
     jobs: int,
 ) -> "list[tuple[dict, float]]":
-    """Extract window payloads over ``jobs`` processes.
+    """Extract window payloads over a one-shot pool of ``jobs`` processes.
 
     Returns ``(fragment_payload, worker_seconds)`` per input, in input
     order.  Raises :class:`PoolUnavailable` when the pool cannot run —
     the caller decides whether to retry serially.
     """
     workers = max(1, min(jobs, len(payloads)))
-    results: "list[tuple[dict, float] | None]" = [None] * len(payloads)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=(tech, resolution),
-        ) as pool:
-            for index, payload, seconds in pool.map(
-                _extract_job, list(enumerate(payloads)), chunksize=1
-            ):
-                results[index] = (payload, seconds)
-    except (OSError, PermissionError, process.BrokenProcessPool) as exc:
-        raise PoolUnavailable(str(exc)) from exc
-    missing = [i for i, r in enumerate(results) if r is None]
-    if missing:
-        raise PoolUnavailable(f"workers returned no result for {missing}")
-    return results  # type: ignore[return-value]
+    with PersistentPool(tech, resolution, workers) as pool:
+        return pool.extract(payloads)

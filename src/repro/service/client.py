@@ -1,0 +1,176 @@
+"""A thin blocking client for the extraction daemon.
+
+Pure stdlib (``http.client``), one connection per request, no retries
+beyond what the caller asks for — the transport is boring on purpose so
+the daemon's semantics (admission control, polling, cache hits) stay
+visible to whoever is scripting against it.  The ``repro-submit`` CLI
+and the difftest ``service`` oracle both sit on this class.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from .server import DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or transport failure) from the daemon."""
+
+    def __init__(self, status: int, payload: "dict | None" = None) -> None:
+        detail = (payload or {}).get("error", "")
+        super().__init__(f"service answered {status}: {detail}")
+        self.status = status
+        self.payload = payload or {}
+
+    @property
+    def retry_after(self) -> "float | None":
+        """Seconds to wait when the daemon applied backpressure (429)."""
+        value = self.payload.get("retry_after_seconds")
+        return float(value) if value is not None else None
+
+
+class JobFailed(ServiceError):
+    """The job reached a terminal state other than done."""
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP access to one daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "dict | None" = None,
+        *,
+        ok: "tuple[int, ...]" = (200,),
+    ) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            encoded = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = (
+                {"Content-Type": "application/json"} if encoded else {}
+            )
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode("utf-8", "replace")[:200]}
+        if response.status not in ok:
+            raise ServiceError(response.status, payload)
+        return payload
+
+    # -- API -------------------------------------------------------------
+
+    def submit(
+        self,
+        cif: "str | None" = None,
+        *,
+        path: "str | None" = None,
+        **options: Any,
+    ) -> dict:
+        """Submit a payload; returns the submission's status payload.
+
+        A result-cache hit answers with ``state == "done"`` and
+        ``cached == true`` immediately; otherwise the job is queued and
+        the caller polls (or uses :meth:`wait` / :meth:`extract`).
+        Raises :class:`ServiceError` with status 429 when admission
+        control refuses — ``exc.retry_after`` carries the daemon's
+        estimate.
+        """
+        if "lambda_" in options:  # keyword-friendly alias for "lambda"
+            options["lambda"] = options.pop("lambda_")
+        body: dict = {"options": options} if options else {}
+        if cif is not None:
+            body["cif"] = cif
+        if path is not None:
+            body["path"] = path
+        return self._request("POST", "/jobs", body, ok=(200, 202))
+
+    def status(self, job: str) -> dict:
+        return self._request("GET", f"/jobs/{job}")
+
+    def result(self, job: str) -> dict:
+        """The finished job's result payload (raises JobFailed otherwise)."""
+        payload = self._request(
+            "GET", f"/jobs/{job}/result", ok=(200, 202, 409)
+        )
+        state = payload.get("state")
+        if state == "done":
+            return payload["result"]
+        if state in ("failed", "cancelled"):
+            raise JobFailed(409, payload)
+        raise ServiceError(202, {**payload, "error": "job not finished"})
+
+    def cancel(self, job: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job}")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    # -- conveniences ----------------------------------------------------
+
+    def wait(
+        self,
+        job: str,
+        *,
+        timeout: "float | None" = 60.0,
+        poll: float = 0.05,
+    ) -> dict:
+        """Poll until the job is terminal; returns its status payload."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            payload = self.status(job)
+            if payload["state"] in ("done", "failed", "cancelled"):
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job} still {payload['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def extract(
+        self,
+        cif: "str | None" = None,
+        *,
+        path: "str | None" = None,
+        wait_timeout: "float | None" = 60.0,
+        **options: Any,
+    ) -> dict:
+        """Submit, wait, and fetch the result in one blocking call."""
+        receipt = self.submit(cif, path=path, **options)
+        if receipt["state"] == "done":
+            return self.result(receipt["job"])
+        status = self.wait(receipt["job"], timeout=wait_timeout)
+        if status["state"] != "done":
+            raise JobFailed(409, status)
+        return self.result(receipt["job"])

@@ -1,0 +1,296 @@
+"""The extraction engine: what a worker thread actually runs.
+
+The engine owns everything worth keeping warm between requests — the
+state a one-shot CLI pays to rebuild on every invocation:
+
+* one :class:`~repro.hext.incremental.IncrementalExtractor` per
+  technology, so the cross-run window memo recognizes windows any
+  earlier request already extracted (two different chips sharing a
+  standard cell pay for it once);
+* one :class:`~repro.parallel.pool.PersistentPool` per (technology,
+  worker count), so parallel hierarchical jobs reuse live worker
+  processes instead of forking a pool per request;
+* the :class:`~repro.service.cache.ResultCache`, keyed by (payload
+  digest, option facet), which short-circuits repeat submissions
+  entirely.
+
+Cancellation is cooperative at two granularities.  Between stages
+(parse / extract / wirelist / lint) every job checks its cancel event
+and deadline.  Inside flat extraction a :class:`CancellationProbe`
+rides the scanline as a strip consumer, so even a single huge chip
+notices cancellation mid-sweep; hierarchical extraction is only
+interruptible between stages (the window memo must never absorb a
+half-extracted fragment).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from ..cif import parse
+from ..core import extract_report
+from ..core.scanline import StripConsumer
+from ..diagnostics import SourceIndex
+from ..diagnostics.writers import diagnostic_to_json
+from ..hext.incremental import IncrementalExtractor
+from ..hext.wirelist import to_hierarchical_wirelist
+from ..parallel import PersistentPool, resolve_jobs
+from ..tech import NMOS, Technology
+from ..wirelist import to_wirelist, write_wirelist
+from .cache import ResultCache
+from .jobs import Job
+from .metrics import Metrics
+
+if TYPE_CHECKING:
+    from ..drc import DrcChecker
+
+
+class JobCancelled(Exception):
+    """The job's cancel event was observed."""
+
+
+class JobTimeout(Exception):
+    """The job's deadline passed before it finished."""
+
+
+#: How many strips the probe lets pass between checks; strip processing
+#: is microseconds, so this keeps overhead invisible while bounding the
+#: reaction latency to well under a second on any real layout.
+PROBE_STRIDE = 64
+
+
+class CancellationProbe(StripConsumer):
+    """A strip consumer that aborts the sweep for a cancelled/late job."""
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self._countdown = PROBE_STRIDE
+
+    def observe_strip(
+        self,
+        y_lo: int,
+        y_hi: int,
+        spans: "dict[str, list[tuple[int, int]]]",
+        channels: "list[tuple[int, int, int]]",
+    ) -> None:
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = PROBE_STRIDE
+        _raise_if_aborted(self.job)
+
+    def finish(self) -> None:
+        pass
+
+
+def _raise_if_aborted(job: Job) -> None:
+    if job.cancel_event.is_set():
+        raise JobCancelled(f"job {job.ident} cancelled")
+    if job.deadline is not None and time.monotonic() > job.deadline:
+        raise JobTimeout(f"job {job.ident} exceeded its deadline")
+
+
+class ExtractionEngine:
+    """Turns jobs into result payloads, keeping hot state warm."""
+
+    def __init__(
+        self,
+        *,
+        result_cache_dir: "str | None" = None,
+        memory_cache_entries: int = 256,
+        default_timeout: "float | None" = None,
+        resolution: int = 50,
+        metrics: "Metrics | None" = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.results = ResultCache(
+            result_cache_dir, memory_entries=memory_cache_entries
+        )
+        self.default_timeout = default_timeout
+        self.resolution = resolution
+        self._state_lock = threading.Lock()
+        self._incremental: "dict[int, IncrementalExtractor]" = {}
+        self._memo_locks: "dict[int, threading.Lock]" = {}
+        self._pools: "dict[tuple[int, int], PersistentPool]" = {}
+
+    # -- warm state ------------------------------------------------------
+
+    def _tech_for(self, lambda_: "int | None") -> Technology:
+        return NMOS(lambda_) if lambda_ is not None else NMOS()
+
+    def _incremental_for(
+        self, tech: Technology
+    ) -> "tuple[IncrementalExtractor, threading.Lock]":
+        with self._state_lock:
+            key = tech.lambda_
+            extractor = self._incremental.get(key)
+            if extractor is None:
+                extractor = IncrementalExtractor(
+                    tech, resolution=self.resolution
+                )
+                self._incremental[key] = extractor
+                self._memo_locks[key] = threading.Lock()
+            return extractor, self._memo_locks[key]
+
+    def _pool_for(
+        self, tech: Technology, jobs: "int | None"
+    ) -> "PersistentPool | None":
+        workers = resolve_jobs(jobs)
+        if workers <= 1:
+            return None
+        with self._state_lock:
+            key = (tech.lambda_, workers)
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = PersistentPool(tech, self.resolution, workers)
+                self._pools[key] = pool
+            return pool
+
+    def memo_snapshot(self) -> dict:
+        """Warm-state gauges for the metrics plane."""
+        with self._state_lock:
+            return {
+                "window_memos": {
+                    str(lambda_): len(extractor)
+                    for lambda_, extractor in self._incremental.items()
+                },
+                "worker_pools": [
+                    {"lambda": lam, "workers": workers}
+                    for (lam, workers) in self._pools
+                ],
+            }
+
+    def prune_memos(self) -> int:
+        """Drop memo entries unused by each technology's latest run."""
+        with self._state_lock:
+            extractors = list(self._incremental.items())
+            locks = dict(self._memo_locks)
+        removed = 0
+        for key, extractor in extractors:
+            with locks[key]:
+                removed += extractor.prune()
+        return removed
+
+    def close(self) -> None:
+        with self._state_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.close()
+
+    # -- the job body ----------------------------------------------------
+
+    def lookup(self, cache_key: str) -> "dict | None":
+        """Result-cache probe; feeds the hit/miss counters."""
+        cached = self.results.get(cache_key)
+        if cached is not None:
+            self.metrics.count("cache_hits")
+        else:
+            self.metrics.count("cache_misses")
+        return cached
+
+    def run_job(self, job: Job) -> dict:
+        """Execute ``job`` to a result payload and cache it.
+
+        Raises :class:`JobCancelled` / :class:`JobTimeout` when the job
+        aborts cooperatively; any other exception is an extraction
+        failure the worker records verbatim.
+        """
+        options = job.options
+        tech = self._tech_for(options.lambda_)
+        probe = CancellationProbe(job)
+
+        self._enter_stage(job, "parse")
+        started = time.perf_counter()
+        layout = parse(job.cif)
+        self.metrics.observe_stage("parse", time.perf_counter() - started)
+
+        self._enter_stage(job, "extract")
+        started = time.perf_counter()
+        if options.hext:
+            extractor, memo_lock = self._incremental_for(tech)
+            pool = self._pool_for(tech, options.jobs)
+            with memo_lock:
+                hext_result = extractor.extract(layout, pool=pool)
+                circuit = hext_result.circuit
+            self.metrics.fold_hext_stats(hext_result.stats)
+        else:
+            drc_inline = self._drc_checker(tech) if options.lint else None
+            consumers: "tuple[StripConsumer, ...]" = (
+                (probe, drc_inline) if drc_inline is not None else (probe,)
+            )
+            report = extract_report(
+                layout,
+                tech,
+                keep_geometry=options.keep_geometry,
+                resolution=self.resolution,
+                strip_consumers=consumers,
+            )
+            circuit = report.circuit
+            self.metrics.fold_scan_stats(report.stats)
+        self.metrics.observe_stage("extract", time.perf_counter() - started)
+
+        self._enter_stage(job, "wirelist")
+        started = time.perf_counter()
+        if options.hext:
+            wirelist = to_hierarchical_wirelist(hext_result, name=options.name)
+        else:
+            wirelist = to_wirelist(
+                circuit,
+                name=options.name,
+                include_geometry=options.keep_geometry,
+            )
+        text = write_wirelist(wirelist)
+        self.metrics.observe_stage("wirelist", time.perf_counter() - started)
+
+        diagnostics: "list[dict]" = []
+        lint_errors = 0
+        if options.lint:
+            self._enter_stage(job, "lint")
+            started = time.perf_counter()
+            if options.hext:
+                # The hierarchical extractor works window by window; the
+                # DRC needs the whole-chip strip feed, so one flat pass.
+                drc = self._drc_checker(tech)
+                extract_report(
+                    layout,
+                    tech,
+                    resolution=self.resolution,
+                    strip_consumers=(probe, drc),
+                )
+            else:
+                drc = drc_inline
+            lint_report = drc.report(artifact=options.name)
+            if lint_report.diagnostics:
+                lint_report = SourceIndex(layout).attribute(lint_report)
+            diagnostics = [
+                diagnostic_to_json(d) for d in lint_report.diagnostics
+            ]
+            lint_errors = len(lint_report.errors)
+            self.metrics.observe_stage("lint", time.perf_counter() - started)
+
+        _raise_if_aborted(job)
+        result = {
+            "name": options.name,
+            "digest": job.digest,
+            "wirelist": text,
+            "diagnostics": diagnostics,
+            "lint_errors": lint_errors,
+            "warnings": list(circuit.warnings),
+            "devices": len(circuit.devices),
+            "nets": len(circuit.nets),
+        }
+        self.results.put(job.cache_key, result)
+        self.metrics.count("cache_stores")
+        return result
+
+    def _drc_checker(self, tech: Technology) -> "DrcChecker":
+        from ..drc import DrcChecker
+
+        return DrcChecker(tech)
+
+    def _enter_stage(self, job: Job, stage: str) -> None:
+        job.stage = stage
+        _raise_if_aborted(job)

@@ -123,3 +123,80 @@ class TestPrune:
         assert len(inc) > 0
         inc.clear()
         assert len(inc) == 0
+
+
+class TestCrossSessionMemo:
+    """Explicit hit/miss accounting across separate extract() calls."""
+
+    def test_untouched_windows_hit_without_reextraction(self):
+        inc = IncrementalExtractor()
+        inc.extract(_chip())
+        entries = len(inc)
+        inc.extract(_chip())
+        stats = inc.last_stats
+        # Every window the second run needed came from the first run's
+        # memo: zero fresh extractions, and the memo did not grow.
+        assert stats.freshly_extracted == 0
+        assert stats.reused_from_previous >= 1
+        assert stats.reuse_fraction == 1.0
+        assert len(inc) == entries
+
+    def test_edited_window_misses_while_neighbors_hit(self):
+        inc = IncrementalExtractor()
+        inc.extract(_chip())
+        entries = len(inc)
+        inc.extract(_chip(edited_column=4))
+        stats = inc.last_stats
+        # The edited cell's fingerprint changed, so it (and the top
+        # composition containing it) missed; the 5 untouched columns
+        # still answered from the previous session's entries.
+        assert stats.freshly_extracted >= 1
+        assert stats.reused_from_previous >= 1
+        assert stats.reuse_fraction < 1.0
+        assert len(inc) > entries  # the miss was cached for next time
+
+    def test_prune_keeps_exactly_the_latest_run(self):
+        inc = IncrementalExtractor()
+        inc.extract(_chip(edited_column=1))
+        inc.extract(_chip())  # abandon the edited revision
+        removed = inc.prune()
+        assert removed >= 1
+        # Idempotent: everything left was used by the latest run.
+        assert inc.prune() == 0
+        # And sufficient: re-running that run is still fully cached.
+        inc.extract(_chip())
+        assert inc.last_stats.freshly_extracted == 0
+        assert inc.last_stats.reuse_fraction == 1.0
+
+    def test_pruned_revision_is_a_miss_again(self):
+        inc = IncrementalExtractor()
+        inc.extract(_chip(edited_column=1))
+        inc.extract(_chip())
+        inc.prune()  # drops the edited-column entries
+        inc.extract(_chip(edited_column=1))
+        assert inc.last_stats.freshly_extracted >= 1
+
+
+class TestExecuteOptions:
+    def test_parallel_jobs_match_serial(self):
+        serial = IncrementalExtractor().extract(_chip()).circuit
+        parallel = IncrementalExtractor().extract(_chip(), jobs=2).circuit
+        report = compare_netlists(
+            circuit_to_flat(serial), circuit_to_flat(parallel)
+        )
+        assert report.equivalent, report.reason
+
+    def test_persistent_pool_reused_across_extracts(self):
+        from repro.parallel import PersistentPool
+        from repro.tech import NMOS
+
+        with PersistentPool(NMOS(), 50, 2) as pool:
+            inc = IncrementalExtractor()
+            first = inc.extract(_chip(), pool=pool).circuit
+            edited = inc.extract(_chip(edited_column=2), pool=pool).circuit
+        fresh = extract(_chip(edited_column=2))
+        report = compare_netlists(
+            circuit_to_flat(fresh), circuit_to_flat(edited)
+        )
+        assert report.equivalent, report.reason
+        assert len(first.devices) == 48

@@ -1,0 +1,45 @@
+"""Shared fixtures: one live daemon per test, on an ephemeral port."""
+
+import pytest
+
+from repro.service import ExtractionService, ServiceClient, ServiceConfig
+
+
+@pytest.fixture()
+def service():
+    svc = ExtractionService(
+        ServiceConfig(
+            port=0,
+            workers=2,
+            queue_capacity=8,
+            default_timeout=60.0,
+            quiet=True,
+        )
+    )
+    svc.start()
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(port=service.port, timeout=30.0)
+
+
+@pytest.fixture()
+def idle_service():
+    """A daemon with no workers: jobs queue but never run (admission tests)."""
+    svc = ExtractionService(
+        ServiceConfig(port=0, workers=0, queue_capacity=3, quiet=True)
+    )
+    svc.start()
+    yield svc
+    # Cancel whatever is stuck in the queue so drain is clean.
+    for job in list(svc.store._jobs):
+        svc.store.cancel(job)
+    svc.close()
+
+
+@pytest.fixture()
+def idle_client(idle_service):
+    return ServiceClient(port=idle_service.port, timeout=30.0)

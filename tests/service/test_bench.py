@@ -1,0 +1,32 @@
+"""A scaled-down run of the service load benchmark's invariants."""
+
+from repro.bench.service import bench_service, check_report
+
+
+def test_small_load_run_holds_the_invariants():
+    report = bench_service(
+        clients=3, requests=2, workers=2, queue_capacity=8
+    )
+    assert check_report(report) == []
+    cold, warm = report["passes"]
+    assert cold["completed"] == 6 and warm["completed"] == 6
+    assert report["warm_cache_hits"] >= 6
+    assert report["drained_clean"] is True
+    # The report is JSON-shaped the way CI's artifact expects.
+    assert report["daemon_metrics"]["jobs"]["submitted"] == 12
+    assert report["config"]["payloads"]
+
+
+def test_check_report_flags_dropped_jobs():
+    report = {
+        "passes": [
+            {"pass": "cold", "requests": 4, "completed": 3,
+             "errors": ["x: Boom: nope"]},
+            {"pass": "warm", "requests": 4, "completed": 4, "errors": []},
+        ],
+        "warm_cache_hits": 4,
+        "drained_clean": True,
+        "daemon_metrics": {"jobs": {"failed": 0, "timed_out": 0}},
+    }
+    problems = check_report(report)
+    assert len(problems) == 1 and "dropped" in problems[0]

@@ -217,3 +217,39 @@ class TestPlotting:
         target = tmp_path / "chip.svg"
         assert main([inverter_cif, "--svg", str(target)]) == 0
         assert target.read_text().startswith("<svg")
+
+
+class TestVersionFlag:
+    """Every console script reports the same package version."""
+
+    @pytest.mark.parametrize(
+        "prog, entry",
+        [
+            ("ace-extract", "repro.cli:main"),
+            ("repro-lint", "repro.lint:main"),
+            ("repro-difftest", "repro.difftest.cli:main"),
+            ("repro-serve", "repro.service.cli:serve_main"),
+            ("repro-submit", "repro.service.cli:submit_main"),
+        ],
+    )
+    def test_version_exits_zero_with_shared_version(
+        self, prog, entry, capsys
+    ):
+        import importlib
+
+        from repro.cli import package_version
+
+        module_name, function_name = entry.split(":")
+        entry_main = getattr(
+            importlib.import_module(module_name), function_name
+        )
+        with pytest.raises(SystemExit) as info:
+            entry_main(["--version"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.endswith(package_version())
+
+    def test_package_version_is_nonempty(self):
+        from repro.cli import package_version
+
+        assert package_version()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the extraction daemon as a real process.
+
+What CI's ``service-smoke`` job runs (and anyone can run locally)::
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+The script starts ``repro-serve`` as a subprocess on an ephemeral port,
+submits ``examples/layouts/nand2.cif`` twice (the second response must
+be a result-cache hit with byte-identical wirelist), checks the
+``/metrics`` plane agrees (hit counter, zero failures), then sends
+SIGTERM and requires a graceful drain with exit code 0.  This covers
+the one thing the in-process test suite cannot: the signal-driven
+shutdown path of a real daemon process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LAYOUT = REPO / "examples" / "layouts" / "nand2.cif"
+
+
+def fail(message: str) -> "int":
+    print(f"SMOKE FAILURE: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.service import ServiceClient
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}:{env.get('PYTHONPATH', '')}"
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0", "--workers", "2", "--drain-grace", "30",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO,
+        env=env,
+    )
+    try:
+        # The first structured log line announces the bound address.
+        assert daemon.stderr is not None
+        ready = json.loads(daemon.stderr.readline())
+        if ready.get("event") != "ready":
+            return fail(f"expected a ready line, got {ready!r}")
+        match = re.search(r":(\d+)$", ready["address"])
+        if match is None:
+            return fail(f"unparseable address {ready['address']!r}")
+        client = ServiceClient(port=int(match.group(1)), timeout=60.0)
+
+        cif = LAYOUT.read_text()
+        first = client.extract(cif, name="nand2.cif", wait_timeout=60.0)
+        receipt = client.submit(cif, name="nand2.cif")
+        if not receipt.get("cached"):
+            return fail(f"second submission was not a cache hit: {receipt}")
+        second = client.result(receipt["job"])
+        if second["wirelist"] != first["wirelist"]:
+            return fail("cache hit returned different wirelist bytes")
+
+        metrics = client.metrics()
+        if metrics["cache"]["hits"] < 1:
+            return fail(f"metrics counted no cache hit: {metrics['cache']}")
+        jobs = metrics["jobs"]
+        if jobs["failed"] or jobs["timed_out"]:
+            return fail(f"daemon recorded failures: {jobs}")
+        if jobs["completed"] < 2:
+            return fail(f"expected >= 2 completed jobs: {jobs}")
+        print(
+            f"submitted={jobs['submitted']} completed={jobs['completed']} "
+            f"cache_hits={metrics['cache']['hits']} "
+            f"p95={metrics['latency']['p95_seconds'] * 1000:.1f}ms"
+        )
+
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=60)
+        if code != 0:
+            return fail(f"daemon exited {code} after SIGTERM, wanted 0")
+        print("graceful shutdown: exit 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
