@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
 
@@ -15,10 +16,23 @@ class Timed:
 
 
 def timed(fn, *args, **kwargs) -> Timed:
-    """Run ``fn`` once under a wall-clock timer."""
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return Timed(result=result, seconds=time.perf_counter() - start)
+    """Run ``fn`` once under a wall-clock timer.
+
+    The cyclic collector is paused for the timed region (the same policy
+    as :mod:`timeit`): extraction allocates hundreds of thousands of
+    objects, and letting generational collections land in some runs but
+    not others swamps the effect being measured.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        seconds = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    return Timed(result=result, seconds=seconds)
 
 
 def best_of(n: int, fn, *args, **kwargs) -> Timed:

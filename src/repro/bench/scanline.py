@@ -1,19 +1,29 @@
-"""Scanline event-heap micro-benchmark: ``python -m repro.bench.scanline``.
+"""Scanline engine micro-benchmark: ``python -m repro.bench.scanline``.
 
 Times the :class:`~repro.core.scanline.ScanlineEngine` alone — front-end
 stream construction and CIF parsing excluded, matching the paper's phase
 split — on the worst-case poly/diffusion mesh of section 4, and writes a
-``BENCH_scanline.json`` report with before/after wall clock per size plus
-the event-heap counters from :class:`~repro.core.stats.ScanStats`.
+``BENCH_scanline.json`` report with wall clock per (size, strip engine)
+plus the event-heap counters from :class:`~repro.core.stats.ScanStats`.
+
+The ``--engine`` axis benchmarks the pluggable strip back-ends (see
+docs/ENGINES.md): ``both`` (the default) runs every engine available in
+this interpreter and tags each row, so the report carries the python and
+numpy trajectories side by side with a same-run ``speedup_vs_python``
+column on the numpy rows — the only cross-engine comparison that is
+meaningful on shared hardware.
 
 "Before" numbers come from ``benchmarks/results/scanline_baseline.json``,
 a committed one-off capture of the pre-event-heap engine on the same
 harness; wall-clock speedups are therefore only meaningful on comparable
-hardware.  The counters are not: ``--check`` asserts machine-independent
-invariants of the event-heap design (every scheduled interval is popped
-exactly once, per-stop scheduling overhead is bounded by the number of
-tracked layers, never by the active-list population), so CI can run the
-benchmark without timing flakiness.  See docs/SCANLINE_PERF.md.
+hardware.  A missing or malformed capture raises :class:`BaselineError`
+with the repair story instead of a raw traceback.  The counters are not
+hardware-bound: ``--check`` asserts machine-independent invariants of
+the event-heap design (every scheduled interval is popped exactly once,
+per-stop scheduling overhead is bounded by the number of tracked layers,
+never by the active-list population) — and, because the counters must be
+identical for every strip engine, the check doubles as an engine-parity
+probe CI can run without timing flakiness.  See docs/SCANLINE_PERF.md.
 """
 
 from __future__ import annotations
@@ -24,6 +34,11 @@ import sys
 from pathlib import Path
 
 from ..core.scanline import ScanlineEngine
+from ..core.stripengine import (
+    EngineUnavailable,
+    numpy_available,
+    resolve_engine,
+)
 from ..frontend.stream import GeometryStream
 from ..tech import NMOS
 from ..workloads.mesh import poly_diff_mesh
@@ -32,7 +47,7 @@ from .harness import timed
 #: Mesh sizes (n lines per direction -> n^2 transistors).  The largest
 #: size is where the asymptotic win over the O(stops x active) engine
 #: shows; the smaller ones keep the scaling trend visible.
-DEFAULT_SIZES = (32, 64, 128, 256)
+DEFAULT_SIZES = (32, 64, 128, 256, 512)
 
 #: Default number of timed runs per size (best-of).
 DEFAULT_REPEATS = 3
@@ -41,64 +56,135 @@ DEFAULT_REPEATS = 3
 BASELINE_PATH = Path("benchmarks") / "results" / "scanline_baseline.json"
 
 
+class BaselineError(RuntimeError):
+    """The committed legacy baseline is missing or not a capture."""
+
+
 def _repo_root() -> Path:
     return Path(__file__).resolve().parents[3]
 
 
 def load_baseline(path: Path | None = None) -> dict[int, float]:
-    """Map mesh size -> legacy-engine seconds, or {} if uncaptured."""
+    """Map mesh size -> legacy-engine seconds from a committed capture.
+
+    Raises :class:`BaselineError` — not ``FileNotFoundError`` soup — when
+    the capture is absent or does not look like one, so the CLI can say
+    what is wrong and how to fix it.
+    """
     path = path or _repo_root() / BASELINE_PATH
     try:
         payload = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return {}
-    return {int(row["n"]): float(row["seconds"]) for row in payload["rows"]}
+    except OSError as exc:
+        raise BaselineError(
+            f"legacy baseline capture not found at {path}: {exc}. "
+            "The committed capture lives at "
+            f"{BASELINE_PATH} in the repo; pass --baseline to point at "
+            "another capture file."
+        ) from exc
+    except ValueError as exc:
+        raise BaselineError(
+            f"legacy baseline at {path} is not valid JSON: {exc}"
+        ) from exc
+    try:
+        rows = payload["rows"]
+        baseline = {int(row["n"]): float(row["seconds"]) for row in rows}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BaselineError(
+            f"legacy baseline at {path} does not match the capture "
+            "schema (expected {'rows': [{'n': int, 'seconds': float}, "
+            f"...]}}): {exc!r}"
+        ) from exc
+    return baseline
+
+
+def resolve_bench_engines(requested: str) -> tuple[list[str], list[str]]:
+    """Map an ``--engine`` request to concrete engine names.
+
+    Returns ``(engines, notes)``.  ``both`` means every engine available
+    in this interpreter, with a note (not an error) when numpy is
+    absent; a single explicit engine resolves through
+    :func:`~repro.core.stripengine.resolve_engine`, so asking for numpy
+    without numpy raises :class:`EngineUnavailable`.
+    """
+    if requested == "both":
+        engines = ["python"]
+        notes = []
+        if numpy_available():
+            engines.append("numpy")
+        else:
+            notes.append(
+                "numpy not importable: benchmarking the python engine "
+                "only (install the fast extra for the numpy trajectory)"
+            )
+        return engines, notes
+    return [resolve_engine(requested)], []
 
 
 def bench_scanline(
     sizes=DEFAULT_SIZES,
     repeats: int = DEFAULT_REPEATS,
     baseline: dict[int, float] | None = None,
+    engines: "list[str] | None" = None,
 ) -> list[dict]:
-    """Benchmark each mesh size; returns one JSON-ready row per size."""
+    """Benchmark each (mesh size, strip engine); one JSON row per pair.
+
+    Engines are interleaved per size (every engine runs on the same
+    layout object back to back) so the same-run ``speedup_vs_python``
+    column compares like with like even when machine speed drifts over
+    the course of the run.
+    """
     if baseline is None:
         baseline = load_baseline()
+    if engines is None:
+        engines = resolve_bench_engines("both")[0]
     tech = NMOS()
     rows = []
     for n in sizes:
         layout = poly_diff_mesh(n)
-        # The engine consumes its stream destructively, so each repeat
-        # rebuilds stream and engine OUTSIDE the timer: the measurement
-        # covers engine.run alone, not the paper's parse/sort phase.
-        seconds = float("inf")
-        engine = None
-        for _ in range(max(1, repeats)):
-            stream = GeometryStream(layout)
-            engine = ScanlineEngine(tech)
-            seconds = min(seconds, timed(engine.run, stream).seconds)
-        stats = engine.stats
-        before = baseline.get(n)
-        rows.append(
-            {
-                "n": n,
-                "boxes": stats.boxes_in,
-                "stops": stats.stops,
-                "devices": stats.devices_created,
-                "peak_active": stats.peak_active,
-                "seconds": seconds,
-                "baseline_seconds": before,
-                "speedup": (before / seconds) if before else None,
-                "tracked_layers": len(engine._heaps),
-                "counters": {
-                    "heap_pushes": stats.heap_pushes,
-                    "heap_pops": stats.heap_pops,
-                    "lazy_discards": stats.lazy_discards,
-                    "expired": stats.expired,
-                    "intervals_scanned": stats.intervals_scanned,
-                    "max_stop_overhead": stats.max_stop_overhead,
-                },
-            }
-        )
+        python_seconds: float | None = None
+        for engine_name in engines:
+            # The engine consumes its stream destructively, so each
+            # repeat rebuilds stream and engine OUTSIDE the timer: the
+            # measurement covers engine.run alone, not the paper's
+            # parse/sort phase.
+            seconds = float("inf")
+            engine = None
+            for _ in range(max(1, repeats)):
+                stream = GeometryStream(layout)
+                engine = ScanlineEngine(tech, engine=engine_name)
+                seconds = min(seconds, timed(engine.run, stream).seconds)
+            if engine_name == "python":
+                python_seconds = seconds
+            stats = engine.stats
+            before = baseline.get(n)
+            rows.append(
+                {
+                    "n": n,
+                    "engine": engine.engine_name,
+                    "boxes": stats.boxes_in,
+                    "stops": stats.stops,
+                    "devices": stats.devices_created,
+                    "peak_active": stats.peak_active,
+                    "seconds": seconds,
+                    "baseline_seconds": before,
+                    "speedup": (before / seconds) if before else None,
+                    "speedup_vs_python": (
+                        python_seconds / seconds
+                        if engine_name != "python"
+                        and python_seconds is not None
+                        else None
+                    ),
+                    "tracked_layers": len(engine._heaps),
+                    "counters": {
+                        "heap_pushes": stats.heap_pushes,
+                        "heap_pops": stats.heap_pops,
+                        "lazy_discards": stats.lazy_discards,
+                        "expired": stats.expired,
+                        "intervals_scanned": stats.intervals_scanned,
+                        "max_stop_overhead": stats.max_stop_overhead,
+                    },
+                }
+            )
     return rows
 
 
@@ -111,7 +197,9 @@ def check_rows(rows: list[dict]) -> list[str]:
       heap heads per tracked layer beyond the entries it removes, so
       scheduling work per stop is O(layers), not O(active intervals);
     * the aggregate corollary: total examinations are bounded by total
-      removals plus that per-stop allowance.
+      removals plus that per-stop allowance;
+    * engine parity: the counters are host-side event bookkeeping, so
+      every strip engine must report identical counters for a size.
     """
     problems = []
     for row in rows:
@@ -137,6 +225,15 @@ def check_rows(rows: list[dict]) -> list[str]:
                 f"n={n}: {c['intervals_scanned']} intervals scanned"
                 f" exceeds event budget {budget}"
             )
+    by_size: dict[int, dict] = {}
+    for row in rows:
+        seen = by_size.setdefault(row["n"], row["counters"])
+        if row["counters"] != seen:
+            problems.append(
+                f"n={row['n']}: engine {row['engine']} counters diverge "
+                "from the first engine's -- strip engines must drive the "
+                "event machinery identically"
+            )
     return problems
 
 
@@ -155,6 +252,13 @@ def main(argv=None) -> int:
         help="timed runs per size, best-of (default %(default)s)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "python", "numpy", "both"),
+        default="both",
+        help="strip engine(s) to benchmark (default %(default)s: every "
+        "engine available in this interpreter)",
+    )
+    parser.add_argument(
         "--out", default="BENCH_scanline.json",
         help="report path (default %(default)s)",
     )
@@ -168,15 +272,26 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    try:
+        engines, notes = resolve_bench_engines(args.engine)
+        baseline = load_baseline(args.baseline)
+    except (BaselineError, EngineUnavailable, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for note in notes:
+        print(f"note: {note}")
+
     rows = bench_scanline(
         sizes=args.sizes,
         repeats=args.repeats,
-        baseline=load_baseline(args.baseline),
+        baseline=baseline,
+        engines=engines,
     )
     report = {
         "benchmark": "scanline worst-case mesh (engine only)",
         "workload": "poly_diff_mesh: 2n boxes, n^2 transistors",
         "baseline": str(BASELINE_PATH),
+        "engines": engines,
         "rows": rows,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -187,10 +302,16 @@ def main(argv=None) -> int:
             if row["speedup"]
             else "no baseline"
         )
+        cross = (
+            f"  {row['speedup_vs_python']:.2f}x vs python"
+            if row["speedup_vs_python"]
+            else ""
+        )
         c = row["counters"]
         print(
-            f"n={row['n']:>4}  {row['devices']:>6} devices  "
-            f"{row['seconds']:.4f}s  ({speed})  "
+            f"n={row['n']:>4}  {row['engine']:>6}  "
+            f"{row['devices']:>6} devices  "
+            f"{row['seconds']:.4f}s  ({speed}){cross}  "
             f"overhead<={c['max_stop_overhead']}/stop"
         )
     print(f"wrote {args.out}")

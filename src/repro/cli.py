@@ -15,6 +15,7 @@ import time
 from .analysis import circuit_stats, static_check
 from .cif import parse_file
 from .core import extract_report
+from .core.stripengine import ENGINE_CHOICES, EngineUnavailable
 from .hext import hext_extract
 from .hext.wirelist import to_hierarchical_wirelist
 from .tech import NMOS
@@ -72,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CENTIMICRONS",
         help="process lambda in centimicrons (default 250)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="strip-batch engine for the scanline core: 'numpy' "
+        "vectorizes per-strip work (requires the repro[fast] extra), "
+        "'python' is the dependency-free reference, 'auto' picks numpy "
+        "when importable (default).  Wirelists are byte-identical "
+        "either way.",
     )
     parser.add_argument(
         "--jobs",
@@ -152,9 +163,18 @@ def main(argv: "list[str] | None" = None) -> int:
             svg_plot(layout, args.svg)
 
     started = time.perf_counter()
+    try:
+        return _run_extraction(args, tech, layout, name, drc_checker, started)
+    except EngineUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
     if args.hierarchical:
         result = hext_extract(
-            layout, tech, jobs=args.jobs, cache=args.cache
+            layout, tech, jobs=args.jobs, cache=args.cache,
+            engine=args.engine,
         )
         circuit = result.circuit
         wirelist = to_hierarchical_wirelist(result, name=name)
@@ -194,6 +214,7 @@ def main(argv: "list[str] | None" = None) -> int:
             layout, tech, keep_geometry=args.geometry,
             jobs=args.jobs, cache=args.cache,
             strip_consumers=(drc_checker,) if drc_checker else (),
+            engine=args.engine,
         )
         circuit = report.circuit
         wirelist = to_wirelist(
@@ -241,7 +262,10 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.hierarchical:
             # The hierarchical extractor works window by window; the DRC
             # needs the whole-chip strip feed, so run one flat pass.
-            extract_report(layout, tech, strip_consumers=(drc_checker,))
+            extract_report(
+                layout, tech, strip_consumers=(drc_checker,),
+                engine=args.engine,
+            )
         lint_report = drc_checker.report(artifact=name)
         if lint_report.diagnostics:
             lint_report = SourceIndex(layout).attribute(lint_report)

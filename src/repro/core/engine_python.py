@@ -1,0 +1,417 @@
+"""The pure-python strip engine: the paper's sweeps as reference code.
+
+This is the always-available :class:`~repro.core.stripengine.StripEngine`
+back-end.  The logic is the scanline's original per-interval strip
+processing, unchanged -- single merged sweeps over sorted span lists,
+union-find calls made interval by interval in x order.  The numpy engine
+(:mod:`repro.core.engine_numpy`) replays exactly this order in batch
+form; when the two disagree, *this* file is the specification.
+"""
+
+from __future__ import annotations
+
+from ..frontend.stream import GeometryStream
+from ..geometry import Box
+from .netlist import Device
+from .sizing import size_device
+
+from . import scanline as _scan
+from .scanline import (
+    _NET,
+    _X1,
+    _X2,
+    _intersect_intervals,
+    _subtract_channels,
+    _subtract_diff,
+)
+from .stripengine import StripEngine
+
+
+class PythonStripEngine(StripEngine):
+    """Per-strip device/net computation as plain-python sweeps."""
+
+    name = "python"
+
+    def __init__(self, host) -> None:
+        super().__init__(host)
+        self._prev_diff: list[tuple[int, int, int]] = []
+        self._prev_channels: list[tuple[int, int, int]] = []
+        self._net_loc: dict[int, tuple[int, int]] = {}  # id -> (ymax, -xmin)
+        self._dev: dict[int, dict] = {}  # device id -> attribute record
+
+    # ------------------------------------------------------------------
+    # strip processing (step 2.c)
+    # ------------------------------------------------------------------
+
+    def process_strip(
+        self, y_lo: int, y_hi: int, stream: GeometryStream
+    ) -> None:
+        h = self.host
+        height = y_hi - y_lo
+        nets = h._nets
+        find = nets.find
+        prev_diff = self._prev_diff
+        prev_channels = self._prev_channels
+
+        nd = h._active[h._diff]
+        np_ = h._active[h._poly]
+        nb = h._active[h._buried]
+        ni = h._active[h._implant]
+
+        # Channels: diffusion AND poly AND NOT buried, remembering the
+        # poly interval that forms each gate.
+        channels: list[tuple[int, int, int]] = []  # (x1, x2, poly net id)
+        buried_holes = [] if "channel-under-buried" in _scan.FAULTS else nb
+        if nd and np_:
+            channels = _intersect_intervals(nd, np_)
+            if buried_holes:
+                channels = _subtract_channels(channels, buried_holes)
+
+        # Conducting diffusion: diffusion minus channels.
+        if channels:
+            cond_bare = _subtract_diff(nd, channels)
+        else:
+            cond_bare = [(iv[_X1], iv[_X2]) for iv in nd]
+
+        # Assign diffusion nets by vertical adjacency to the strip above;
+        # both lists are sorted, so one merged sweep suffices.
+        cond: list[tuple[int, int, int]] = []
+        n_prev_diff = len(prev_diff)
+        net_loc = self._net_loc
+        pj = 0
+        for x1, x2 in cond_bare:
+            while pj < n_prev_diff and prev_diff[pj][1] <= x1:
+                pj += 1
+            net = None
+            k = pj
+            while k < n_prev_diff:
+                entry = prev_diff[k]
+                if entry[0] >= x2:
+                    break
+                net = entry[2] if net is None else nets.union(net, entry[2])
+                k += 1
+            if net is None:
+                net = nets.make()
+                h.stats.nets_created += 1
+            # inline touch_net: this runs once per span per strip
+            loc = (y_hi, -x1)
+            current = net_loc.get(net)
+            if current is None or loc > current:
+                net_loc[net] = loc
+            if h.keep_geometry:
+                h._net_geo.setdefault(net, []).append(
+                    (h._diff, Box(x1, y_lo, x2, y_hi))
+                )
+            cond.append((x1, x2, net))
+
+        # Devices: channel spans inherit device identity from above, the
+        # implant flag comes from a parallel sweep over the implant list.
+        strip_channels: list[tuple[int, int, int]] = []
+        n_prev_channels = len(prev_channels)
+        n_implant = len(ni)
+        cj = ij = 0
+        for x1, x2, poly_net in channels:
+            while cj < n_prev_channels and prev_channels[cj][1] <= x1:
+                cj += 1
+            dev = None
+            k = cj
+            while k < n_prev_channels:
+                entry = prev_channels[k]
+                if entry[0] >= x2:
+                    break
+                dev = entry[2] if dev is None else h._devs.union(dev, entry[2])
+                k += 1
+            if dev is None:
+                dev = h._devs.make()
+                h.stats.devices_created += 1
+                self._dev[dev] = {
+                    "area": 0,
+                    "gates": set(),
+                    "terms": {},
+                    "geo": [],
+                    "loc": None,
+                    "impl": False,
+                }
+            rec = self._dev[h._devs.find(dev)]
+            rec["area"] += (x2 - x1) * height
+            rec["gates"].add(find(poly_net))
+            if h.keep_geometry:
+                rec["geo"].append(Box(x1, y_lo, x2, y_hi))
+            loc = (y_hi, -x1)
+            if rec["loc"] is None or loc > rec["loc"]:
+                rec["loc"] = loc
+            while ij < n_implant and ni[ij][_X2] <= x1:
+                ij += 1
+            if ij < n_implant and ni[ij][_X1] < x2:
+                rec["impl"] = True
+            strip_channels.append((x1, x2, dev))
+
+        # Terminal contacts.
+        if strip_channels:
+            if cond:
+                # horizontal: conducting diffusion abutting a channel
+                # sideways.  Channels and conducting spans partition the
+                # diffusion, so abutting pairs are neighbours in the
+                # merged x-order -- one zipper walk finds them all.
+                self._horizontal_terminals(strip_channels, cond, height)
+            # vertical: channel below conducting diffusion of the strip above
+            dj = 0
+            for cx1, cx2, dev in strip_channels:
+                while dj < n_prev_diff and prev_diff[dj][1] <= cx1:
+                    dj += 1
+                k = dj
+                while k < n_prev_diff:
+                    px1, px2, pnet = prev_diff[k]
+                    if px1 >= cx2:
+                        break
+                    overlap = min(cx2, px2) - max(cx1, px1)
+                    if overlap > 0:
+                        self._add_terminal(dev, pnet, overlap)
+                    k += 1
+        if prev_channels and cond:
+            # vertical: conducting diffusion below a channel of the strip above
+            pk = 0
+            for dx1, dx2, dnet in cond:
+                while pk < n_prev_channels and prev_channels[pk][1] <= dx1:
+                    pk += 1
+                k = pk
+                while k < n_prev_channels:
+                    px1, px2, pdev = prev_channels[k]
+                    if px1 >= dx2:
+                        break
+                    overlap = min(dx2, px2) - max(dx1, px1)
+                    if overlap > 0:
+                        self._add_terminal(pdev, dnet, overlap)
+                    k += 1
+
+        # Contact cuts union conducting nets wherever the layers overlap
+        # both each other and the cut (pointwise, not per cut span).  The
+        # cuts are disjoint and sorted, so each conducting list is walked
+        # once across all cuts.
+        nc = h._active[h._contact]
+        if nc:
+            metal = h._active[h._metal]
+            n_metal, n_poly, n_cond = len(metal), len(np_), len(cond)
+            mi = pi = di = 0
+            for cut in nc:
+                cx1, cx2 = cut[_X1], cut[_X2]
+                present: list[tuple[int, int, int]] = []
+                while mi < n_metal and metal[mi][_X2] <= cx1:
+                    mi += 1
+                k = mi
+                while k < n_metal:
+                    iv = metal[k]
+                    if iv[_X1] >= cx2:
+                        break
+                    present.append(
+                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                    )
+                    k += 1
+                while pi < n_poly and np_[pi][_X2] <= cx1:
+                    pi += 1
+                k = pi
+                while k < n_poly:
+                    iv = np_[k]
+                    if iv[_X1] >= cx2:
+                        break
+                    present.append(
+                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                    )
+                    k += 1
+                while di < n_cond and cond[di][1] <= cx1:
+                    di += 1
+                k = di
+                while k < n_cond:
+                    dx1, dx2, dnet = cond[k]
+                    if dx1 >= cx2:
+                        break
+                    present.append((max(dx1, cx1), min(dx2, cx2), dnet))
+                    k += 1
+                present.sort()
+                for i, (a1, a2, anet) in enumerate(present):
+                    for b1, b2, bnet in present[i + 1 :]:
+                        if b1 >= a2:
+                            break
+                        nets.union(anet, bnet)
+
+        # Buried contacts union poly and diffusion where all three meet;
+        # again a single monotone sweep over each sorted list.
+        if nb and cond and "buried-skip" not in _scan.FAULTS:
+            n_poly, n_cond = len(np_), len(cond)
+            bp = bd = 0
+            for biv in nb:
+                bx1, bx2 = biv[_X1], biv[_X2]
+                while bp < n_poly and np_[bp][_X2] <= bx1:
+                    bp += 1
+                k = bp
+                while k < n_poly:
+                    iv = np_[k]
+                    if iv[_X1] >= bx2:
+                        break
+                    px1, px2 = max(iv[_X1], bx1), min(iv[_X2], bx2)
+                    if px1 < px2:
+                        while bd < n_cond and cond[bd][1] <= px1:
+                            bd += 1
+                        dk = bd
+                        while dk < n_cond:
+                            dx1, dx2, dnet = cond[dk]
+                            if dx1 >= px2:
+                                break
+                            nets.union(iv[_NET], dnet)
+                            dk += 1
+                    k += 1
+
+        h._attach_labels(y_lo, y_hi, stream, lambda: cond)
+
+        if h.window is not None:
+            h._capture_boundary(y_lo, y_hi, cond, strip_channels)
+
+        if h.strip_consumers:
+            h._feed_consumers(y_lo, y_hi, channels)
+
+        self._prev_diff = cond
+        self._prev_channels = strip_channels
+
+    def _horizontal_terminals(
+        self,
+        strip_channels: list[tuple[int, int, int]],
+        cond: list[tuple[int, int, int]],
+        height: int,
+    ) -> None:
+        """Record channel/diffusion side contacts via one zipper walk."""
+        i = j = 0
+        n_ch, n_co = len(strip_channels), len(cond)
+        prev_is_channel = False
+        prev_end = None
+        prev_ident = None
+        while i < n_ch or j < n_co:
+            if j >= n_co or (i < n_ch and strip_channels[i][0] < cond[j][0]):
+                span, is_channel = strip_channels[i], True
+                i += 1
+            else:
+                span, is_channel = cond[j], False
+                j += 1
+            if prev_end == span[0] and prev_is_channel != is_channel:
+                if is_channel:
+                    self._add_terminal(span[2], prev_ident, height)
+                else:
+                    self._add_terminal(prev_ident, span[2], height)
+            prev_is_channel, prev_end, prev_ident = is_channel, span[1], span[2]
+
+    def _add_terminal(self, dev: int, net: int, length: int) -> None:
+        rec = self._dev[self.host._devs.find(dev)]
+        root = self.host._nets.find(net)
+        rec["terms"][root] = rec["terms"].get(root, 0) + length
+
+    def touch_net(self, net: int, xmin: int, ymax: int) -> None:
+        loc = (ymax, -xmin)
+        current = self._net_loc.get(net)
+        if current is None or loc > current:
+            self._net_loc[net] = loc
+
+    # ------------------------------------------------------------------
+    # finalize folds (step 3)
+    # ------------------------------------------------------------------
+
+    def net_order(self) -> "tuple[list[int], list[tuple[int, int]]]":
+        find = self.host._nets.find
+        locations: dict[int, tuple[int, int]] = {}
+        for ident, loc in self._net_loc.items():
+            root = find(ident)
+            if root not in locations or loc > locations[root]:
+                locations[root] = loc
+        # Canonical net order: topmost, then leftmost, location first.
+        roots = sorted(
+            locations,
+            key=lambda r: (-locations[r][0], -locations[r][1], r),
+        )
+        return roots, [
+            (-locations[r][1], locations[r][0]) for r in roots
+        ]
+
+    def build_devices(
+        self,
+        index_of: "dict[int, int]",
+        kind_enh: str,
+        kind_dep: str,
+        boundary_dev_roots: "set[int]",
+    ) -> "tuple[list[Device], dict[int, int], list[str]]":
+        h = self.host
+        find = h._nets.find
+        dev_find = h._devs.find
+
+        # Fold device records by device root.
+        dev_roots: dict[int, dict] = {}
+        for ident, rec in self._dev.items():
+            root = dev_find(ident)
+            into = dev_roots.get(root)
+            if into is None or into is rec:
+                dev_roots[root] = rec
+                continue
+            into["area"] += rec["area"]
+            into["gates"] |= rec["gates"]
+            for net, length in rec["terms"].items():
+                into["terms"][net] = into["terms"].get(net, 0) + length
+            into["geo"].extend(rec["geo"])
+            if rec["loc"] is not None and (
+                into["loc"] is None or rec["loc"] > into["loc"]
+            ):
+                into["loc"] = rec["loc"]
+            into["impl"] = into["impl"] or rec["impl"]
+
+        order = sorted(
+            dev_roots,
+            key=lambda r: (
+                (-dev_roots[r]["loc"][0], -dev_roots[r]["loc"][1])
+                if dev_roots[r]["loc"]
+                else (0, 0),
+                r,
+            ),
+        )
+        devices: list[Device] = []
+        dev_index_of: dict[int, int] = {}
+        warnings: list[str] = []
+        for i, root in enumerate(order):
+            rec = dev_roots[root]
+            terms: dict[int, int] = {}
+            for net, length in rec["terms"].items():
+                idx = index_of.get(find(net))
+                if idx is not None:
+                    terms[idx] = terms.get(idx, 0) + length
+            gate_roots = {find(g) for g in rec["gates"]}
+            gate_indices = [
+                index_of[g] for g in gate_roots if g in index_of
+            ]
+            if len(gate_indices) > 1:
+                gate_indices.sort()
+            sized = size_device(rec["area"], terms)
+            loc = rec["loc"]
+            on_boundary = root in boundary_dev_roots
+            device = Device(
+                i,
+                kind_dep if rec["impl"] else kind_enh,
+                gate_indices[0] if gate_indices else None,
+                sized.source,
+                sized.drain,
+                sized.length,
+                sized.width,
+                rec["area"],
+                (-loc[1], loc[0]) if loc else None,
+                terms,
+                gate_indices,
+                rec["geo"],
+                on_boundary,
+                rec["impl"],
+            )
+            devices.append(device)
+            dev_index_of[root] = i
+            if not on_boundary and (
+                sized.source is None
+                or sized.drain is None
+                or len(gate_indices) != 1
+            ):
+                warnings.append(
+                    f"malformed transistor at {device.location}: "
+                    f"{len(gate_indices)} gate nets, {len(terms)} terminals"
+                )
+        return devices, dev_index_of, warnings

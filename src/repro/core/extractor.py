@@ -36,6 +36,7 @@ def extract(
     *,
     keep_geometry: bool = False,
     resolution: int = 50,
+    engine: str = "auto",
 ) -> Circuit:
     """Extract the circuit from a CIF string or parsed layout.
 
@@ -46,12 +47,19 @@ def extract(
             post-processing and geometry output; off by default, as in
             the paper's normal operation).
         resolution: fracture resolution for non-manhattan geometry.
+        engine: strip-engine back-end (``auto`` / ``python`` /
+            ``numpy``); see docs/ENGINES.md.  Both back-ends produce
+            byte-identical wirelists.
 
     Returns:
         The extracted :class:`Circuit`.
     """
     return extract_report(
-        source, tech, keep_geometry=keep_geometry, resolution=resolution
+        source,
+        tech,
+        keep_geometry=keep_geometry,
+        resolution=resolution,
+        engine=engine,
     ).circuit
 
 
@@ -65,6 +73,7 @@ def extract_report(
     jobs: "int | None" = None,
     cache: "str | None" = None,
     strip_consumers: tuple = (),
+    engine: str = "auto",
 ) -> ExtractionReport:
     """Like :func:`extract` but returns timers and counters as well.
 
@@ -84,18 +93,19 @@ def extract_report(
     timer.start("frontend")
     layout = parse(source) if isinstance(source, str) else source
     stream = GeometryStream(layout, resolution=resolution)
-    engine = ScanlineEngine(
+    scan = ScanlineEngine(
         tech,
         keep_geometry=keep_geometry,
         window=window,
         timer=timer,
         strip_consumers=strip_consumers,
+        engine=engine,
     )
-    circuit = engine.run(stream)
+    circuit = scan.run(stream)
     return ExtractionReport(
         circuit=circuit,
         timer=timer,
-        stats=engine.stats,
+        stats=scan.stats,
         frontend_stats=stream.stats,
         options={
             "keep_geometry": keep_geometry,
@@ -103,6 +113,7 @@ def extract_report(
             "window": window,
             "jobs": jobs,
             "cache": cache,
+            "engine": scan.engine_name,
         },
     )
 
@@ -114,6 +125,7 @@ def extract_window(
     *,
     keep_geometry: bool = False,
     resolution: int = 50,
+    engine: str = "auto",
 ) -> Circuit:
     """HEXT's modified ACE: extract a window and its boundary interface.
 
@@ -127,4 +139,5 @@ def extract_window(
         keep_geometry=keep_geometry,
         resolution=resolution,
         window=window,
+        engine=engine,
     ).circuit

@@ -31,6 +31,12 @@ and invariants live in docs/SCANLINE_PERF.md.
 In *window mode* (HEXT's modified ACE) the engine also records every
 conducting span and channel span that touches the window boundary; those
 records become the window's interface.
+
+The per-strip *value* computation (step 2.c and the finalize folds) is
+delegated to a pluggable :class:`~repro.core.stripengine.StripEngine`:
+the pure-python reference back-end or, when numpy is importable, a
+vectorized strip-batch back-end.  Both produce byte-identical wirelists;
+docs/ENGINES.md documents the split and the parity contract.
 """
 
 from __future__ import annotations
@@ -43,8 +49,8 @@ from ..frontend.stream import GeometryStream
 from ..geometry import Box
 from ..tech import Technology
 from .netlist import CHANNEL, BoundaryRecord, Circuit, Face
-from .sizing import size_device
 from .stats import PhaseTimer, ScanStats
+from .stripengine import CondSource, create_strip_engine
 from .unionfind import UnionFind
 
 # Active-interval field indices (plain lists are measurably faster than
@@ -57,8 +63,9 @@ _X1, _X2, _YBOT, _NET, _LIVE, _BORN = 0, 1, 2, 3, 4, 5
 #: Deliberately broken scanline rules, set only by the differential
 #: harness's fault-injection self-test (:mod:`repro.difftest.faults`).
 #: Always empty in normal operation.  Each name disables exactly one
-#: connectivity rule in :meth:`ScanlineEngine._process_strip` so the
-#: harness can prove it detects and shrinks a real extractor bug.
+#: connectivity rule in the strip engines' strip processing (both
+#: back-ends honour the same names) so the harness can prove it detects
+#: and shrinks a real extractor bug.
 FAULTS: frozenset[str] = frozenset()
 
 
@@ -101,6 +108,7 @@ class ScanlineEngine:
         window: Box | None = None,
         timer: PhaseTimer | None = None,
         strip_consumers: "tuple[StripConsumer, ...]" = (),
+        engine: str = "auto",
     ) -> None:
         self.tech = tech
         self.keep_geometry = keep_geometry
@@ -131,6 +139,10 @@ class ScanlineEngine:
         }
         self._active: dict[str, list[list]] = {name: [] for name in tracked}
         self._keys: dict[str, list[int]] = {name: [] for name in tracked}
+        #: per-layer mutation counters; batch engines key their cached
+        #: array materializations on these, so an unchanged layer is
+        #: converted to flat arrays once, not once per strip.
+        self._versions: dict[str, int] = {name: 0 for name in tracked}
         #: per-layer bottom-edge event heaps of (-ybot, seq, interval)
         self._heaps: dict[str, list[tuple[int, int, list]]] = {
             name: [] for name in tracked
@@ -150,10 +162,8 @@ class ScanlineEngine:
 
         self._nets = UnionFind()
         self._devs = UnionFind()
-        self._net_loc: dict[int, tuple[int, int]] = {}  # id -> (ymax, -xmin)
         self._net_names: dict[int, list[str]] = {}
         self._net_geo: dict[int, list[tuple[str, Box]]] = {}
-        self._dev: dict[int, dict] = {}  # device id -> attribute record
 
         self._pending: list[tuple[int, int, str, int, int, int, int | None]] = []
         self._pending_seq = 0
@@ -163,6 +173,10 @@ class ScanlineEngine:
         self._boundary: list[tuple[Face, str, int, int, int]] = []
         self._warnings: list[str] = []
         self._unknown_layers: set[str] = set()
+
+        #: the pluggable step-2.c back-end; see docs/ENGINES.md
+        self.strip_engine = create_strip_engine(engine, self)
+        self.engine_name = self.strip_engine.name
 
     # ------------------------------------------------------------------
     # driver
@@ -178,8 +192,7 @@ class ScanlineEngine:
             top = -self._pending[0][0]
             y = top if y is None else max(y, top)
 
-        prev_diff: list[tuple[int, int, int]] = []
-        prev_channels: list[tuple[int, int, int]] = []
+        strip_engine = self.strip_engine
 
         while y is not None:
             stats.stops += 1
@@ -206,9 +219,11 @@ class ScanlineEngine:
             if y_next is None:
                 break
             timer.start("devices")
-            prev_diff, prev_channels = self._process_strip(
-                y_next, y, prev_diff, prev_channels, stream
-            )
+            total_active = self._active_count
+            stats.observe_active(total_active)
+            if total_active:
+                stats.strips += 1
+            strip_engine.process_strip(y_next, y, stream)
             timer.start("frontend")
             y = y_next
 
@@ -287,6 +302,7 @@ class ScanlineEngine:
                 i = bisect_left(keys, iv[_X1])
                 del intervals[i]
                 del keys[i]
+                self._versions[layer] += 1
                 self._active_count -= 1
                 if retired_here is not None:
                     retired_here.append((iv[_X1], iv[_X2], iv[_NET]))
@@ -366,7 +382,7 @@ class ScanlineEngine:
                     for _, pnet in cands:
                         net = self._nets.union(net, pnet)
             if box is not None:
-                self._touch_net(net, box.xmin, box.ymax)
+                self.strip_engine.touch_net(net, box.xmin, box.ymax)
                 if self.keep_geometry:
                     self._net_geo.setdefault(net, []).append((layer, box))
         else:
@@ -381,6 +397,7 @@ class ScanlineEngine:
             interval = [x1, x2, ybot, net, True, self._stop]
             intervals.insert(lo, interval)
             keys.insert(lo, x1)
+            self._versions[layer] += 1
             self._active_count += 1
             self._schedule(layer, interval)
             return
@@ -417,6 +434,7 @@ class ScanlineEngine:
         merged = [new_x1, new_x2, max_bot, net, True, stop]
         intervals[lo:hi] = [merged]
         keys[lo:hi] = [new_x1]
+        self._versions[layer] += 1
         self._active_count += 1 - len(pieces)
         self._schedule(layer, merged)
 
@@ -438,283 +456,22 @@ class ScanlineEngine:
         )
 
     # ------------------------------------------------------------------
-    # strip processing (step 2.c)
+    # strip consumers
     # ------------------------------------------------------------------
 
-    def _process_strip(
+    def _feed_consumers(
         self,
         y_lo: int,
         y_hi: int,
-        prev_diff: list[tuple[int, int, int]],
-        prev_channels: list[tuple[int, int, int]],
-        stream: GeometryStream,
-    ) -> tuple[
-        list[tuple[int, int, int]],
-        list[tuple[int, int, int]],
-    ]:
-        height = y_hi - y_lo
-        nets = self._nets
-        find = nets.find
-
-        total_active = self._active_count
-        self.stats.observe_active(total_active)
-        if total_active:
-            self.stats.strips += 1
-
-        nd = self._active[self._diff]
-        np_ = self._active[self._poly]
-        nb = self._active[self._buried]
-        ni = self._active[self._implant]
-
-        # Channels: diffusion AND poly AND NOT buried, remembering the
-        # poly interval that forms each gate.
-        channels: list[tuple[int, int, int]] = []  # (x1, x2, poly net id)
-        buried_holes = [] if "channel-under-buried" in FAULTS else nb
-        if nd and np_:
-            channels = _intersect_intervals(nd, np_)
-            if buried_holes:
-                channels = _subtract_channels(channels, buried_holes)
-
-        # Conducting diffusion: diffusion minus channels.
-        if channels:
-            cond_bare = _subtract_diff(nd, channels)
-        else:
-            cond_bare = [(iv[_X1], iv[_X2]) for iv in nd]
-
-        # Assign diffusion nets by vertical adjacency to the strip above;
-        # both lists are sorted, so one merged sweep suffices.
-        cond: list[tuple[int, int, int]] = []
-        n_prev_diff = len(prev_diff)
-        pj = 0
-        for x1, x2 in cond_bare:
-            while pj < n_prev_diff and prev_diff[pj][1] <= x1:
-                pj += 1
-            net = None
-            k = pj
-            while k < n_prev_diff:
-                entry = prev_diff[k]
-                if entry[0] >= x2:
-                    break
-                net = entry[2] if net is None else nets.union(net, entry[2])
-                k += 1
-            if net is None:
-                net = nets.make()
-                self.stats.nets_created += 1
-            self._touch_net(net, x1, y_hi)
-            if self.keep_geometry:
-                self._net_geo.setdefault(net, []).append(
-                    (self._diff, Box(x1, y_lo, x2, y_hi))
-                )
-            cond.append((x1, x2, net))
-
-        # Devices: channel spans inherit device identity from above, the
-        # implant flag comes from a parallel sweep over the implant list.
-        strip_channels: list[tuple[int, int, int]] = []
-        n_prev_channels = len(prev_channels)
-        n_implant = len(ni)
-        cj = ij = 0
-        for x1, x2, poly_net in channels:
-            while cj < n_prev_channels and prev_channels[cj][1] <= x1:
-                cj += 1
-            dev = None
-            k = cj
-            while k < n_prev_channels:
-                entry = prev_channels[k]
-                if entry[0] >= x2:
-                    break
-                dev = entry[2] if dev is None else self._devs.union(dev, entry[2])
-                k += 1
-            if dev is None:
-                dev = self._devs.make()
-                self.stats.devices_created += 1
-                self._dev[dev] = {
-                    "area": 0,
-                    "gates": set(),
-                    "terms": {},
-                    "geo": [],
-                    "loc": None,
-                    "impl": False,
-                }
-            rec = self._dev[self._devs.find(dev)]
-            rec["area"] += (x2 - x1) * height
-            rec["gates"].add(find(poly_net))
-            if self.keep_geometry:
-                rec["geo"].append(Box(x1, y_lo, x2, y_hi))
-            loc = (y_hi, -x1)
-            if rec["loc"] is None or loc > rec["loc"]:
-                rec["loc"] = loc
-            while ij < n_implant and ni[ij][_X2] <= x1:
-                ij += 1
-            if ij < n_implant and ni[ij][_X1] < x2:
-                rec["impl"] = True
-            strip_channels.append((x1, x2, dev))
-
-        # Terminal contacts.
-        if strip_channels:
-            if cond:
-                # horizontal: conducting diffusion abutting a channel
-                # sideways.  Channels and conducting spans partition the
-                # diffusion, so abutting pairs are neighbours in the
-                # merged x-order -- one zipper walk finds them all.
-                self._horizontal_terminals(strip_channels, cond, height)
-            # vertical: channel below conducting diffusion of the strip above
-            dj = 0
-            for cx1, cx2, dev in strip_channels:
-                while dj < n_prev_diff and prev_diff[dj][1] <= cx1:
-                    dj += 1
-                k = dj
-                while k < n_prev_diff:
-                    px1, px2, pnet = prev_diff[k]
-                    if px1 >= cx2:
-                        break
-                    overlap = min(cx2, px2) - max(cx1, px1)
-                    if overlap > 0:
-                        self._add_terminal(dev, pnet, overlap)
-                    k += 1
-        if prev_channels and cond:
-            # vertical: conducting diffusion below a channel of the strip above
-            pk = 0
-            for dx1, dx2, dnet in cond:
-                while pk < n_prev_channels and prev_channels[pk][1] <= dx1:
-                    pk += 1
-                k = pk
-                while k < n_prev_channels:
-                    px1, px2, pdev = prev_channels[k]
-                    if px1 >= dx2:
-                        break
-                    overlap = min(dx2, px2) - max(dx1, px1)
-                    if overlap > 0:
-                        self._add_terminal(pdev, dnet, overlap)
-                    k += 1
-
-        # Contact cuts union conducting nets wherever the layers overlap
-        # both each other and the cut (pointwise, not per cut span).  The
-        # cuts are disjoint and sorted, so each conducting list is walked
-        # once across all cuts.
-        nc = self._active[self._contact]
-        if nc:
-            metal = self._active[self._metal]
-            n_metal, n_poly, n_cond = len(metal), len(np_), len(cond)
-            mi = pi = di = 0
-            for cut in nc:
-                cx1, cx2 = cut[_X1], cut[_X2]
-                present: list[tuple[int, int, int]] = []
-                while mi < n_metal and metal[mi][_X2] <= cx1:
-                    mi += 1
-                k = mi
-                while k < n_metal:
-                    iv = metal[k]
-                    if iv[_X1] >= cx2:
-                        break
-                    present.append(
-                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
-                    )
-                    k += 1
-                while pi < n_poly and np_[pi][_X2] <= cx1:
-                    pi += 1
-                k = pi
-                while k < n_poly:
-                    iv = np_[k]
-                    if iv[_X1] >= cx2:
-                        break
-                    present.append(
-                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
-                    )
-                    k += 1
-                while di < n_cond and cond[di][1] <= cx1:
-                    di += 1
-                k = di
-                while k < n_cond:
-                    dx1, dx2, dnet = cond[k]
-                    if dx1 >= cx2:
-                        break
-                    present.append((max(dx1, cx1), min(dx2, cx2), dnet))
-                    k += 1
-                present.sort()
-                for i, (a1, a2, anet) in enumerate(present):
-                    for b1, b2, bnet in present[i + 1 :]:
-                        if b1 >= a2:
-                            break
-                        nets.union(anet, bnet)
-
-        # Buried contacts union poly and diffusion where all three meet;
-        # again a single monotone sweep over each sorted list.
-        if nb and cond and "buried-skip" not in FAULTS:
-            n_poly, n_cond = len(np_), len(cond)
-            bp = bd = 0
-            for biv in nb:
-                bx1, bx2 = biv[_X1], biv[_X2]
-                while bp < n_poly and np_[bp][_X2] <= bx1:
-                    bp += 1
-                k = bp
-                while k < n_poly:
-                    iv = np_[k]
-                    if iv[_X1] >= bx2:
-                        break
-                    px1, px2 = max(iv[_X1], bx1), min(iv[_X2], bx2)
-                    if px1 < px2:
-                        while bd < n_cond and cond[bd][1] <= px1:
-                            bd += 1
-                        dk = bd
-                        while dk < n_cond:
-                            dx1, dx2, dnet = cond[dk]
-                            if dx1 >= px2:
-                                break
-                            nets.union(iv[_NET], dnet)
-                            dk += 1
-                    k += 1
-
-        self._attach_labels(y_lo, y_hi, cond, stream)
-
-        if self.window is not None:
-            self._capture_boundary(y_lo, y_hi, cond, strip_channels)
-
-        if self.strip_consumers:
-            spans = {
-                layer: [(iv[_X1], iv[_X2]) for iv in ivs]
-                for layer, ivs in self._active.items()
-            }
-            for consumer in self.strip_consumers:
-                consumer.observe_strip(y_lo, y_hi, spans, channels)
-
-        return cond, strip_channels
-
-    def _horizontal_terminals(
-        self,
-        strip_channels: list[tuple[int, int, int]],
-        cond: list[tuple[int, int, int]],
-        height: int,
+        channels: list[tuple[int, int, int]],
     ) -> None:
-        """Record channel/diffusion side contacts via one zipper walk."""
-        i = j = 0
-        n_ch, n_co = len(strip_channels), len(cond)
-        prev_is_channel = False
-        prev_end = None
-        prev_ident = None
-        while i < n_ch or j < n_co:
-            if j >= n_co or (i < n_ch and strip_channels[i][0] < cond[j][0]):
-                span, is_channel = strip_channels[i], True
-                i += 1
-            else:
-                span, is_channel = cond[j], False
-                j += 1
-            if prev_end == span[0] and prev_is_channel != is_channel:
-                if is_channel:
-                    self._add_terminal(span[2], prev_ident, height)
-                else:
-                    self._add_terminal(prev_ident, span[2], height)
-            prev_is_channel, prev_end, prev_ident = is_channel, span[1], span[2]
-
-    def _add_terminal(self, dev: int, net: int, length: int) -> None:
-        rec = self._dev[self._devs.find(dev)]
-        root = self._nets.find(net)
-        rec["terms"][root] = rec["terms"].get(root, 0) + length
-
-    def _touch_net(self, net: int, xmin: int, ymax: int) -> None:
-        loc = (ymax, -xmin)
-        current = self._net_loc.get(net)
-        if current is None or loc > current:
-            self._net_loc[net] = loc
+        """Hand the strip's spans to every attached consumer."""
+        spans = {
+            layer: [(iv[_X1], iv[_X2]) for iv in ivs]
+            for layer, ivs in self._active.items()
+        }
+        for consumer in self.strip_consumers:
+            consumer.observe_strip(y_lo, y_hi, spans, channels)
 
     # ------------------------------------------------------------------
     # labels
@@ -724,9 +481,15 @@ class ScanlineEngine:
         self,
         y_lo: int,
         y_hi: int,
-        cond: list[tuple[int, int, int]],
         stream: GeometryStream,
+        cond_source: CondSource,
     ) -> None:
+        """Bind labels that fall inside the strip to their nets.
+
+        ``cond_source`` lazily materializes the strip's conducting
+        diffusion spans ``(x1, x2, net)``; batch engines only pay for
+        the list when a label actually lands in the strip.
+        """
         fresh = stream.labels()
         if len(fresh) > self._labels_taken:
             self._labels.extend(fresh[self._labels_taken :])
@@ -734,6 +497,7 @@ class ScanlineEngine:
         if not self._labels:
             return
         remaining: list[PlacedLabel] = []
+        cond: list[tuple[int, int, int]] | None = None
         cond_starts: list[int] | None = None
         for label in self._labels:
             if label.y > y_hi:
@@ -741,7 +505,8 @@ class ScanlineEngine:
             elif label.y < y_lo:
                 remaining.append(label)
             else:
-                if cond_starts is None:
+                if cond_starts is None or cond is None:
+                    cond = cond_source()
                     cond_starts = [span[0] for span in cond]
                 net = self._net_at_point(label, cond, cond_starts)
                 if net is None:
@@ -848,66 +613,54 @@ class ScanlineEngine:
     # ------------------------------------------------------------------
 
     def _finalize(self) -> Circuit:
-        from .netlist import Device, Net
+        from itertools import repeat
+
+        from .netlist import Net
 
         nets = self._nets
-        find = nets.find
         for label in self._labels:  # below all geometry
             self._unattached.append(label)
         self._labels = []
 
         names = nets.fold(self._net_names)
         geometry = nets.fold(self._net_geo) if self.keep_geometry else {}
-        locations: dict[int, tuple[int, int]] = {}
-        for ident, loc in self._net_loc.items():
-            root = find(ident)
-            if root not in locations or loc > locations[root]:
-                locations[root] = loc
 
-        # Canonical net order: topmost, then leftmost, location first.
-        roots = sorted(
-            locations,
-            key=lambda r: (-locations[r][0], -locations[r][1], r),
-        )
-        index_of = {root: i + 1 for i, root in enumerate(roots)}
+        # The engine owns the location folds: canonical net order is
+        # topmost, then leftmost, location first.
+        roots, locations = self.strip_engine.net_order()
+        index_of = dict(zip(roots, range(1, len(roots) + 1)))
 
-        net_objs = []
-        for root in roots:
-            ymax, neg_xmin = locations[root]
-            seen: set[str] = set()
-            uniq = [
-                n
-                for n in names.get(root, [])
-                if not (n in seen or seen.add(n))
-            ]
-            net_objs.append(
-                Net(
-                    index=index_of[root],
-                    names=uniq,
-                    location=(-neg_xmin, ymax),
-                    geometry=geometry.get(root, []),
+        # Net materialization runs once per net (66k times on the n=256
+        # mesh), so the unlabeled/no-geometry bulk goes through C-level
+        # map/zip construction; only nets with names or kept geometry
+        # take the per-root python path.
+        if not names and not geometry:
+            net_objs = list(
+                map(
+                    Net,
+                    range(1, len(roots) + 1),
+                    map(list, repeat((), len(roots))),
+                    locations,
+                    map(list, repeat((), len(roots))),
                 )
             )
-
-        # Fold device records by device root.
-        dev_roots: dict[int, dict] = {}
-        dev_find = self._devs.find
-        for ident, rec in self._dev.items():
-            root = dev_find(ident)
-            into = dev_roots.get(root)
-            if into is None or into is rec:
-                dev_roots[root] = rec
-                continue
-            into["area"] += rec["area"]
-            into["gates"] |= rec["gates"]
-            for net, length in rec["terms"].items():
-                into["terms"][net] = into["terms"].get(net, 0) + length
-            into["geo"].extend(rec["geo"])
-            if rec["loc"] is not None and (
-                into["loc"] is None or rec["loc"] > into["loc"]
-            ):
-                into["loc"] = rec["loc"]
-            into["impl"] = into["impl"] or rec["impl"]
+        else:
+            net_objs = []
+            append_net = net_objs.append
+            get_names = names.get
+            get_geo = geometry.get
+            for i, root in enumerate(roots):
+                raw = get_names(root)
+                if raw:
+                    seen: set[str] = set()
+                    uniq = [
+                        n for n in raw if not (n in seen or seen.add(n))
+                    ]
+                else:
+                    uniq = []
+                append_net(
+                    Net(i + 1, uniq, locations[i], get_geo(root) or [])
+                )
 
         boundary_devs = {
             ident
@@ -916,56 +669,15 @@ class ScanlineEngine:
         }
         boundary_dev_roots = {self._devs.find(d) for d in boundary_devs}
 
-        devices = []
-        dev_index_of: dict[int, int] = {}
-        order = sorted(
-            dev_roots,
-            key=lambda r: (
-                (-dev_roots[r]["loc"][0], -dev_roots[r]["loc"][1])
-                if dev_roots[r]["loc"]
-                else (0, 0),
-                r,
-            ),
-        )
         warnings = list(self._warnings)
-        for i, root in enumerate(order):
-            rec = dev_roots[root]
-            terms = {}
-            for net, length in rec["terms"].items():
-                idx = index_of.get(find(net))
-                if idx is not None:
-                    terms[idx] = terms.get(idx, 0) + length
-            gate_roots = {find(g) for g in rec["gates"]}
-            gate_indices = [
-                index_of[g] for g in gate_roots if g in index_of
-            ]
-            if len(gate_indices) > 1:
-                gate_indices.sort()
-            sized = size_device(rec["area"], terms)
-            loc = rec["loc"]
-            device = Device(
-                index=i,
-                kind=self.tech.device_name(rec["impl"]),
-                gate=gate_indices[0] if gate_indices else None,
-                source=sized.source,
-                drain=sized.drain,
-                length=sized.length,
-                width=sized.width,
-                area=rec["area"],
-                location=(-loc[1], loc[0]) if loc else None,
-                terminals=terms,
-                gates=gate_indices,
-                geometry=rec["geo"],
-                touches_boundary=root in boundary_dev_roots,
-                depletion=rec["impl"],
+        kind_enh = self.tech.device_name(False)
+        kind_dep = self.tech.device_name(True)
+        devices, dev_index_of, dev_warnings = (
+            self.strip_engine.build_devices(
+                index_of, kind_enh, kind_dep, boundary_dev_roots
             )
-            devices.append(device)
-            dev_index_of[root] = i
-            if device.is_malformed and not device.touches_boundary:
-                warnings.append(
-                    f"malformed transistor at {device.location}: "
-                    f"{len(gate_indices)} gate nets, {len(terms)} terminals"
-                )
+        )
+        warnings.extend(dev_warnings)
 
         for label in self._unattached:
             warnings.append(

@@ -1,0 +1,149 @@
+"""Pluggable per-strip computation back-ends for the scanline engine.
+
+:class:`~repro.core.scanline.ScanlineEngine` owns everything event-driven
+-- active lists, bottom-edge heaps, merge/split bookkeeping -- and
+delegates the per-strip *value* computation (channels, conducting
+diffusion, terminals, contact unions, device records) plus the finalize
+folds to a :class:`StripEngine`.  Two implementations exist:
+
+``python``
+    The always-available reference engine
+    (:class:`repro.core.engine_python.PythonStripEngine`): the paper's
+    per-interval sweeps as plain-python loops.
+
+``numpy``
+    A vectorized strip-batch engine
+    (:class:`repro.core.engine_numpy.NumpyStripEngine`) that
+    materializes each strip's active intervals as flat endpoint/net
+    arrays and does span overlap, terminal pairing, and the finalize
+    folds as batch array passes.  Available when numpy is importable
+    (the ``repro[fast]`` extra).
+
+Both engines share the host's union-find and counters and must produce
+**byte-identical wirelists** -- docs/ENGINES.md documents the contract
+and how it is enforced.  Selection is by name: ``auto`` prefers numpy
+when importable and silently falls back to python otherwise; asking for
+``numpy`` explicitly without numpy installed raises
+:class:`EngineUnavailable` with an actionable message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..frontend.stream import GeometryStream
+    from .scanline import ScanlineEngine
+
+#: Valid values for every ``engine=`` / ``--engine`` knob in the stack.
+ENGINE_CHOICES = ("auto", "python", "numpy")
+
+#: (cond, cond_starts) thunk handed to the host's label attachment so an
+#: engine only materializes the strip's conducting spans when a label
+#: actually lands in the strip.
+CondSource = Callable[[], "list[tuple[int, int, int]]"]
+
+
+class EngineUnavailable(RuntimeError):
+    """An explicitly requested strip engine cannot run here."""
+
+
+def numpy_available() -> bool:
+    """True when the numpy back-end can be imported."""
+    try:
+        import numpy  # noqa: F401
+    except Exception:  # pragma: no cover - import failure path
+        return False
+    return True
+
+
+def resolve_engine(name: str = "auto") -> str:
+    """Map an engine request to a concrete engine name.
+
+    ``auto`` resolves to ``numpy`` when importable, else ``python``.
+    An explicit ``numpy`` without numpy installed is an error rather
+    than a silent fallback -- the caller asked for speed it cannot get.
+    """
+    if name not in ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown strip engine {name!r}; choose one of {ENGINE_CHOICES}"
+        )
+    if name == "auto":
+        return "numpy" if numpy_available() else "python"
+    if name == "numpy" and not numpy_available():
+        raise EngineUnavailable(
+            "the numpy strip engine was requested but numpy is not "
+            "installed; install the fast extra (pip install 'repro[fast]') "
+            "or use --engine auto to fall back to the pure-python engine"
+        )
+    return name
+
+
+class StripEngine:
+    """Interface every strip back-end implements.
+
+    One instance lives per :class:`ScanlineEngine` run and carries the
+    engine's accumulated per-strip state (previous strip's conducting
+    spans and channels, net/device attribute accumulators).  The host
+    guarantees ``process_strip`` is called once per strip, top to
+    bottom, and that ``net_order`` is called before ``build_devices``.
+    """
+
+    #: concrete engine name ("python" / "numpy")
+    name = "abstract"
+
+    def __init__(self, host: "ScanlineEngine") -> None:
+        self.host = host
+
+    def process_strip(
+        self, y_lo: int, y_hi: int, stream: "GeometryStream"
+    ) -> None:
+        """Step 2.c for the strip ``[y_lo, y_hi)``."""
+        raise NotImplementedError
+
+    def touch_net(self, net: int, xmin: int, ymax: int) -> None:
+        """Record a net sighting for the topmost/leftmost location fold."""
+        raise NotImplementedError
+
+    def net_order(
+        self,
+    ) -> "tuple[list[int], list[tuple[int, int]]]":
+        """Canonical net order after the sweep.
+
+        Returns ``(roots, locations)``: net roots sorted topmost-then-
+        leftmost (the wirelist's net numbering) and, aligned with it,
+        each net's display location ``(xmin, ymax)``.
+        """
+        raise NotImplementedError
+
+    def build_devices(
+        self,
+        index_of: "dict[int, int]",
+        kind_enh: str,
+        kind_dep: str,
+        boundary_dev_roots: "set[int]",
+    ) -> "tuple[list, dict[int, int], list[str]]":
+        """Folded, ordered, fully materialized device records.
+
+        ``index_of`` maps net roots to 1-based wirelist indices.
+        Returns ``(devices, dev_index_of, warnings)``: the
+        :class:`~repro.core.netlist.Device` list in canonical order,
+        the device-root to device-index map the host needs for boundary
+        records, and the malformed-transistor warnings in device order.
+        The engine owns materialization so a batch back-end can build
+        the bulk of the objects with C-level ``map``/``zip`` passes
+        instead of one python iteration per device.
+        """
+        raise NotImplementedError
+
+
+def create_strip_engine(name: str, host: "ScanlineEngine") -> StripEngine:
+    """Resolve ``name`` and instantiate the matching engine."""
+    resolved = resolve_engine(name)
+    if resolved == "numpy":
+        from .engine_numpy import NumpyStripEngine
+
+        return NumpyStripEngine(host)
+    from .engine_python import PythonStripEngine
+
+    return PythonStripEngine(host)

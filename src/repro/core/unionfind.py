@@ -29,6 +29,27 @@ class UnionFind:
         self._size.append(1)
         return ident
 
+    def extend(self, count: int) -> int:
+        """Allocate ``count`` fresh singleton sets; returns the first id.
+
+        Equivalent to ``count`` consecutive :meth:`make` calls -- the new
+        ids are ``base .. base + count - 1`` -- but lets batch engines
+        allocate a strip's worth of nets in one call.
+        """
+        base = len(self._parent)
+        self._parent.extend(range(base, base + count))
+        self._size.extend([1] * count)
+        return base
+
+    def parent_snapshot(self) -> list[int]:
+        """A copy of the raw parent table, for bulk root resolution.
+
+        Entries are one hop of the forest, not roots; callers resolving
+        the whole table at once (``parent[parent]`` to a fixpoint) get
+        exactly the roots :meth:`find` would return.
+        """
+        return list(self._parent)
+
     def find(self, ident: int) -> int:
         """Representative of ``ident``'s set (with path halving)."""
         parent = self._parent

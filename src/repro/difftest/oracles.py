@@ -1,12 +1,15 @@
 """The oracle registry: every independent implementation of extraction.
 
-An *oracle* maps a layout to a circuit.  The repo has six -- the flat
-edge-based scanline (ACE), serial and parallel HEXT, the extraction
-*service* (parallel HEXT round-tripped through the long-lived daemon,
-with byte-for-byte wirelist parity enforced inside the runner), and the
-two historical baselines -- and the whole correctness argument is that
-they must agree on every layout, up to net renumbering.  Each oracle
-declares two capabilities the driver respects:
+An *oracle* maps a layout to a circuit.  The repo has seven -- the flat
+edge-based scanline (ACE), the same scanline on the vectorized numpy
+strip engine (``ace-numpy``, registered only when numpy imports, with
+byte-for-byte wirelist parity against the python engine enforced inside
+the runner), serial and parallel HEXT, the extraction *service*
+(parallel HEXT round-tripped through the long-lived daemon, again with
+byte parity enforced), and the two historical baselines -- and the
+whole correctness argument is that they must agree on every layout, up
+to net renumbering.  Each oracle declares two capabilities the driver
+respects:
 
 ``grid_exact``
     trustworthy on off-lambda-grid coordinates.  The fixed-grid raster
@@ -29,10 +32,16 @@ from ..baselines import extract_polyflat, extract_raster
 from ..cif import Layout
 from ..cif import write as write_cif
 from ..core import Circuit, extract
+from ..core.stripengine import numpy_available
 from ..hext import hext_extract
 from ..hext.wirelist import to_hierarchical_wirelist
 from ..tech import Technology
-from ..wirelist import FlatCircuit, circuit_to_flat, write_wirelist
+from ..wirelist import (
+    FlatCircuit,
+    circuit_to_flat,
+    to_wirelist,
+    write_wirelist,
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +79,31 @@ class OracleResult:
 
 class ServiceParityError(AssertionError):
     """The daemon's wirelist bytes diverged from the in-process ones."""
+
+
+class EngineParityError(AssertionError):
+    """The numpy strip engine's wirelist bytes diverged from python's."""
+
+
+def _numpy_engine_extract(layout: Layout, tech: Technology) -> Circuit:
+    """Extract with the numpy strip engine, then demand byte parity.
+
+    The strip engines promise *byte-identical* wirelists — a stronger
+    contract than the structural equivalence the difftest comparator
+    checks — so this oracle runs both engines on every layout and
+    raises :class:`EngineParityError` on any byte divergence before the
+    driver ever sees the circuit.  Registered only when numpy imports.
+    """
+    fast = extract(layout, tech, engine="numpy")
+    reference = extract(layout, tech, engine="python")
+    fast_text = write_wirelist(to_wirelist(fast, name="difftest.cif"))
+    ref_text = write_wirelist(to_wirelist(reference, name="difftest.cif"))
+    if fast_text != ref_text:
+        raise EngineParityError(
+            "numpy strip engine wirelist differs from the python "
+            f"engine's ({len(fast_text)} vs {len(ref_text)} bytes)"
+        )
+    return fast
 
 
 _SERVICE_CLIENT = None
@@ -160,6 +194,21 @@ ORACLES: dict[str, Oracle] = {
             grid_exact=True,
             sizes_exact=True,
             runner=_service_extract,
+        ),
+        *(
+            (
+                Oracle(
+                    "ace-numpy",
+                    "flat scanline on the vectorized numpy strip engine "
+                    "(byte-for-byte parity with the python engine "
+                    "enforced)",
+                    grid_exact=True,
+                    sizes_exact=True,
+                    runner=_numpy_engine_extract,
+                ),
+            )
+            if numpy_available()
+            else ()
         ),
         Oracle(
             "raster",

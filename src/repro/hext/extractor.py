@@ -207,7 +207,10 @@ def plan_windows(
 
 
 def extract_primitive(
-    content: Content, tech: Technology, resolution: int = 50
+    content: Content,
+    tech: Technology,
+    resolution: int = 50,
+    engine: str = "auto",
 ) -> Fragment:
     """Run the modified flat extractor over a geometry-only window.
 
@@ -225,7 +228,7 @@ def extract_primitive(
             Label(label.name, label.x - ox, label.y - oy, label.layer)
         )
     circuit = extract_report(
-        layout, tech, resolution=resolution, window=window
+        layout, tech, resolution=resolution, window=window, engine=engine
     ).circuit
     return _circuit_to_fragment(circuit, window)
 
@@ -240,6 +243,7 @@ def execute_plan(
     cache: "str | None" = None,
     memo: "dict | None" = None,
     pool: "PersistentPool | None" = None,
+    engine: str = "auto",
 ) -> dict:
     """Extract every unique primitive window in the plan.
 
@@ -259,13 +263,13 @@ def execute_plan(
         return execute_plan_parallel(
             plan, tech, stats,
             resolution=resolution, jobs=jobs, cache=cache, memo=memo,
-            pool=pool,
+            pool=pool, engine=engine,
         )
     for key, content in plan.primitives.items():
         if key in memo:
             continue
         start = time.perf_counter()
-        memo[key] = extract_primitive(content, tech, resolution)
+        memo[key] = extract_primitive(content, tech, resolution, engine)
         stats.flat_seconds += time.perf_counter() - start
         stats.flat_calls += 1
     return memo
@@ -324,6 +328,7 @@ def hext_extract(
     jobs: "int | None" = None,
     cache: "str | None" = None,
     pool: "PersistentPool | None" = None,
+    engine: str = "auto",
 ) -> HextResult:
     """Hierarchically extract a CIF string or parsed layout.
 
@@ -337,6 +342,10 @@ def hext_extract(
             over unchanged windows skip extraction entirely.
         pool: a long-lived worker pool to reuse instead of a one-shot
             pool (the extraction service's amortization path).
+        engine: strip-batch engine for the per-window flat extractions
+            (see :mod:`repro.core.stripengine`); results are
+            byte-identical across engines, so this is purely a speed
+            knob and is deliberately excluded from memo and cache keys.
 
     The three phases run plan -> execute -> compose; parallel and cached
     runs produce wirelists equivalent to serial ones because the plan
@@ -354,6 +363,7 @@ def hext_extract(
     memo = execute_plan(
         plan, tech, stats,
         resolution=resolution, jobs=jobs, cache=cache, pool=pool,
+        engine=engine,
     )
     fragment = compose_plan(plan, memo, tech, stats)
     return HextResult(

@@ -64,10 +64,17 @@ class IncrementalExtractor:
     """A HEXT front door whose memo table survives between calls."""
 
     def __init__(
-        self, tech: Technology | None = None, *, resolution: int = 50
+        self,
+        tech: Technology | None = None,
+        *,
+        resolution: int = 50,
+        engine: str = "auto",
     ) -> None:
         self.tech = tech or NMOS()
         self.resolution = resolution
+        # Purely a speed knob: fragments are byte-identical across strip
+        # engines, so the persistent memo never needs engine-keyed entries.
+        self.engine = engine
         self._memo: dict[object, object] = {}
         self._last_used: set[object] = set()
         self.last_stats: IncrementalStats | None = None
@@ -104,7 +111,7 @@ class IncrementalExtractor:
         execute_plan(
             plan, self.tech, stats,
             resolution=self.resolution, memo=self._memo,
-            jobs=jobs, cache=cache, pool=pool,
+            jobs=jobs, cache=cache, pool=pool, engine=self.engine,
         )
         fragment = compose_plan(plan, self._memo, self.tech, stats)
         self._last_used = plan.used_keys()

@@ -56,6 +56,7 @@ def execute_plan_parallel(
     cache: "str | None" = None,
     memo: "dict | None" = None,
     pool: "PersistentPool | None" = None,
+    engine: str = "auto",
 ) -> dict:
     """Fill ``memo`` with a fragment per unique primitive window.
 
@@ -90,7 +91,7 @@ def execute_plan_parallel(
                 produced = pool.extract(batch)
             else:
                 produced = extract_contents_parallel(
-                    batch, tech, resolution, workers
+                    batch, tech, resolution, workers, engine
                 )
         except PoolUnavailable:
             workers = 1
@@ -109,7 +110,7 @@ def execute_plan_parallel(
     for key, payload, cache_key in pending:
         content = plan.primitives[key]
         start = time.perf_counter()
-        fragment = extract_primitive(content, tech, resolution)
+        fragment = extract_primitive(content, tech, resolution, engine)
         stats.worker_seconds += time.perf_counter() - start
         memo[key] = fragment
         stats.flat_calls += 1

@@ -32,9 +32,10 @@ class PoolUnavailable(RuntimeError):
     """The process pool could not be created or died mid-flight."""
 
 
-def _init_worker(tech: Technology, resolution: int) -> None:
+def _init_worker(tech: Technology, resolution: int, engine: str = "auto") -> None:
     _WORKER_STATE["tech"] = tech
     _WORKER_STATE["resolution"] = resolution
+    _WORKER_STATE["engine"] = engine
 
 
 def _extract_job(item: "tuple[int, dict]") -> "tuple[int, dict, float]":
@@ -45,7 +46,10 @@ def _extract_job(item: "tuple[int, dict]") -> "tuple[int, dict, float]":
     start = time.perf_counter()
     content = content_from_payload(payload)
     fragment = extract_primitive(
-        content, _WORKER_STATE["tech"], _WORKER_STATE["resolution"]
+        content,
+        _WORKER_STATE["tech"],
+        _WORKER_STATE["resolution"],
+        _WORKER_STATE.get("engine", "auto"),
     )
     return index, fragment_payload(fragment), time.perf_counter() - start
 
@@ -72,10 +76,17 @@ class PersistentPool:
     :meth:`extract` call transparently builds a fresh pool.
     """
 
-    def __init__(self, tech: Technology, resolution: int, jobs: int) -> None:
+    def __init__(
+        self,
+        tech: Technology,
+        resolution: int,
+        jobs: int,
+        engine: str = "auto",
+    ) -> None:
         self.tech = tech
         self.resolution = resolution
         self.workers = max(1, jobs)
+        self.engine = engine
         self._executor: "ProcessPoolExecutor | None" = None
 
     def _ensure(self) -> ProcessPoolExecutor:
@@ -85,7 +96,7 @@ class PersistentPool:
                     max_workers=self.workers,
                     mp_context=_pool_context(),
                     initializer=_init_worker,
-                    initargs=(self.tech, self.resolution),
+                    initargs=(self.tech, self.resolution, self.engine),
                 )
             except (OSError, PermissionError, ValueError) as exc:
                 raise PoolUnavailable(str(exc)) from exc
@@ -130,6 +141,7 @@ def extract_contents_parallel(
     tech: Technology,
     resolution: int,
     jobs: int,
+    engine: str = "auto",
 ) -> "list[tuple[dict, float]]":
     """Extract window payloads over a one-shot pool of ``jobs`` processes.
 
@@ -138,5 +150,5 @@ def extract_contents_parallel(
     the caller decides whether to retry serially.
     """
     workers = max(1, min(jobs, len(payloads)))
-    with PersistentPool(tech, resolution, workers) as pool:
+    with PersistentPool(tech, resolution, workers, engine) as pool:
         return pool.extract(payloads)

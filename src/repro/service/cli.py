@@ -20,6 +20,11 @@ import threading
 import types
 
 from ..cli import add_version_argument
+from ..core.stripengine import (
+    ENGINE_CHOICES,
+    EngineUnavailable,
+    resolve_engine,
+)
 from .client import JobFailed, ServiceClient, ServiceError
 from .server import DEFAULT_PORT, ExtractionService, ServiceConfig
 
@@ -75,6 +80,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="max wait for in-flight jobs at shutdown (default %(default)s)",
     )
     parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="strip-batch engine for every extraction this daemon runs "
+        "(default %(default)s: numpy when importable).  Results are "
+        "byte-identical across engines, so the choice never splits the "
+        "result cache.",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress structured logs"
     )
     return parser
@@ -82,6 +96,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 def serve_main(argv: "list[str] | None" = None) -> int:
     args = build_serve_parser().parse_args(argv)
+    try:
+        engine = resolve_engine(args.engine)
+    except EngineUnavailable as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
     service = ExtractionService(
         ServiceConfig(
             host=args.host,
@@ -92,6 +111,7 @@ def serve_main(argv: "list[str] | None" = None) -> int:
             default_timeout=args.timeout,
             drain_grace=args.drain_grace,
             quiet=args.quiet,
+            engine=engine,
         )
     )
     stop = threading.Event()

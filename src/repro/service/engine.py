@@ -103,6 +103,7 @@ class ExtractionEngine:
         default_timeout: "float | None" = None,
         resolution: int = 50,
         metrics: "Metrics | None" = None,
+        engine: str = "auto",
     ) -> None:
         self.metrics = metrics if metrics is not None else Metrics()
         self.results = ResultCache(
@@ -110,6 +111,10 @@ class ExtractionEngine:
         )
         self.default_timeout = default_timeout
         self.resolution = resolution
+        # Strip-batch engine for every extraction this daemon runs —
+        # results are byte-identical across engines, so the engine name
+        # stays out of the result-cache facet on purpose.
+        self.engine = engine
         self._state_lock = threading.Lock()
         self._incremental: "dict[int, IncrementalExtractor]" = {}
         self._memo_locks: "dict[int, threading.Lock]" = {}
@@ -128,7 +133,7 @@ class ExtractionEngine:
             extractor = self._incremental.get(key)
             if extractor is None:
                 extractor = IncrementalExtractor(
-                    tech, resolution=self.resolution
+                    tech, resolution=self.resolution, engine=self.engine
                 )
                 self._incremental[key] = extractor
                 self._memo_locks[key] = threading.Lock()
@@ -144,7 +149,9 @@ class ExtractionEngine:
             key = (tech.lambda_, workers)
             pool = self._pools.get(key)
             if pool is None:
-                pool = PersistentPool(tech, self.resolution, workers)
+                pool = PersistentPool(
+                    tech, self.resolution, workers, self.engine
+                )
                 self._pools[key] = pool
             return pool
 
@@ -227,6 +234,7 @@ class ExtractionEngine:
                 keep_geometry=options.keep_geometry,
                 resolution=self.resolution,
                 strip_consumers=consumers,
+                engine=self.engine,
             )
             circuit = report.circuit
             self.metrics.fold_scan_stats(report.stats)
@@ -259,6 +267,7 @@ class ExtractionEngine:
                     tech,
                     resolution=self.resolution,
                     strip_consumers=(probe, drc),
+                    engine=self.engine,
                 )
             else:
                 drc = drc_inline

@@ -68,6 +68,7 @@ class ServiceConfig:
     retain_jobs: int = 256
     allow_paths: bool = True  #: accept {"path": ...} submissions
     resolution: int = 50
+    engine: str = "auto"  #: strip-batch engine for every extraction
     log_stream: "IO[str] | None" = field(default=None, repr=False)
     quiet: bool = False  #: suppress structured logs entirely
 
@@ -82,6 +83,7 @@ class ExtractionService:
             memory_cache_entries=self.config.memory_cache_entries,
             default_timeout=self.config.default_timeout,
             resolution=self.config.resolution,
+            engine=self.config.engine,
         )
         self.metrics = self.engine.metrics
         self.queue = JobQueue(self.config.queue_capacity)

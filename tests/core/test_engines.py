@@ -1,0 +1,161 @@
+"""Strip-engine selection and cross-engine parity.
+
+The contract under test is docs/ENGINES.md's: engine choice is purely a
+speed knob — ``auto`` silently degrades to python when numpy is absent,
+an *explicit* numpy request without numpy is a clean error, and every
+engine produces byte-identical wirelists and identical host counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cif import parse
+from repro.core import extract, extract_report
+from repro.core.scanline import ScanlineEngine
+from repro.core.stripengine import (
+    ENGINE_CHOICES,
+    EngineUnavailable,
+    numpy_available,
+    resolve_engine,
+)
+from repro.frontend.stream import GeometryStream
+from repro.geometry import Box
+from repro.hext import hext_extract
+from repro.hext.wirelist import to_hierarchical_wirelist
+from repro.tech import NMOS
+from repro.wirelist import to_wirelist, write_wirelist
+from repro.workloads.cells import inverter, nand2
+from repro.workloads.mesh import poly_diff_mesh
+
+from tests.golden.cases import GOLDEN_CASES, render_case
+
+TECH = NMOS()
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy strip engine not importable"
+)
+
+
+class TestResolveEngine:
+    def test_choices_are_the_public_knob(self):
+        assert ENGINE_CHOICES == ("auto", "python", "numpy")
+
+    def test_python_always_resolves(self):
+        assert resolve_engine("python") == "python"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown strip engine"):
+            resolve_engine("fortran")
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.stripengine.numpy_available", lambda: True
+        )
+        assert resolve_engine("auto") == "numpy"
+
+    def test_auto_falls_back_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.stripengine.numpy_available", lambda: False
+        )
+        assert resolve_engine("auto") == "python"
+
+    def test_explicit_numpy_without_numpy_is_clean_error(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.stripengine.numpy_available", lambda: False
+        )
+        with pytest.raises(EngineUnavailable, match="repro\\[fast\\]"):
+            resolve_engine("numpy")
+
+    def test_scanline_engine_records_resolved_name(self):
+        engine = ScanlineEngine(TECH, engine="python")
+        assert engine.engine_name == "python"
+
+    def test_extract_report_records_engine(self):
+        report = extract_report(inverter(), TECH, engine="python")
+        assert report.options["engine"] == "python"
+
+
+@requires_numpy
+class TestCrossEngineParity:
+    """Byte-identical wirelists and identical counters on both engines."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+    def test_goldens_byte_identical(self, name):
+        assert render_case(name, "python") == render_case(name, "numpy")
+
+    @pytest.mark.parametrize("name", ("inverter", "nand2"))
+    def test_goldens_byte_identical_without_geometry(self, name):
+        layout = GOLDEN_CASES[name]()
+        texts = [
+            write_wirelist(
+                to_wirelist(extract(layout, TECH, engine=eng), name=name)
+            )
+            for eng in ("python", "numpy")
+        ]
+        assert texts[0] == texts[1]
+
+    def test_mesh_parity_with_stats(self):
+        layout = poly_diff_mesh(12)
+        reports = {
+            eng: extract_report(layout, TECH, engine=eng)
+            for eng in ("python", "numpy")
+        }
+        texts = {
+            eng: write_wirelist(to_wirelist(rep.circuit, name="mesh"))
+            for eng, rep in reports.items()
+        }
+        assert texts["python"] == texts["numpy"]
+        # The host owns the event machinery, so ScanStats must match
+        # field for field -- any drift means an engine skipped or
+        # repeated strip work.
+        assert vars(reports["python"].stats) == vars(reports["numpy"].stats)
+
+    def test_window_extraction_parity(self):
+        # Boundary/partial-device paths (the rowwise build) agree too.
+        layout = inverter()
+        window = Box(0, 0, 10, 14)
+        texts = []
+        for eng in ("python", "numpy"):
+            engine = ScanlineEngine(TECH, window=window, engine=eng)
+            circuit = engine.run(GeometryStream(layout))
+            texts.append(
+                write_wirelist(to_wirelist(circuit, name="window"))
+            )
+        assert texts[0] == texts[1]
+
+    def test_hext_parity(self):
+        layout = nand2()
+        texts = [
+            write_wirelist(
+                to_hierarchical_wirelist(
+                    hext_extract(layout, TECH, engine=eng), name="nand2"
+                )
+            )
+            for eng in ("python", "numpy")
+        ]
+        assert texts[0] == texts[1]
+
+    def test_label_and_warning_parity(self):
+        source = """
+        DS 1;
+        L NP; B 40 8 20 16;
+        L ND; B 8 40 12 28;
+        L NM; B 10 10 60 60;
+        94 IN 4 16 NP;
+        94 FLOAT 60 60 NM;
+        DF;
+        C 1;
+        E
+        """
+        layout = parse(source)
+        circuits = {
+            eng: extract(layout, TECH, engine=eng)
+            for eng in ("python", "numpy")
+        }
+        assert (
+            circuits["python"].warnings == circuits["numpy"].warnings
+        )
+        assert write_wirelist(
+            to_wirelist(circuits["python"], name="l")
+        ) == write_wirelist(to_wirelist(circuits["numpy"], name="l"))

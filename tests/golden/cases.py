@@ -112,10 +112,15 @@ LINT_CASES: "dict[str, callable]" = {
 }
 
 
-def render_case(name: str) -> str:
-    """The wirelist text a snapshot pins: extract + flat CMU format."""
+def render_case(name: str, engine: str = "auto") -> str:
+    """The wirelist text a snapshot pins: extract + flat CMU format.
+
+    ``engine`` selects the strip-batch engine; every engine must render
+    byte-identical text, so the goldens double as the engine-parity
+    fixture (see tests/golden/test_wirelists.py).
+    """
     layout = GOLDEN_CASES[name]()
-    circuit = extract(layout, TECH, keep_geometry=True)
+    circuit = extract(layout, TECH, keep_geometry=True, engine=engine)
     return write_wirelist(to_wirelist(circuit, name=name))
 
 

@@ -13,20 +13,27 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.stripengine import numpy_available
+
 from .cases import GOLDEN_CASES, render_case
 
 GOLDEN_DIR = Path(__file__).parent
 REGEN = "PYTHONPATH=src python tools/regen_golden.py"
 
+#: Every strip engine importable here; the goldens must be byte-for-byte
+#: identical on all of them (the engine contract of docs/ENGINES.md).
+ENGINES = ("python", "numpy") if numpy_available() else ("python",)
 
+
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
-def test_wirelist_matches_golden(name):
+def test_wirelist_matches_golden(name, engine):
     path = GOLDEN_DIR / f"{name}.wirelist"
     assert path.exists(), (
         f"missing snapshot {path.name}; create it with: {REGEN} {name}"
     )
     expected = path.read_text()
-    actual = render_case(name)
+    actual = render_case(name, engine)
     if actual != expected:
         diff = "\n".join(
             difflib.unified_diff(
@@ -38,8 +45,9 @@ def test_wirelist_matches_golden(name):
             )
         )
         pytest.fail(
-            f"wirelist for {name!r} drifted from its golden snapshot.\n"
-            f"{diff}\n\nIf the change is intentional: {REGEN} {name}"
+            f"wirelist for {name!r} (engine={engine}) drifted from its "
+            f"golden snapshot.\n{diff}\n\n"
+            f"If the change is intentional: {REGEN} {name}"
         )
 
 

@@ -4,14 +4,28 @@ from __future__ import annotations
 
 import json
 
-from repro.bench.scanline import bench_scanline, check_rows, load_baseline, main
+import pytest
+
+from repro.bench.scanline import (
+    BaselineError,
+    bench_scanline,
+    check_rows,
+    load_baseline,
+    main,
+    resolve_bench_engines,
+)
+from repro.core.stripengine import numpy_available
 
 
 class TestBenchScanline:
     def test_rows_have_counters_and_speedup(self):
-        rows = bench_scanline(sizes=(8, 16), repeats=1, baseline={8: 1.0})
+        rows = bench_scanline(
+            sizes=(8, 16), repeats=1, baseline={8: 1.0},
+            engines=["python"],
+        )
         assert [row["n"] for row in rows] == [8, 16]
         first = rows[0]
+        assert first["engine"] == "python"
         assert first["speedup"] == 1.0 / first["seconds"]
         assert rows[1]["speedup"] is None  # size missing from baseline
         for row in rows:
@@ -23,10 +37,22 @@ class TestBenchScanline:
         assert check_rows(rows) == []
 
     def test_check_rows_flags_violations(self):
-        rows = bench_scanline(sizes=(8,), repeats=1, baseline={})
+        rows = bench_scanline(
+            sizes=(8,), repeats=1, baseline={}, engines=["python"]
+        )
         rows[0]["counters"]["heap_pops"] += 1
         problems = check_rows(rows)
         assert any("pushes" in p for p in problems)
+
+    def test_check_rows_flags_engine_counter_divergence(self):
+        row = bench_scanline(
+            sizes=(8,), repeats=1, baseline={}, engines=["python"]
+        )[0]
+        rogue = {**row, "engine": "numpy",
+                 "counters": {**row["counters"]}}
+        rogue["counters"]["intervals_scanned"] += 1
+        problems = check_rows([row, rogue])
+        assert any("diverge" in p for p in problems)
 
     def test_committed_baseline_loads(self):
         baseline = load_baseline()
@@ -39,4 +65,70 @@ class TestBenchScanline:
                      "--out", str(out), "--check"]) == 0
         payload = json.loads(out.read_text())
         assert payload["rows"][0]["n"] == 8
+        assert payload["rows"][0]["engine"] == "python"
         assert "invariants hold" in capsys.readouterr().out
+
+
+class TestEngineAxis:
+    def test_both_always_includes_python(self):
+        engines, _ = resolve_bench_engines("both")
+        assert engines[0] == "python"
+
+    def test_both_matches_numpy_availability(self):
+        engines, notes = resolve_bench_engines("both")
+        if numpy_available():
+            assert engines == ["python", "numpy"]
+            assert notes == []
+        else:
+            assert engines == ["python"]
+            assert any("numpy" in note for note in notes)
+
+    @pytest.mark.skipif(
+        not numpy_available(), reason="numpy strip engine not importable"
+    )
+    def test_cross_engine_rows_and_speedup(self):
+        rows = bench_scanline(
+            sizes=(8,), repeats=1, baseline={},
+            engines=["python", "numpy"],
+        )
+        assert [r["engine"] for r in rows] == ["python", "numpy"]
+        py, np_ = rows
+        assert py["speedup_vs_python"] is None
+        assert np_["speedup_vs_python"] == pytest.approx(
+            py["seconds"] / np_["seconds"]
+        )
+        # Host counters are engine-independent -- the implicit parity
+        # probe check_rows enforces.
+        assert py["counters"] == np_["counters"]
+        assert check_rows(rows) == []
+
+
+class TestBaselineErrors:
+    def test_missing_capture_is_a_clear_error(self, tmp_path):
+        with pytest.raises(BaselineError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json_is_a_clear_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_schema_mismatch_is_a_clear_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rows": [{"mesh": 8}]}))
+        with pytest.raises(BaselineError, match="capture\\s+schema"):
+            load_baseline(bad)
+
+    def test_main_exits_2_with_message_not_traceback(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "gone.json"
+        code = main(
+            ["--sizes", "8", "--repeats", "1", "--baseline", str(missing),
+             "--out", str(tmp_path / "out.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err

@@ -57,6 +57,34 @@ class TestFlat:
     def test_check_clean(self, inverter_cif, capsys):
         assert main([inverter_cif, "--check"]) == 0
 
+    def test_engine_flag_byte_identical_output(self, inverter_cif, capsys):
+        from repro.core.stripengine import numpy_available
+
+        assert main([inverter_cif, "--engine", "python"]) == 0
+        python_out = capsys.readouterr().out
+        assert main([inverter_cif, "--engine", "auto"]) == 0
+        assert capsys.readouterr().out == python_out
+        if numpy_available():
+            assert main([inverter_cif, "--engine", "numpy"]) == 0
+            assert capsys.readouterr().out == python_out
+
+    def test_explicit_numpy_without_numpy_exits_2(
+        self, inverter_cif, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.core.stripengine.numpy_available", lambda: False
+        )
+        assert main([inverter_cif, "--engine", "numpy"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "repro[fast]" in err
+
+    def test_engine_flag_with_hierarchical(self, inverter_cif, capsys):
+        assert main(
+            [inverter_cif, "--hierarchical", "--engine", "python"]
+        ) == 0
+        assert "(DefPart Window1" in capsys.readouterr().out
+
 
 class TestHierarchical:
     def test_hierarchical_wirelist(self, inverter_cif, capsys):

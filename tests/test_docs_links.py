@@ -32,8 +32,24 @@ def test_no_broken_intra_repo_markdown_links():
 
 
 def test_required_docs_exist_and_are_linked():
-    for name in ("ARCHITECTURE.md", "EXTRACTION_SEMANTICS.md", "PARALLELISM.md"):
+    required = (
+        "INDEX.md",
+        "ARCHITECTURE.md",
+        "ENGINES.md",
+        "EXTRACTION_SEMANTICS.md",
+        "PARALLELISM.md",
+    )
+    for name in required:
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
     readme = (REPO_ROOT / "README.md").read_text()
-    for name in ("ARCHITECTURE.md", "EXTRACTION_SEMANTICS.md", "PARALLELISM.md"):
+    for name in required:
         assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+
+def test_every_docs_page_is_indexed():
+    checker = _load_checker()
+    orphans = checker.unindexed_docs(REPO_ROOT)
+    assert not orphans, (
+        "docs pages missing from docs/INDEX.md: "
+        + ", ".join(p.name for p in orphans)
+    )

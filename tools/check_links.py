@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo Markdown links.
+"""Fail on broken intra-repo Markdown links and unindexed docs pages.
 
 Walks every ``*.md`` file in the repository, extracts inline links and
 images, and verifies that relative targets exist on disk.  External
 links (``http(s)://``, ``mailto:``) and pure in-page anchors are out of
 scope — this guards the repo's own cross-references (README -> docs/,
 docs -> source files), which are the ones that silently rot.
+
+Additionally enforces index coverage: every ``docs/*.md`` page must be
+linked from ``docs/INDEX.md``, the reading-order index, so a new doc
+cannot ship unreachable.
 
 Usage: ``python tools/check_links.py [root]`` (default: the repo root
 containing this script).  Exit status 0 when clean, 1 with a report of
@@ -51,17 +55,46 @@ def broken_links(root: Path) -> "list[tuple[Path, str]]":
     return missing
 
 
+def unindexed_docs(root: Path) -> "list[Path]":
+    """docs/*.md pages not linked from docs/INDEX.md (which must exist)."""
+    docs = root / "docs"
+    index = docs / "INDEX.md"
+    if not index.is_file():
+        return sorted(docs.glob("*.md"))
+    linked = {
+        match.group(1).split("#", 1)[0]
+        for match in _LINK.finditer(index.read_text(encoding="utf-8"))
+    }
+    return sorted(
+        page
+        for page in docs.glob("*.md")
+        if page.name != "INDEX.md" and page.name not in linked
+    )
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     missing = broken_links(root)
     for md, target in missing:
         print(f"{md.relative_to(root)}: broken link -> {target}")
-    if missing:
-        print(f"{len(missing)} broken intra-repo link(s)")
+    orphans = unindexed_docs(root)
+    for page in orphans:
+        print(
+            f"{page.relative_to(root)}: not linked from docs/INDEX.md "
+            "(add it to the reading-order index)"
+        )
+    if missing or orphans:
+        print(
+            f"{len(missing)} broken intra-repo link(s), "
+            f"{len(orphans)} unindexed docs page(s)"
+        )
         return 1
     count = sum(1 for _ in markdown_files(root))
-    print(f"ok: no broken intra-repo links in {count} Markdown files")
+    print(
+        f"ok: no broken intra-repo links in {count} Markdown files; "
+        "every docs page is indexed"
+    )
     return 0
 
 
