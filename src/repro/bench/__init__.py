@@ -1,6 +1,6 @@
 """Benchmark harness: timing, table formatting, and the suite runner."""
 
-from .harness import Timed, best_of, timed
+from .harness import Timed, best_of, measured, timed
 from .parallel import ScalingRow, distinct_cell_grid, scaling_run
 
 # NOTE: the scanline micro-benchmark lives in repro.bench.scanline and is
@@ -27,6 +27,7 @@ __all__ = [
     "build_suite",
     "distinct_cell_grid",
     "format_table",
+    "measured",
     "mmss",
     "ratio_column",
     "run_suite",

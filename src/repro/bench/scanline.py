@@ -33,6 +33,7 @@ import json
 import sys
 from pathlib import Path
 
+from ..core.extractor import extract_report
 from ..core.scanline import ScanlineEngine
 from ..core.stripengine import (
     EngineUnavailable,
@@ -41,8 +42,9 @@ from ..core.stripengine import (
 )
 from ..frontend.stream import GeometryStream
 from ..tech import NMOS
+from ..wirelist import to_wirelist, write_wirelist
 from ..workloads.mesh import poly_diff_mesh
-from .harness import timed
+from .harness import measured, timed
 
 #: Mesh sizes (n lines per direction -> n^2 transistors).  The largest
 #: size is where the asymptotic win over the O(stops x active) engine
@@ -51,6 +53,15 @@ DEFAULT_SIZES = (32, 64, 128, 256, 512)
 
 #: Default number of timed runs per size (best-of).
 DEFAULT_REPEATS = 3
+
+#: Mesh sizes for the ``--stream`` axis.  Every configuration runs an
+#: extra tracked pass for the allocator peak, so the axis uses smaller
+#: meshes than the engine-only timing.
+DEFAULT_STREAM_SIZES = (32, 64, 128)
+
+#: Chip-height divisors for the ``--stream`` band sweep: a few fat
+#: bands, then progressively finer slicing.
+DEFAULT_STREAM_DIVISORS = (4, 16, 64)
 
 #: Committed capture of the pre-event-heap engine, relative to repo root.
 BASELINE_PATH = Path("benchmarks") / "results" / "scanline_baseline.json"
@@ -148,11 +159,16 @@ def bench_scanline(
             # measurement covers engine.run alone, not the paper's
             # parse/sort phase.
             seconds = float("inf")
-            engine = None
             for _ in range(max(1, repeats)):
                 stream = GeometryStream(layout)
                 engine = ScanlineEngine(tech, engine=engine_name)
                 seconds = min(seconds, timed(engine.run, stream).seconds)
+            # One extra run under tracemalloc for the allocator peak;
+            # its (slowed) wall clock is discarded so the timing stays
+            # comparable to the untracked baseline capture.
+            stream = GeometryStream(layout)
+            engine = ScanlineEngine(tech, engine=engine_name)
+            tracked = timed(engine.run, stream, track_alloc=True)
             if engine_name == "python":
                 python_seconds = seconds
             stats = engine.stats
@@ -161,6 +177,9 @@ def bench_scanline(
                 {
                     "n": n,
                     "engine": engine.engine_name,
+                    "mode": "engine",
+                    "band_height": None,
+                    "peak_alloc": tracked.peak_alloc,
                     "boxes": stats.boxes_in,
                     "stops": stats.stops,
                     "devices": stats.devices_created,
@@ -186,6 +205,146 @@ def bench_scanline(
                 }
             )
     return rows
+
+
+def _memory_once(layout, tech, engine_name: str):
+    """One full in-memory extraction down to wirelist text."""
+    report = extract_report(layout, tech, engine=engine_name)
+    text = write_wirelist(to_wirelist(report.circuit, name="bench.cif"))
+    return report, text
+
+
+def _stream_once(layout, tech, engine_name: str, band_height: int):
+    from ..streaming import stream_extract
+
+    return stream_extract(
+        layout,
+        tech,
+        name="bench.cif",
+        engine=engine_name,
+        band_height=band_height,
+    )
+
+
+def bench_stream(
+    sizes=DEFAULT_STREAM_SIZES,
+    repeats: int = DEFAULT_REPEATS,
+    engines: "list[str] | None" = None,
+    divisors=DEFAULT_STREAM_DIVISORS,
+) -> list[dict]:
+    """The banded-streaming axis: wall time and allocator peak per plan.
+
+    For each (mesh size, engine) the full in-memory extraction (parse to
+    wirelist text) is measured once as ``mode == "memory"``, then the
+    streamed extraction at one band height per chip-height divisor as
+    ``mode == "stream"`` rows.  Each configuration's allocator peak
+    comes from one tracemalloc-tracked run whose wall clock is
+    discarded; the O(band) contract shows up as stream rows' peaks
+    shrinking with the band height while the memory row's stays put.
+
+    The streamed wirelist is asserted byte-identical to the in-memory
+    one on every row, so a bench run doubles as an equivalence check.
+    Rows carry the same event counters as the engine-only axis, which
+    lets :func:`check_rows` cross-check streamed against in-memory
+    bookkeeping too.
+    """
+    if engines is None:
+        engines = resolve_bench_engines("both")[0]
+    tech = NMOS()
+    rows = []
+    for n in sizes:
+        layout = poly_diff_mesh(n)
+        bbox = GeometryStream(layout).chip_bbox
+        height = bbox.ymax - bbox.ymin
+        tracked_layers = len(ScanlineEngine(tech)._heaps)
+        for engine_name in engines:
+            mem = measured(
+                _memory_once, layout, tech, engine_name, repeats=repeats
+            )
+            report, expected = mem.result
+            rows.append(
+                _stream_row(
+                    n,
+                    "memory",
+                    None,
+                    1,
+                    mem,
+                    report.stats,
+                    engine=engine_name,
+                    devices=len(report.circuit.devices),
+                    tracked_layers=tracked_layers,
+                )
+            )
+            for divisor in divisors:
+                band_height = max(1, height // divisor)
+                run = measured(
+                    _stream_once,
+                    layout,
+                    tech,
+                    engine_name,
+                    band_height,
+                    repeats=repeats,
+                )
+                sreport = run.result
+                if sreport.text != expected:
+                    raise RuntimeError(
+                        f"streamed wirelist diverged from in-memory at "
+                        f"n={n} engine={engine_name} "
+                        f"band_height={band_height}"
+                    )
+                rows.append(
+                    _stream_row(
+                        n,
+                        "stream",
+                        band_height,
+                        sreport.bands,
+                        run,
+                        sreport.stats,
+                        engine=engine_name,
+                        devices=sreport.devices,
+                        tracked_layers=tracked_layers,
+                    )
+                )
+    return rows
+
+
+def _stream_row(
+    n: int,
+    mode: str,
+    band_height: "int | None",
+    bands: int,
+    run,
+    stats,
+    *,
+    engine: str,
+    devices: int,
+    tracked_layers: int,
+) -> dict:
+    return {
+        "n": n,
+        "engine": engine,
+        "mode": mode,
+        "band_height": band_height,
+        "bands": bands,
+        "boxes": stats.boxes_in,
+        "stops": stats.stops,
+        "devices": devices,
+        "peak_active": stats.peak_active,
+        "seconds": run.seconds,
+        "peak_alloc": run.peak_alloc,
+        "baseline_seconds": None,
+        "speedup": None,
+        "speedup_vs_python": None,
+        "tracked_layers": tracked_layers,
+        "counters": {
+            "heap_pushes": stats.heap_pushes,
+            "heap_pops": stats.heap_pops,
+            "lazy_discards": stats.lazy_discards,
+            "expired": stats.expired,
+            "intervals_scanned": stats.intervals_scanned,
+            "max_stop_overhead": stats.max_stop_overhead,
+        },
+    }
 
 
 def check_rows(rows: list[dict]) -> list[str]:
@@ -270,6 +429,18 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help="fail on event-heap counter invariant violations",
     )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="also run the banded-streaming axis: in-memory vs streamed "
+        "extraction at several band heights, wall time plus allocator "
+        "peak per row",
+    )
+    parser.add_argument(
+        "--stream-sizes",
+        type=lambda s: tuple(int(v) for v in s.split(",")),
+        default=DEFAULT_STREAM_SIZES,
+        help="mesh sizes for the --stream axis (default %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -287,12 +458,19 @@ def main(argv=None) -> int:
         baseline=baseline,
         engines=engines,
     )
+    stream_rows: list[dict] = []
+    if args.stream:
+        stream_rows = bench_stream(
+            sizes=args.stream_sizes, repeats=args.repeats, engines=engines
+        )
+
     report = {
         "benchmark": "scanline worst-case mesh (engine only)",
         "workload": "poly_diff_mesh: 2n boxes, n^2 transistors",
         "baseline": str(BASELINE_PATH),
         "engines": engines,
         "rows": rows,
+        "stream_rows": stream_rows,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
@@ -314,10 +492,21 @@ def main(argv=None) -> int:
             f"{row['seconds']:.4f}s  ({speed}){cross}  "
             f"overhead<={c['max_stop_overhead']}/stop"
         )
+    for row in stream_rows:
+        plan = (
+            f"band={row['band_height']:>6} ({row['bands']:>3} bands)"
+            if row["mode"] == "stream"
+            else "in-memory          "
+        )
+        print(
+            f"n={row['n']:>4}  {row['engine']:>6}  {plan}  "
+            f"{row['seconds']:.4f}s  "
+            f"peak {row['peak_alloc'] / 1e6:.1f}MB"
+        )
     print(f"wrote {args.out}")
 
     if args.check:
-        problems = check_rows(rows)
+        problems = check_rows(rows + stream_rows)
         if problems:
             for p in problems:
                 print(f"INVARIANT VIOLATION: {p}", file=sys.stderr)

@@ -67,6 +67,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(flat mode only; suppressed by default, as in the paper)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="extract out-of-core: produce geometry in y-bands, retire "
+        "finished nets/devices to a disk spill store, and emit the "
+        "wirelist incrementally (flat mode only; output is "
+        "byte-identical to the in-memory path)",
+    )
+    parser.add_argument(
+        "--band-height",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="streaming band height in layout units (default: one band, "
+        "i.e. the in-memory schedule with streaming bookkeeping)",
+    )
+    parser.add_argument(
+        "--spill",
+        metavar="DIR",
+        help="directory for streamed retired-state envelopes (default: "
+        "<checkpoint>.spill, else a temporary directory)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write a resume checkpoint at every streaming band boundary",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the streamed sweep recorded at --checkpoint if the "
+        "checkpoint exists (same layout and options required); starts "
+        "fresh otherwise",
+    )
+    parser.add_argument(
         "--lambda",
         dest="lambda_",
         type=int,
@@ -171,6 +205,14 @@ def main(argv: "list[str] | None" = None) -> int:
 
 
 def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
+    if args.stream:
+        return _run_streaming(args, tech, layout, name, drc_checker, started)
+    if args.resume or args.checkpoint or args.band_height or args.spill:
+        print(
+            "note: --band-height/--spill/--checkpoint/--resume only "
+            "apply with --stream",
+            file=sys.stderr,
+        )
     if args.hierarchical:
         result = hext_extract(
             layout, tech, jobs=args.jobs, cache=args.cache,
@@ -288,6 +330,101 @@ def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
         for diag in report.diagnostics:
             print(f"{diag.severity.value}: [{diag.rule}] {diag.message}", file=sys.stderr)
         if not report.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+def _run_streaming(args, tech, layout, name, drc_checker, started) -> int:
+    """The --stream path: banded out-of-core extraction."""
+    from .streaming import stream_extract
+
+    if args.hierarchical:
+        print(
+            "error: --stream is flat-only; it cannot be combined with "
+            "--hierarchical",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check:
+        print(
+            "error: --check needs the in-memory circuit; run it without "
+            "--stream",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs is not None or args.cache is not None:
+        print(
+            "note: --jobs/--cache only apply with --hierarchical; the "
+            "streamed scanline is serial",
+            file=sys.stderr,
+        )
+
+    def run(out) -> "tuple[int, int, list[str]]":
+        report = stream_extract(
+            layout,
+            tech,
+            name=name,
+            out=out,
+            keep_geometry=args.geometry,
+            engine=args.engine,
+            band_height=args.band_height,
+            spill_dir=args.spill,
+            checkpoint=args.checkpoint,
+            resume="auto" if args.resume else False,
+            strip_consumers=(drc_checker,) if drc_checker else (),
+        )
+        if args.stats:
+            scan = report.stats
+            print(
+                f"ace: {scan.boxes_in} boxes, {scan.stops} scanline "
+                f"stops, mean active {scan.mean_active:.1f}, "
+                f"peak active {scan.peak_active}",
+                file=sys.stderr,
+            )
+            print(
+                f"ace events: {scan.heap_pushes} heap pushes, "
+                f"{scan.heap_pops} pops ({scan.lazy_discards} lazy), "
+                f"{scan.expired} expired intervals, "
+                f"max {scan.max_stop_overhead} scans/stop beyond removals",
+                file=sys.stderr,
+            )
+            resumed = " (resumed)" if report.resumed else ""
+            print(
+                f"stream: {report.bands} bands, band height "
+                f"{args.band_height or 'whole-chip'}, "
+                f"engine {report.engine}{resumed}",
+                file=sys.stderr,
+            )
+        return report.devices, report.nets, report.warnings
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            devices, nets, warnings = run(handle)
+    else:
+        devices, nets, warnings = run(sys.stdout)
+
+    if args.stats:
+        elapsed = time.perf_counter() - started
+        rate = devices / elapsed if elapsed else 0.0
+        print(
+            f"{devices} devices, {nets} nets in "
+            f"{elapsed:.2f}s ({rate:.0f} devices/sec)",
+            file=sys.stderr,
+        )
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    failed = False
+    if drc_checker is not None:
+        from .diagnostics import SourceIndex, format_diagnostic
+
+        lint_report = drc_checker.report(artifact=name)
+        if lint_report.diagnostics:
+            lint_report = SourceIndex(layout).attribute(lint_report)
+        for diag in lint_report.diagnostics:
+            print(format_diagnostic(diag), file=sys.stderr)
+        print(f"lint: {len(lint_report.errors)} error(s)", file=sys.stderr)
+        if not lint_report.ok:
             failed = True
     return 1 if failed else 0
 

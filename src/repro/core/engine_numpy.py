@@ -1023,3 +1023,263 @@ class NumpyStripEngine(StripEngine):
                     f"{len(gate_indices)} gate nets, {len(terms)} terminals"
                 )
         return devices, dev_index_of, warnings
+
+    # ------------------------------------------------------------------
+    # banded streaming hooks (docs/STREAMING.md)
+    # ------------------------------------------------------------------
+
+    def live_roots(self) -> "tuple[set[int], set[int]]":
+        h = self.host
+        find = h._nets.find
+        dev_find = h._devs.find
+        return (
+            {find(n) for n in self._pv_dnet.tolist()},
+            {dev_find(d) for d in self._pv_cdev.tolist()},
+        )
+
+    def retire(
+        self, live_nets: "set[int]", live_devs: "set[int]"
+    ) -> "tuple[dict[int, tuple[int, int]], dict[int, dict]]":
+        h = self.host
+        n_nets = len(h._nets)
+        n_devs = len(h._devs)
+        nparent = (
+            _resolve_parents(
+                np.array(h._nets.parent_snapshot(), dtype=np.int64)
+            )
+            if n_nets
+            else _EMPTY
+        )
+        dparent = (
+            _resolve_parents(
+                np.array(h._devs.parent_snapshot(), dtype=np.int64)
+            )
+            if n_devs
+            else _EMPTY
+        )
+        net_live = np.zeros(max(n_nets, 1), dtype=bool)
+        if live_nets:
+            net_live[
+                np.fromiter(live_nets, np.int64, len(live_nets))
+            ] = True
+        dev_live = np.zeros(max(n_devs, 1), dtype=bool)
+        if live_devs:
+            dev_live[
+                np.fromiter(live_devs, np.int64, len(live_devs))
+            ] = True
+
+        # Net locations: resolve and group-max every accumulated touch
+        # row by root (deferred folds are order-independent maxima), then
+        # split by liveness.  Live rows collapse to one row per root --
+        # valid because max-of-max is the same max -- which is what keeps
+        # the accumulators O(live) between bands.
+        dead_locs: dict[int, tuple[int, int]] = {}
+        chunks = list(self._tn_chunks)
+        if self._tn_scalar:
+            scalar = np.array(self._tn_scalar, dtype=np.int64)
+            chunks.append((scalar[:, 0], scalar[:, 1], scalar[:, 2]))
+        self._tn_scalar = []
+        self._tn_chunks = []
+        if chunks:
+            ids = np.concatenate([c[0] for c in chunks])
+            ys = np.concatenate([c[1] for c in chunks])
+            nxs = np.concatenate([c[2] for c in chunks])
+            roots = nparent[ids]
+            order = np.lexsort((nxs, ys, roots))
+            r_s, y_s, nx_s = roots[order], ys[order], nxs[order]
+            last = np.append(
+                np.nonzero(np.diff(r_s))[0], r_s.shape[0] - 1
+            )
+            g_root, g_y, g_nx = r_s[last], y_s[last], nx_s[last]
+            alive = net_live[g_root]
+            dead = ~alive
+            for r, y, nx in zip(
+                g_root[dead].tolist(),
+                g_y[dead].tolist(),
+                g_nx[dead].tolist(),
+            ):
+                dead_locs[r] = (y, nx)
+            if alive.any():
+                self._tn_chunks = [
+                    (g_root[alive], g_y[alive], g_nx[alive])
+                ]
+
+        # Device attribute columns: rows of dead roots fold into
+        # reference-format records; rows of live roots stay raw (their
+        # final-root resolution is unaffected by when it happens).
+        recs: dict[int, dict] = {}
+
+        def rec_for(root: int) -> dict:
+            rec = recs.get(root)
+            if rec is None:
+                rec = recs[root] = {
+                    "area": 0,
+                    "gates": set(),
+                    "terms": {},
+                    "geo": [],
+                    "loc": None,
+                    "impl": False,
+                }
+            return rec
+
+        if self._area_chunks:
+            ids = np.concatenate([c[0] for c in self._area_chunks])
+            vals = np.concatenate([c[1] for c in self._area_chunks])
+            roots = dparent[ids]
+            alive = dev_live[roots]
+            dead = ~alive
+            for d, v in zip(roots[dead].tolist(), vals[dead].tolist()):
+                rec_for(d)["area"] += v
+            self._area_chunks = (
+                [(ids[alive], vals[alive])] if alive.any() else []
+            )
+        if self._gate_chunks:
+            ids = np.concatenate([c[0] for c in self._gate_chunks])
+            gnets = np.concatenate([c[1] for c in self._gate_chunks])
+            roots = dparent[ids]
+            alive = dev_live[roots]
+            dead = ~alive
+            for d, g in zip(
+                roots[dead].tolist(), nparent[gnets[dead]].tolist()
+            ):
+                rec_for(d)["gates"].add(g)
+            self._gate_chunks = (
+                [(ids[alive], gnets[alive])] if alive.any() else []
+            )
+        if self._loc_chunks:
+            ids = np.concatenate([c[0] for c in self._loc_chunks])
+            ys = np.concatenate([c[1] for c in self._loc_chunks])
+            nxs = np.concatenate([c[2] for c in self._loc_chunks])
+            roots = dparent[ids]
+            alive = dev_live[roots]
+            dead = ~alive
+            for d, y, nx in zip(
+                roots[dead].tolist(),
+                ys[dead].tolist(),
+                nxs[dead].tolist(),
+            ):
+                rec = rec_for(d)
+                loc = (y, nx)
+                if rec["loc"] is None or loc > rec["loc"]:
+                    rec["loc"] = loc
+            self._loc_chunks = (
+                [(ids[alive], ys[alive], nxs[alive])]
+                if alive.any()
+                else []
+            )
+        if self._impl_chunks:
+            ids = np.concatenate(self._impl_chunks)
+            roots = dparent[ids]
+            alive = dev_live[roots]
+            dead = ~alive
+            for d in roots[dead].tolist():
+                rec_for(d)["impl"] = True
+            self._impl_chunks = [ids[alive]] if alive.any() else []
+        if self._term_chunks:
+            ids = np.concatenate([c[0] for c in self._term_chunks])
+            tnets = np.concatenate([c[1] for c in self._term_chunks])
+            lens = np.concatenate([c[2] for c in self._term_chunks])
+            roots = dparent[ids]
+            alive = dev_live[roots]
+            dead = ~alive
+            for d, n, ln in zip(
+                roots[dead].tolist(),
+                nparent[tnets[dead]].tolist(),
+                lens[dead].tolist(),
+            ):
+                terms = rec_for(d)["terms"]
+                terms[n] = terms.get(n, 0) + ln
+            self._term_chunks = (
+                [(ids[alive], tnets[alive], lens[alive])]
+                if alive.any()
+                else []
+            )
+        if self._dev_geo:
+            dev_find = h._devs.find
+            keep_geo: dict[int, list[Box]] = {}
+            # Ascending raw-key order is the finalize fold order; dead
+            # roots gain no future keys, so the restriction is exact.
+            for key in sorted(self._dev_geo):
+                root = dev_find(key)
+                if dev_live[root]:
+                    keep_geo[key] = self._dev_geo[key]
+                else:
+                    rec_for(root)["geo"].extend(self._dev_geo[key])
+            self._dev_geo = keep_geo
+        return dead_locs, recs
+
+    def snapshot_state(self) -> dict:
+        def rows(*cols) -> list[list[int]]:
+            return np.column_stack(cols).tolist() if cols[0].shape[0] else []
+
+        def chunk_rows(chunks) -> list[list[int]]:
+            return [
+                row
+                for chunk in chunks
+                for row in np.column_stack(chunk).tolist()
+            ]
+
+        return {
+            "pv_diff": rows(self._pv_dx1, self._pv_dx2, self._pv_dnet),
+            "pv_channels": rows(self._pv_cx1, self._pv_cx2, self._pv_cdev),
+            "pv_d_list": [list(e) for e in self._pv_d_list],
+            "pv_c_list": [list(e) for e in self._pv_c_list],
+            "tn_scalar": [list(e) for e in self._tn_scalar],
+            "tn_chunks": chunk_rows(self._tn_chunks),
+            "touched": np.nonzero(self._touched)[0].tolist(),
+            "touched_size": int(self._touched.shape[0]),
+            "area": chunk_rows(self._area_chunks),
+            "gates": chunk_rows(self._gate_chunks),
+            "loc": chunk_rows(self._loc_chunks),
+            "impl": [
+                v
+                for chunk in self._impl_chunks
+                for v in chunk.tolist()
+            ],
+            "terms": chunk_rows(self._term_chunks),
+            "dev_geo": [
+                [key, [[b.xmin, b.ymin, b.xmax, b.ymax] for b in boxes]]
+                for key, boxes in self._dev_geo.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        def cols(rows, n: int):
+            if not rows:
+                return tuple(_EMPTY for _ in range(n))
+            arr = np.array(rows, dtype=np.int64)
+            return tuple(arr[:, i] for i in range(n))
+
+        self._pv_dx1, self._pv_dx2, self._pv_dnet = cols(state["pv_diff"], 3)
+        self._pv_cx1, self._pv_cx2, self._pv_cdev = cols(
+            state["pv_channels"], 3
+        )
+        self._pv_d_list = [(a, b, c) for a, b, c in state["pv_d_list"]]
+        self._pv_c_list = [(a, b, c) for a, b, c in state["pv_c_list"]]
+        self._tn_scalar = [(a, b, c) for a, b, c in state["tn_scalar"]]
+        self._tn_chunks = (
+            [cols(state["tn_chunks"], 3)] if state["tn_chunks"] else []
+        )
+        touched = np.zeros(int(state["touched_size"]), dtype=bool)
+        if state["touched"]:
+            touched[np.array(state["touched"], dtype=np.int64)] = True
+        self._touched = touched
+        self._area_chunks = (
+            [cols(state["area"], 2)] if state["area"] else []
+        )
+        self._gate_chunks = (
+            [cols(state["gates"], 2)] if state["gates"] else []
+        )
+        self._loc_chunks = [cols(state["loc"], 3)] if state["loc"] else []
+        self._impl_chunks = (
+            [np.array(state["impl"], dtype=np.int64)]
+            if state["impl"]
+            else []
+        )
+        self._term_chunks = (
+            [cols(state["terms"], 3)] if state["terms"] else []
+        )
+        self._dev_geo = {
+            int(key): [Box(x1, y1, x2, y2) for x1, y1, x2, y2 in boxes]
+            for key, boxes in state["dev_geo"]
+        }

@@ -415,3 +415,120 @@ class PythonStripEngine(StripEngine):
                     f"{len(gate_indices)} gate nets, {len(terms)} terminals"
                 )
         return devices, dev_index_of, warnings
+
+    # ------------------------------------------------------------------
+    # banded streaming hooks (docs/STREAMING.md)
+    # ------------------------------------------------------------------
+
+    def live_roots(self) -> "tuple[set[int], set[int]]":
+        h = self.host
+        find = h._nets.find
+        dev_find = h._devs.find
+        return (
+            {find(net) for _, _, net in self._prev_diff},
+            {dev_find(dev) for _, _, dev in self._prev_channels},
+        )
+
+    def retire(
+        self, live_nets: "set[int]", live_devs: "set[int]"
+    ) -> "tuple[dict[int, tuple[int, int]], dict[int, dict]]":
+        h = self.host
+        find = h._nets.find
+        dev_find = h._devs.find
+
+        # Net locations: a pure max fold, so live entries can be
+        # compacted to one entry per root -- this is what keeps the
+        # location table O(live nets) instead of O(nets seen).
+        dead_locs: dict[int, tuple[int, int]] = {}
+        keep_locs: dict[int, tuple[int, int]] = {}
+        for ident, loc in self._net_loc.items():
+            root = find(ident)
+            target = keep_locs if root in live_nets else dead_locs
+            current = target.get(root)
+            if current is None or loc > current:
+                target[root] = loc
+        self._net_loc = keep_locs
+
+        # Device records: dead roots fold in table insertion order (the
+        # finalize fold restricted to them); live records stay keyed by
+        # their raw ids so future lookups and geometry append order are
+        # untouched.
+        dead_devs: dict[int, dict] = {}
+        keep_devs: dict[int, dict] = {}
+        for ident, rec in self._dev.items():
+            root = dev_find(ident)
+            if root in live_devs:
+                keep_devs[ident] = rec
+                continue
+            into = dead_devs.get(root)
+            if into is None or into is rec:
+                dead_devs[root] = rec
+                continue
+            into["area"] += rec["area"]
+            into["gates"] |= rec["gates"]
+            for net, length in rec["terms"].items():
+                into["terms"][net] = into["terms"].get(net, 0) + length
+            into["geo"].extend(rec["geo"])
+            if rec["loc"] is not None and (
+                into["loc"] is None or rec["loc"] > into["loc"]
+            ):
+                into["loc"] = rec["loc"]
+            into["impl"] = into["impl"] or rec["impl"]
+        self._dev = keep_devs
+        return dead_locs, dead_devs
+
+    def snapshot_state(self) -> dict:
+        return {
+            "prev_diff": [list(entry) for entry in self._prev_diff],
+            "prev_channels": [list(entry) for entry in self._prev_channels],
+            "net_loc": [
+                [ident, loc[0], loc[1]]
+                for ident, loc in self._net_loc.items()
+            ],
+            "dev": [
+                [
+                    ident,
+                    {
+                        "area": rec["area"],
+                        "gates": sorted(rec["gates"]),
+                        "terms": [
+                            [net, length]
+                            for net, length in rec["terms"].items()
+                        ],
+                        "geo": [
+                            [b.xmin, b.ymin, b.xmax, b.ymax]
+                            for b in rec["geo"]
+                        ],
+                        "loc": list(rec["loc"]) if rec["loc"] else None,
+                        "impl": rec["impl"],
+                    },
+                ]
+                for ident, rec in self._dev.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._prev_diff = [
+            (x1, x2, net) for x1, x2, net in state["prev_diff"]
+        ]
+        self._prev_channels = [
+            (x1, x2, dev) for x1, x2, dev in state["prev_channels"]
+        ]
+        self._net_loc = {
+            int(ident): (y, nx) for ident, y, nx in state["net_loc"]
+        }
+        self._dev = {
+            int(ident): {
+                "area": int(rec["area"]),
+                "gates": set(rec["gates"]),
+                "terms": {
+                    int(net): int(length) for net, length in rec["terms"]
+                },
+                "geo": [
+                    Box(x1, y1, x2, y2) for x1, y1, x2, y2 in rec["geo"]
+                ],
+                "loc": tuple(rec["loc"]) if rec["loc"] else None,
+                "impl": bool(rec["impl"]),
+            }
+            for ident, rec in state["dev"]
+        }

@@ -174,6 +174,13 @@ class ScanlineEngine:
         self._warnings: list[str] = []
         self._unknown_layers: set[str] = set()
 
+        #: suspension point for banded sweeps: the next stop to process
+        #: (None once the event sources are exhausted) and whether the
+        #: initial prime has happened.  :meth:`run` is exactly
+        #: ``advance()`` to exhaustion followed by :meth:`finish`.
+        self._y: int | None = None
+        self._primed = False
+
         #: the pluggable step-2.c back-end; see docs/ENGINES.md
         self.strip_engine = create_strip_engine(engine, self)
         self.engine_name = self.strip_engine.name
@@ -184,17 +191,37 @@ class ScanlineEngine:
 
     def run(self, stream: GeometryStream) -> Circuit:
         """Sweep the stream top to bottom and return the circuit."""
+        self.advance(stream)
+        return self.finish()
+
+    def advance(self, stream: GeometryStream, y_limit: int | None = None) -> bool:
+        """Sweep until the next stop would be at or below ``y_limit``.
+
+        With ``y_limit=None`` the sweep runs to exhaustion.  Returns True
+        while more stops remain (the sweep paused at the band boundary),
+        False once every event source is drained.  The loop body is the
+        exact in-memory sweep: band boundaries only ever *pause between
+        natural stops*, never force one, so every counter in
+        :class:`~repro.core.stats.ScanStats` and every strip handed to
+        the engine is identical to an unbanded run.
+        """
         timer = self.timer
         stats = self.stats
         timer.start("frontend")
-        y = stream.next_top()
-        if self._pending:
-            top = -self._pending[0][0]
-            y = top if y is None else max(y, top)
+        if not self._primed:
+            y = stream.next_top()
+            if self._pending:
+                top = -self._pending[0][0]
+                y = top if y is None else max(y, top)
+            self._y = y
+            self._primed = True
+        y = self._y
 
         strip_engine = self.strip_engine
 
         while y is not None:
+            if y_limit is not None and y <= y_limit:
+                break
             stats.stops += 1
             self._stop += 1
             scanned_before = stats.intervals_scanned
@@ -217,6 +244,7 @@ class ScanlineEngine:
             if overhead > stats.max_stop_overhead:
                 stats.max_stop_overhead = overhead
             if y_next is None:
+                y = None
                 break
             timer.start("devices")
             total_active = self._active_count
@@ -227,12 +255,199 @@ class ScanlineEngine:
             timer.start("frontend")
             y = y_next
 
+        self._y = y
+        return y is not None
+
+    def finish(self) -> Circuit:
+        """Close the sweep: flush consumers and fold the circuit."""
+        timer = self.timer
         timer.start("output")
         for consumer in self.strip_consumers:
             consumer.finish()
         circuit = self._finalize()
         timer.stop()
         return circuit
+
+    # ------------------------------------------------------------------
+    # banded sweeps: liveness, retirement, checkpoint state
+    # ------------------------------------------------------------------
+
+    def live_net_roots(self) -> set[int]:
+        """Net roots still reachable from host-side sweep state.
+
+        A net absent from every active list and from the pending buffer
+        (and from the engine's strip-above continuation state, which the
+        engine reports separately) can never be unioned again: all future
+        unions reach only nets visible to upcoming strips.  Its root is
+        therefore final and safe to retire.  ``_prev_retired`` is
+        deliberately excluded -- it is cleared by the next ``_expire``
+        before anything reads it.
+        """
+        find = self._nets.find
+        live: set[int] = set()
+        for layer in self._net_layers:
+            for iv in self._active[layer]:
+                live.add(find(iv[_NET]))
+        for entry in self._pending:
+            net = entry[6]
+            if net is not None:
+                live.add(find(net))
+        return live
+
+    def retire_net_payload(self, dead_roots: "set[int]") -> dict[int, dict]:
+        """Remove and return name/geometry payloads of dead net roots.
+
+        Per-root values concatenate in table insertion order -- exactly
+        the restriction of the finalize-time ``UnionFind.fold`` to these
+        roots, so spilled payloads byte-match the in-memory fold.  Live
+        entries keep their raw-id keys untouched: re-keying them could
+        reorder future appends relative to an uninterrupted run.
+        """
+        find = self._nets.find
+        out: dict[int, dict] = {}
+        if self._net_names:
+            keep_names: dict[int, list[str]] = {}
+            for ident, names in self._net_names.items():
+                root = find(ident)
+                if root in dead_roots:
+                    rec = out.setdefault(root, {})
+                    rec.setdefault("names", []).extend(names)
+                else:
+                    keep_names[ident] = names
+            self._net_names = keep_names
+        if self._net_geo:
+            keep_geo: dict[int, list[tuple[str, Box]]] = {}
+            for ident, entries in self._net_geo.items():
+                root = find(ident)
+                if root in dead_roots:
+                    rec = out.setdefault(root, {})
+                    rec.setdefault("geo", []).extend(entries)
+                else:
+                    keep_geo[ident] = entries
+            self._net_geo = keep_geo
+        return out
+
+    def snapshot_state(self) -> dict:
+        """Serialize the sweep's suspension state (JSON-compatible).
+
+        Heaps are captured *exactly*, dead entries included: a heap
+        rebuilt from live intervals alone would pop and lazily discard
+        different entry counts after resume, so the restored ScanStats
+        would diverge from an uninterrupted run.  Live entries become
+        indices into the layer's active list; dead ones keep only their
+        ``(-ybot, seq)`` ordering key.
+        """
+        active: dict[str, list[list]] = {}
+        heaps: dict[str, list[list]] = {}
+        for layer in sorted(self._active):
+            ivs = self._active[layer]
+            pos = {id(iv): i for i, iv in enumerate(ivs)}
+            active[layer] = [list(iv) for iv in ivs]
+            heaps[layer] = [
+                [neg_bot, seq, pos.get(id(iv))]
+                for neg_bot, seq, iv in self._heaps[layer]
+            ]
+        return {
+            "y": self._y,
+            "primed": self._primed,
+            "stop": self._stop,
+            "heap_seq": self._heap_seq,
+            "active_count": self._active_count,
+            "active": active,
+            "heaps": heaps,
+            "versions": dict(self._versions),
+            "pending": [list(entry) for entry in self._pending],
+            "pending_seq": self._pending_seq,
+            "labels_taken": self._labels_taken,
+            "labels": [
+                [lb.name, lb.x, lb.y, lb.layer] for lb in self._labels
+            ],
+            "unattached": [
+                [lb.name, lb.x, lb.y, lb.layer] for lb in self._unattached
+            ],
+            "net_names": [
+                [ident, list(names)]
+                for ident, names in self._net_names.items()
+            ],
+            "net_geo": [
+                [
+                    ident,
+                    [
+                        [layer, b.xmin, b.ymin, b.xmax, b.ymax]
+                        for layer, b in entries
+                    ],
+                ]
+                for ident, entries in self._net_geo.items()
+            ],
+            "warnings": list(self._warnings),
+            "unknown_layers": sorted(self._unknown_layers),
+            "nets": self._nets.state(),
+            "devs": self._devs.state(),
+            "stats": self.stats.as_dict(),
+            "engine": self.strip_engine.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a sweep suspended by :meth:`snapshot_state`.
+
+        The engine must have been constructed with the same technology
+        and options as the one that produced the snapshot.
+        """
+        self._y = state["y"]
+        self._primed = bool(state["primed"])
+        self._stop = int(state["stop"])
+        self._heap_seq = int(state["heap_seq"])
+        self._active_count = int(state["active_count"])
+        for layer, rows in state["active"].items():
+            ivs = [
+                [row[0], row[1], row[2], row[3], bool(row[4]), row[5]]
+                for row in rows
+            ]
+            self._active[layer] = ivs
+            self._keys[layer] = [iv[_X1] for iv in ivs]
+            # The serialized list order IS the heap order; rebuilding
+            # entry by entry (no heapify) preserves the exact structure.
+            self._heaps[layer] = [
+                (
+                    neg_bot,
+                    seq,
+                    ivs[ref]
+                    if ref is not None
+                    else [0, 0, -neg_bot, None, False, 0],
+                )
+                for neg_bot, seq, ref in state["heaps"][layer]
+            ]
+        self._versions.update(state["versions"])
+        self._pending = [
+            (e[0], e[1], e[2], e[3], e[4], e[5], e[6])
+            for e in state["pending"]
+        ]
+        self._pending_seq = int(state["pending_seq"])
+        self._labels_taken = int(state["labels_taken"])
+        self._labels = [
+            PlacedLabel(name, x, y, layer)
+            for name, x, y, layer in state["labels"]
+        ]
+        self._unattached = [
+            PlacedLabel(name, x, y, layer)
+            for name, x, y, layer in state["unattached"]
+        ]
+        self._net_names = {
+            int(ident): list(names) for ident, names in state["net_names"]
+        }
+        self._net_geo = {
+            int(ident): [
+                (layer, Box(x1, y1, x2, y2))
+                for layer, x1, y1, x2, y2 in entries
+            ]
+            for ident, entries in state["net_geo"]
+        }
+        self._warnings = list(state["warnings"])
+        self._unknown_layers = set(state["unknown_layers"])
+        self._nets.restore(state["nets"])
+        self._devs.restore(state["devs"])
+        self.stats.restore(state["stats"])
+        self.strip_engine.restore_state(state["engine"])
 
     def _next_stop(self, stream: GeometryStream, y: int) -> int | None:
         """Step 2.d as a heap peek: O(#layers) plus lazy-dead cleanup."""

@@ -74,6 +74,15 @@ class ScanStats:
     intervals_scanned: int = 0  #: heap entries examined across all stops
     max_stop_overhead: int = 0  #: max per-stop examinations beyond removals
 
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (checkpoint payload)."""
+        return dict(vars(self))
+
+    def restore(self, values: dict[str, int]) -> None:
+        """Restore counters captured by :meth:`as_dict`."""
+        for key, value in values.items():
+            setattr(self, key, int(value))
+
     @property
     def mean_active(self) -> float:
         return self.active_samples / self.stops if self.stops else 0.0

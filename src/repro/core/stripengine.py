@@ -136,6 +136,40 @@ class StripEngine:
         """
         raise NotImplementedError
 
+    # -- banded streaming hooks (docs/STREAMING.md) --------------------
+
+    def live_roots(self) -> "tuple[set[int], set[int]]":
+        """Net and device roots still reachable from strip-above state.
+
+        Everything the next strip can union with lives in the previous
+        strip's conducting spans and channels; together with the host's
+        :meth:`~repro.core.scanline.ScanlineEngine.live_net_roots` this
+        defines which roots a banded sweep may retire.
+        """
+        raise NotImplementedError
+
+    def retire(
+        self, live_nets: "set[int]", live_devs: "set[int]"
+    ) -> "tuple[dict[int, tuple[int, int]], dict[int, dict]]":
+        """Drop and return accumulated state of roots not in the live sets.
+
+        Returns ``(net_locations, device_records)`` keyed by root:
+        each net's folded ``(ymax, -xmin)`` location and each device's
+        folded attribute record in the reference engine's format
+        (``area``/``gates``/``terms``/``geo``/``loc``/``impl``).  Dead
+        roots never union again, so the folds equal the finalize-time
+        folds restricted to those roots.
+        """
+        raise NotImplementedError
+
+    def snapshot_state(self) -> dict:
+        """JSON-compatible engine state for a band-boundary checkpoint."""
+        raise NotImplementedError
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        raise NotImplementedError
+
 
 def create_strip_engine(name: str, host: "ScanlineEngine") -> StripEngine:
     """Resolve ``name`` and instantiate the matching engine."""

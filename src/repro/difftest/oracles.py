@@ -1,12 +1,14 @@
 """The oracle registry: every independent implementation of extraction.
 
-An *oracle* maps a layout to a circuit.  The repo has seven -- the flat
+An *oracle* maps a layout to a circuit.  The repo has eight -- the flat
 edge-based scanline (ACE), the same scanline on the vectorized numpy
 strip engine (``ace-numpy``, registered only when numpy imports, with
 byte-for-byte wirelist parity against the python engine enforced inside
 the runner), serial and parallel HEXT, the extraction *service*
 (parallel HEXT round-tripped through the long-lived daemon, again with
-byte parity enforced), and the two historical baselines -- and the
+byte parity enforced), banded out-of-core streaming (``ace-stream``,
+byte parity at two band heights enforced), and the two historical
+baselines -- and the
 whole correctness argument is that they must agree on every layout, up
 to net renumbering.  Each oracle declares two capabilities the driver
 respects:
@@ -33,6 +35,7 @@ from ..cif import Layout
 from ..cif import write as write_cif
 from ..core import Circuit, extract
 from ..core.stripengine import numpy_available
+from ..frontend import GeometryStream
 from ..hext import hext_extract
 from ..hext.wirelist import to_hierarchical_wirelist
 from ..tech import Technology
@@ -83,6 +86,40 @@ class ServiceParityError(AssertionError):
 
 class EngineParityError(AssertionError):
     """The numpy strip engine's wirelist bytes diverged from python's."""
+
+
+class StreamParityError(AssertionError):
+    """The streamed wirelist bytes diverged from the in-memory ones."""
+
+
+def _stream_extract_oracle(layout: Layout, tech: Technology) -> Circuit:
+    """Banded streaming extraction, byte-checked against in-memory.
+
+    Streaming promises byte-identical wirelists at *any* band plan, so
+    this oracle sweeps the layout at two band heights (a handful of
+    bands, and many small bands) and compares each against the in-memory
+    flat extraction before the driver sees the circuit.  Every fuzzed
+    layout thereby cross-checks band retirement, spill, and incremental
+    emission against all other oracles.
+    """
+    from ..streaming import stream_extract
+
+    reference = extract(layout, tech)
+    expected = write_wirelist(to_wirelist(reference, name="difftest.cif"))
+    stream = GeometryStream(layout)
+    bbox = stream.chip_bbox
+    height = (bbox.ymax - bbox.ymin) if bbox else 0
+    for band_height in {max(1, height // 3), max(1, height // 13)}:
+        report = stream_extract(
+            layout, tech, name="difftest.cif", band_height=band_height
+        )
+        if report.text != expected:
+            raise StreamParityError(
+                f"streamed wirelist at band height {band_height} differs "
+                f"from the in-memory one ({len(report.text)} vs "
+                f"{len(expected)} bytes)"
+            )
+    return reference
 
 
 def _numpy_engine_extract(layout: Layout, tech: Technology) -> Circuit:
@@ -209,6 +246,15 @@ ORACLES: dict[str, Oracle] = {
             )
             if numpy_available()
             else ()
+        ),
+        Oracle(
+            "ace-stream",
+            "banded out-of-core streaming extraction (byte-for-byte "
+            "parity with the in-memory path enforced at two band "
+            "heights)",
+            grid_exact=True,
+            sizes_exact=True,
+            runner=_stream_extract_oracle,
         ),
         Oracle(
             "raster",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..cif import Layout, parse
 from ..cif.layout import Label
@@ -244,6 +244,7 @@ def execute_plan(
     memo: "dict | None" = None,
     pool: "PersistentPool | None" = None,
     engine: str = "auto",
+    progress: "Callable[[int, int], None] | None" = None,
 ) -> dict:
     """Extract every unique primitive window in the plan.
 
@@ -255,6 +256,11 @@ def execute_plan(
     cache; otherwise the extractions run serially in-process.  Keys
     already present in ``memo`` (the incremental extractor's persistent
     table) are never re-extracted.
+
+    ``progress`` is called as ``progress(done, total)`` over the plan's
+    unique primitive windows — memo and cache hits count as immediately
+    done — so long executions can surface liveness the way streaming
+    band sweeps do.
     """
     memo = {} if memo is None else memo
     if jobs is not None and jobs != 1 or cache is not None or pool is not None:
@@ -263,8 +269,12 @@ def execute_plan(
         return execute_plan_parallel(
             plan, tech, stats,
             resolution=resolution, jobs=jobs, cache=cache, memo=memo,
-            pool=pool, engine=engine,
+            pool=pool, engine=engine, progress=progress,
         )
+    total = len(plan.primitives)
+    done = sum(1 for key in plan.primitives if key in memo)
+    if progress is not None and done:
+        progress(done, total)
     for key, content in plan.primitives.items():
         if key in memo:
             continue
@@ -272,6 +282,9 @@ def execute_plan(
         memo[key] = extract_primitive(content, tech, resolution, engine)
         stats.flat_seconds += time.perf_counter() - start
         stats.flat_calls += 1
+        done += 1
+        if progress is not None:
+            progress(done, total)
     return memo
 
 

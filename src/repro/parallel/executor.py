@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import time
+from typing import Callable
 
 from ..hext.extractor import HextStats, WindowPlan, extract_primitive
 from ..tech import Technology
@@ -57,17 +58,23 @@ def execute_plan_parallel(
     memo: "dict | None" = None,
     pool: "PersistentPool | None" = None,
     engine: str = "auto",
+    progress: "Callable[[int, int], None] | None" = None,
 ) -> dict:
     """Fill ``memo`` with a fragment per unique primitive window.
 
     With ``pool`` set, pending extractions go to that long-lived
     :class:`~repro.parallel.pool.PersistentPool` instead of a one-shot
     pool sized by ``jobs``; the pool's own worker count wins.
+
+    ``progress(done, total)`` is called over the plan's unique
+    primitives; memo/cache hits land in one batched call, and a batch
+    served by the process pool completes all at once.
     """
     memo = {} if memo is None else memo
     workers = pool.workers if pool is not None else resolve_jobs(jobs)
     phase_start = time.perf_counter()
     store = FragmentCache(cache) if cache is not None else None
+    total = len(plan.primitives)
 
     # Windows still needing extraction after cache lookup, in plan order.
     pending: list[tuple[object, dict, "str | None"]] = []
@@ -83,6 +90,10 @@ def execute_plan_parallel(
                 memo[key] = cached
                 continue
         pending.append((key, payload, cache_key))
+
+    done = total - len(pending)
+    if progress is not None and done:
+        progress(done, total)
 
     if workers > 1 and len(pending) > 1:
         try:
@@ -105,6 +116,9 @@ def execute_plan_parallel(
                 stats.worker_seconds += seconds
                 if store is not None:
                     store.put(cache_key, fragment, payload=fragment_pl)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
             pending = []
 
     for key, payload, cache_key in pending:
@@ -116,6 +130,9 @@ def execute_plan_parallel(
         stats.flat_calls += 1
         if store is not None:
             store.put(cache_key, fragment)
+        done += 1
+        if progress is not None:
+            progress(done, total)
 
     stats.flat_seconds += time.perf_counter() - phase_start
     stats.jobs = max(stats.jobs, workers)

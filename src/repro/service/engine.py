@@ -44,6 +44,7 @@ from .jobs import Job
 from .metrics import Metrics
 
 if TYPE_CHECKING:
+    from ..cif import Layout
     from ..drc import DrcChecker
 
 
@@ -214,6 +215,9 @@ class ExtractionEngine:
         layout = parse(job.cif)
         self.metrics.observe_stage("parse", time.perf_counter() - started)
 
+        if options.stream:
+            return self._run_streaming(job, tech, layout, probe)
+
         self._enter_stage(job, "extract")
         started = time.perf_counter()
         if options.hext:
@@ -290,6 +294,85 @@ class ExtractionEngine:
             "warnings": list(circuit.warnings),
             "devices": len(circuit.devices),
             "nets": len(circuit.nets),
+        }
+        self.results.put(job.cache_key, result)
+        self.metrics.count("cache_stores")
+        return result
+
+    def _run_streaming(
+        self,
+        job: Job,
+        tech: Technology,
+        layout: "Layout",
+        probe: CancellationProbe,
+    ) -> dict:
+        """The streaming job body: banded sweep, incremental emission.
+
+        The streamed wirelist is byte-identical to the in-memory one, so
+        the result payload has the same shape and the same cache key as
+        a flat job's — a streamed submission can be served from (and
+        populate) the same cache entry.  Band progress is surfaced two
+        ways: the job's ``stage`` while running, and the live
+        ``streaming`` gauge in ``GET /metrics``.
+        """
+        from ..streaming import stream_extract
+
+        options = job.options
+        self._enter_stage(job, "extract")
+        self.metrics.count("stream_jobs")
+        started = time.perf_counter()
+        drc_inline = self._drc_checker(tech) if options.lint else None
+        consumers: "tuple[StripConsumer, ...]" = (
+            (probe, drc_inline) if drc_inline is not None else (probe,)
+        )
+
+        def observe_band(band: int, bands: int, stats: object) -> None:
+            job.stage = f"extract band {band}/{bands}"
+            self.metrics.stream_progress(job.ident, band, bands)
+
+        try:
+            report = stream_extract(
+                layout,
+                tech,
+                name=options.name,
+                keep_geometry=options.keep_geometry,
+                resolution=self.resolution,
+                engine=self.engine,
+                band_height=options.band_height,
+                strip_consumers=consumers,
+                progress=observe_band,
+            )
+        finally:
+            self.metrics.stream_finished(job.ident)
+        self.metrics.fold_scan_stats(report.stats)
+        # Streaming emits the wirelist during the sweep, so extract and
+        # wirelist are one stage here.
+        self.metrics.observe_stage("extract", time.perf_counter() - started)
+
+        diagnostics: "list[dict]" = []
+        lint_errors = 0
+        if options.lint:
+            self._enter_stage(job, "lint")
+            started = time.perf_counter()
+            lint_report = drc_inline.report(artifact=options.name)
+            if lint_report.diagnostics:
+                lint_report = SourceIndex(layout).attribute(lint_report)
+            diagnostics = [
+                diagnostic_to_json(d) for d in lint_report.diagnostics
+            ]
+            lint_errors = len(lint_report.errors)
+            self.metrics.observe_stage("lint", time.perf_counter() - started)
+
+        _raise_if_aborted(job)
+        result = {
+            "name": options.name,
+            "digest": job.digest,
+            "wirelist": report.text,
+            "diagnostics": diagnostics,
+            "lint_errors": lint_errors,
+            "warnings": list(report.warnings),
+            "devices": report.devices,
+            "nets": report.nets,
         }
         self.results.put(job.cache_key, result)
         self.metrics.count("cache_stores")

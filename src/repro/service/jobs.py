@@ -50,7 +50,11 @@ class JobOptions:
     ``jobs`` and ``timeout`` steer *how* a job runs, never what it
     produces (parallel and serial extraction are wirelist-equivalent by
     the guarantees of :mod:`repro.parallel`), so they are excluded from
-    the result-cache key (:meth:`cache_facet`).
+    the result-cache key (:meth:`cache_facet`).  ``stream`` and
+    ``band_height`` are excluded for the same reason: the banded
+    streaming pipeline (:mod:`repro.streaming`) is byte-identical to the
+    in-memory path at every band plan, so a streamed job may serve -- and
+    be served by -- a cached in-memory result.
     """
 
     name: str = "layout.cif"  #: DefPart name stamped into the wirelist
@@ -60,9 +64,21 @@ class JobOptions:
     lint: bool = False
     keep_geometry: bool = False
     timeout: "float | None" = None
+    stream: bool = False  #: out-of-core banded streaming extraction
+    band_height: "int | None" = None  #: band height in layout units
 
     _FIELDS = frozenset(
-        {"name", "lambda", "hext", "jobs", "lint", "keep_geometry", "timeout"}
+        {
+            "name",
+            "lambda",
+            "hext",
+            "jobs",
+            "lint",
+            "keep_geometry",
+            "timeout",
+            "stream",
+            "band_height",
+        }
     )
 
     @classmethod
@@ -104,14 +120,27 @@ class JobOptions:
             if timeout < 0:
                 raise OptionsError("option 'timeout' must be >= 0")
             timeout = float(timeout)
+        stream = _flag("stream")
+        hext = _flag("hext")
+        if stream and hext:
+            raise OptionsError(
+                "options 'stream' and 'hext' are mutually exclusive"
+            )
+        band_height = _int("band_height")
+        if band_height is not None and band_height < 1:
+            raise OptionsError("option 'band_height' must be >= 1")
+        if band_height is not None and not stream:
+            raise OptionsError("option 'band_height' requires 'stream'")
         return cls(
             name=name,
             lambda_=_int("lambda"),
-            hext=_flag("hext"),
+            hext=hext,
             jobs=_int("jobs"),
             lint=_flag("lint"),
             keep_geometry=_flag("keep_geometry"),
             timeout=timeout,
+            stream=stream,
+            band_height=band_height,
         )
 
     def to_payload(self) -> dict:
@@ -123,6 +152,8 @@ class JobOptions:
             "lint": self.lint,
             "keep_geometry": self.keep_geometry,
             "timeout": self.timeout,
+            "stream": self.stream,
+            "band_height": self.band_height,
         }
 
     def cache_facet(self) -> dict:

@@ -108,10 +108,23 @@ class Metrics:
         self.scan: Counter = Counter()
         self.hext: Counter = Counter()
         self.peak_active = 0
+        #: live band progress of in-flight streaming jobs, by job ident
+        self._stream_active: "dict[str, tuple[int, int]]" = {}
 
     def count(self, event: str, amount: int = 1) -> None:
         with self._lock:
             self.counters[event] += amount
+
+    def stream_progress(self, ident: str, band: int, bands: int) -> None:
+        """Record a streaming job finishing one band of its sweep."""
+        with self._lock:
+            self._stream_active[ident] = (band, bands)
+            self.counters["stream_bands"] += 1
+
+    def stream_finished(self, ident: str) -> None:
+        """Drop a streaming job from the live-progress gauge."""
+        with self._lock:
+            self._stream_active.pop(ident, None)
 
     def observe_stage(self, stage: str, seconds: float) -> None:
         with self._lock:
@@ -196,5 +209,15 @@ class Metrics:
                     "peak_active": self.peak_active
                 },
                 "hext": dict(self.hext),
+                "streaming": {
+                    "jobs": counters.get("stream_jobs", 0),
+                    "bands": counters.get("stream_bands", 0),
+                    "active": {
+                        ident: {"band": band, "bands": bands}
+                        for ident, (band, bands) in sorted(
+                            self._stream_active.items()
+                        )
+                    },
+                },
                 **gauges,
             }

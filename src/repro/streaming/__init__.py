@@ -1,0 +1,21 @@
+"""Out-of-core banded streaming extraction (docs/STREAMING.md).
+
+The streaming pipeline runs the same scanline over the same geometry as
+the in-memory extractor, but produces it band by band, retires finished
+state to a disk spill store as the sweep descends, and can checkpoint
+and resume a partial sweep.  Output is byte-identical to the in-memory
+path; the band-equivalence harness in ``tests/streaming/`` enforces it.
+"""
+
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .extract import StreamReport, stream_extract
+from .spill import SpillStore
+
+__all__ = [
+    "CheckpointError",
+    "SpillStore",
+    "StreamReport",
+    "load_checkpoint",
+    "save_checkpoint",
+    "stream_extract",
+]

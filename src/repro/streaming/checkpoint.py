@@ -1,0 +1,120 @@
+"""Checkpoint files for banded streaming sweeps.
+
+A checkpoint captures everything a fresh process needs to continue a
+partial sweep at the band boundary it was written at:
+
+* an identity block (layout digest + extraction options) so a resume
+  against the wrong layout or options fails loudly instead of emitting
+  garbage;
+* the band plan and the index of the next band to process;
+* the scanline host's full suspension state
+  (:meth:`~repro.core.scanline.ScanlineEngine.snapshot_state`, which
+  embeds the strip engine's state), exact heaps included;
+* the emission-order maps accumulated so far (net/device root ->
+  location and spill band), which are the only retired state that has
+  to stay in RAM.
+
+Geometry never appears here -- the heavy retired payloads live in the
+:class:`~repro.streaming.spill.SpillStore`, and the sweep always writes
+the band's spill file *before* its checkpoint.  A crash between the two
+re-processes the band on resume and overwrites the spill file with
+identical bytes, so the commit point is the checkpoint replace.
+
+The file itself reuses the cache-envelope discipline: a checksummed JSON
+envelope written via temp file + ``os.replace``.  A SIGKILL at any
+moment leaves the previous checkpoint or the new one, never a torn
+file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..cif import Layout, write as write_cif
+from ..parallel.serialize import canonical_json
+
+#: Bump to invalidate every older checkpoint on load.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint cannot be used to resume this invocation."""
+
+
+def layout_digest(layout: Layout, resolution: int, lambda_: int) -> str:
+    """Identity of one extraction input: artwork + scale options.
+
+    The digest hashes the layout's canonical CIF text, so the same
+    artwork parsed from differently formatted sources still matches.
+    """
+    body = f"{resolution}|{lambda_}|{write_cif(layout)}"
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def run_key(digest: str, options: dict) -> str:
+    """Spill-store key prefix for one (layout, options) sweep."""
+    body = canonical_json({"digest": digest, "options": options})
+    return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+
+def save_checkpoint(path: "str | os.PathLike", state: dict) -> None:
+    """Atomically replace ``path`` with a checksummed envelope."""
+    body = canonical_json(state)
+    envelope = {
+        "format": CHECKPOINT_FORMAT,
+        "checksum": hashlib.sha256(body.encode()).hexdigest(),
+        "state": state,
+    }
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: "str | os.PathLike") -> dict:
+    """Load and verify a checkpoint, raising :class:`CheckpointError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise CheckpointError(f"malformed checkpoint {path}")
+    if envelope.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path} has format {envelope.get('format')!r}, "
+            f"expected {CHECKPOINT_FORMAT}; it was written by an "
+            f"incompatible version and cannot be resumed"
+        )
+    state = envelope.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError(f"checkpoint {path} is missing its state")
+    checksum = hashlib.sha256(canonical_json(state).encode()).hexdigest()
+    if envelope.get("checksum") != checksum:
+        raise CheckpointError(
+            f"checkpoint {path} failed its checksum; the file is corrupt"
+        )
+    return state
+
+
+def check_identity(state: dict, digest: str, options: dict, path) -> None:
+    """Refuse to resume against a different layout or different options."""
+    if state.get("digest") != digest:
+        raise CheckpointError(
+            f"checkpoint {path} was written for a different layout "
+            f"(digest {state.get('digest')!r}, expected {digest!r})"
+        )
+    if state.get("options") != options:
+        raise CheckpointError(
+            f"checkpoint {path} was written with different extraction "
+            f"options ({state.get('options')!r}, expected {options!r}); "
+            f"resume with the original options or start a fresh sweep"
+        )

@@ -1,0 +1,174 @@
+"""The band spill store: retired sweep state parked on disk.
+
+A banded sweep retires nets and devices the moment nothing above the
+scanline can reach them (their union-find roots are final from that
+point on).  Retired payloads -- net names and kept geometry, folded
+device attribute records -- leave RAM immediately and land here, one
+JSON envelope per band, so in-memory state stays O(band) while the
+eventual wirelist still comes out byte-identical.
+
+The store is a :class:`~repro.parallel.cache.JsonEnvelopeStore`
+subclass, which buys the established durability rules for free: one
+file per key under a two-level fan-out, checksummed envelopes, atomic
+temp-file + ``os.replace`` writes (a SIGKILL leaves the old band file
+or the new one, never a torn one), and trust-nothing validation on read
+back.  Keys combine the run key (layout + options digest) with the band
+ordinal, so re-processing a band after a crash simply overwrites its
+spill file -- retirement is deterministic, which makes the write
+idempotent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..geometry import Box
+from ..parallel.cache import JsonEnvelopeStore
+from ..parallel.serialize import SerializationError
+
+
+def band_key(run_key: str, band: int) -> str:
+    """Spill key for one band of one run."""
+    return f"{run_key}{band:08d}"
+
+
+def net_payload_rows(payload: "dict[int, dict]") -> list:
+    """JSON rows for retired net payloads: ``[root, names, geo]``."""
+    return [
+        [
+            root,
+            rec.get("names", []),
+            [
+                [layer, b.xmin, b.ymin, b.xmax, b.ymax]
+                for layer, b in rec.get("geo", [])
+            ],
+        ]
+        for root, rec in payload.items()
+    ]
+
+
+def device_payload_rows(records: "dict[int, dict]") -> list:
+    """JSON rows for retired device records: ``[root, record]``.
+
+    Gate and terminal net ids are whatever the engine held at retire
+    time -- possibly non-root for nets that were still live then.  The
+    emitter resolves them through the *final* union-find, which is why
+    intermediate resolution timing never shows in the output.
+    """
+    return [
+        [
+            root,
+            {
+                "area": rec["area"],
+                "gates": sorted(rec["gates"]),
+                "terms": [
+                    [net, length] for net, length in rec["terms"].items()
+                ],
+                "geo": [
+                    [b.xmin, b.ymin, b.xmax, b.ymax] for b in rec["geo"]
+                ],
+                "loc": list(rec["loc"]) if rec["loc"] else None,
+                "impl": bool(rec["impl"]),
+            },
+        ]
+        for root, rec in records.items()
+    ]
+
+
+class SpillStore(JsonEnvelopeStore):
+    """Per-band retired-state envelopes, plus an emission-time reader.
+
+    Writing happens once per band during the sweep.  Reading happens
+    during emission, which walks nets and devices in *wirelist* order --
+    roots from different bands interleave, so decoded band payloads are
+    kept in a small LRU keyed by band ordinal rather than re-parsed per
+    root.
+    """
+
+    format_version = 1
+    payload_field = "band"
+
+    #: decoded band payloads kept during emission
+    reader_cache_size = 8
+
+    def __init__(self, root, run_key: str) -> None:
+        super().__init__(root)
+        self.run_key = run_key
+        self._decoded: "OrderedDict[int, tuple[dict, dict]]" = OrderedDict()
+
+    def validate_payload(self, payload: dict) -> None:
+        if not isinstance(payload.get("nets"), list) or not isinstance(
+            payload.get("devices"), list
+        ):
+            raise SerializationError("band payload missing nets/devices")
+
+    # -- sweep side ----------------------------------------------------
+
+    def put_band(
+        self,
+        band: int,
+        net_payload: "dict[int, dict]",
+        device_records: "dict[int, dict]",
+    ) -> None:
+        """Persist one band's retired state (atomic, idempotent)."""
+        self.put_payload(
+            band_key(self.run_key, band),
+            {
+                "band": band,
+                "nets": net_payload_rows(net_payload),
+                "devices": device_payload_rows(device_records),
+            },
+        )
+
+    # -- emission side -------------------------------------------------
+
+    def _band(self, band: int) -> "tuple[dict, dict]":
+        cached = self._decoded.get(band)
+        if cached is not None:
+            self._decoded.move_to_end(band)
+            return cached
+        payload = self.get_payload(band_key(self.run_key, band))
+        if payload is None:
+            raise SerializationError(
+                f"spill store is missing band {band} for run "
+                f"{self.run_key}; the spill directory and checkpoint "
+                f"no longer describe the same sweep"
+            )
+        nets = {
+            int(root): {
+                "names": list(names),
+                "geo": [
+                    (layer, Box(x1, y1, x2, y2))
+                    for layer, x1, y1, x2, y2 in geo
+                ],
+            }
+            for root, names, geo in payload["nets"]
+        }
+        devices = {
+            int(root): {
+                "area": int(rec["area"]),
+                "gates": list(rec["gates"]),
+                "terms": {
+                    int(net): int(length) for net, length in rec["terms"]
+                },
+                "geo": [
+                    Box(x1, y1, x2, y2) for x1, y1, x2, y2 in rec["geo"]
+                ],
+                "loc": tuple(rec["loc"]) if rec["loc"] else None,
+                "impl": bool(rec["impl"]),
+            }
+            for root, rec in payload["devices"]
+        }
+        decoded = (nets, devices)
+        self._decoded[band] = decoded
+        while len(self._decoded) > self.reader_cache_size:
+            self._decoded.popitem(last=False)
+        return decoded
+
+    def net_payload(self, band: int, root: int) -> "dict | None":
+        """A retired net's names/geometry payload, or None if bare."""
+        return self._band(band)[0].get(root)
+
+    def device_record(self, band: int, root: int) -> dict:
+        """A retired device's folded attribute record."""
+        return self._band(band)[1][root]

@@ -36,6 +36,8 @@ class TestJobOptions:
             "lint": True,
             "keep_geometry": True,
             "timeout": 12.5,
+            "stream": False,
+            "band_height": None,
         }
         options = JobOptions.from_payload(payload)
         assert options.to_payload() == payload

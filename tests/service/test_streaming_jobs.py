@@ -1,0 +1,84 @@
+"""Streamed jobs through the daemon: options, parity, progress gauge."""
+
+import pytest
+
+from repro.cif import parse, write as write_cif
+from repro.core import extract_report
+from repro.service.jobs import JobOptions, OptionsError
+from repro.wirelist import to_wirelist, write_wirelist
+from repro.workloads import inverter_rows
+
+
+class TestStreamOptions:
+    def test_stream_flag_round_trips(self):
+        options = JobOptions.from_payload(
+            {"stream": True, "band_height": 500}
+        )
+        assert options.stream and options.band_height == 500
+        echoed = options.to_payload()
+        assert echoed["stream"] is True
+        assert echoed["band_height"] == 500
+
+    def test_defaults_are_flat(self):
+        options = JobOptions.from_payload(None)
+        assert not options.stream
+        assert options.band_height is None
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"stream": "yes"}, "stream"),
+            ({"stream": True, "hext": True}, "mutually exclusive"),
+            ({"band_height": 100}, "requires 'stream'"),
+            ({"stream": True, "band_height": 0}, ">= 1"),
+            ({"stream": True, "band_height": 2.5}, "band_height"),
+        ],
+    )
+    def test_malformed_stream_payloads_rejected(self, payload, match):
+        with pytest.raises(OptionsError, match=match):
+            JobOptions.from_payload(payload)
+
+    def test_cache_facet_ignores_streaming_knobs(self):
+        """Streamed output is byte-identical, so results interchange."""
+        flat = JobOptions.from_payload({"name": "a.cif"})
+        banded = JobOptions.from_payload(
+            {"name": "a.cif", "stream": True, "band_height": 100}
+        )
+        assert flat.cache_facet() == banded.cache_facet()
+
+
+class TestStreamedJobs:
+    def test_streamed_bytes_match_flat(self, client):
+        cif = write_cif(inverter_rows(4, 2))
+        streamed = client.extract(
+            cif, name="rows.cif", stream=True, band_height=2000
+        )
+        report = extract_report(parse(cif), keep_geometry=False)
+        expected = write_wirelist(to_wirelist(report.circuit, name="rows.cif"))
+        assert streamed["wirelist"] == expected
+
+    def test_streamed_job_moves_the_band_gauge(self, client):
+        cif = write_cif(inverter_rows(4, 2))
+        client.extract(cif, name="gauge.cif", stream=True, band_height=2000)
+        streaming = client.metrics()["streaming"]
+        assert streaming["jobs"] == 1
+        assert streaming["bands"] >= 2
+        assert streaming["active"] == {}  # gauge drained on completion
+
+    def test_flat_submission_hits_streamed_cache_entry(self, client):
+        """Same facet, either pipeline: one cache entry serves both."""
+        cif = write_cif(inverter_rows(3, 2))
+        first = client.extract(
+            cif, name="shared.cif", stream=True, band_height=1500
+        )
+        receipt = client.submit(cif, name="shared.cif")
+        assert receipt["state"] == "done"
+        assert receipt["cached"] is True
+        assert client.result(receipt["job"])["wirelist"] == first["wirelist"]
+
+    def test_stream_hext_conflict_rejected_at_the_door(self, client):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as info:
+            client.submit("(C);", stream=True, hext=True)
+        assert info.value.status == 400

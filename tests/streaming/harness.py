@@ -1,0 +1,113 @@
+"""Shared helpers for the band-equivalence test harness.
+
+The streaming contract under test is *byte identity*: for any layout
+and any band plan whatsoever, :func:`repro.streaming.stream_extract`
+must emit exactly the bytes the in-memory extract-to-wirelist path
+does.  Every module in this package phrases its assertion through
+:func:`assert_band_equivalent` so a failure always reports the same
+way — which plan diverged and where the first differing line is.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.core import extract
+from repro.core.stripengine import numpy_available
+from repro.frontend import GeometryStream
+from repro.streaming import stream_extract
+from repro.tech import NMOS
+from repro.wirelist import to_wirelist, write_wirelist
+
+TECH = NMOS()
+
+#: Every strip engine importable in this interpreter.
+ENGINES = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+def expected_text(
+    layout, *, keep_geometry: bool = False, name: str = "case"
+) -> str:
+    """The in-memory reference wirelist the streamed bytes must match."""
+    circuit = extract(layout, TECH, keep_geometry=keep_geometry)
+    return write_wirelist(to_wirelist(circuit, name=name))
+
+
+def chip_height(layout) -> int:
+    bbox = GeometryStream(layout).chip_bbox
+    return (bbox.ymax - bbox.ymin) if bbox else 0
+
+
+def stop_boundaries(layout) -> list[int]:
+    """Every natural scanline stop, descending: the band-per-strip plan.
+
+    Placing a band floor at every stop y makes each band hold at most
+    one stop (the first band is empty — no stop is strictly above the
+    highest floor), the finest banding the scheduler can express.
+    """
+    stream = GeometryStream(layout)
+    tops = []
+    t = stream.next_top()
+    while t is not None:
+        stream.fetch(t)
+        tops.append(t)
+        t = stream.next_top()
+    return sorted(set(tops), reverse=True)
+
+
+def band_plans(layout) -> list[dict]:
+    """The band plans equivalence is checked at, degenerate ends included.
+
+    * single band (``band_height=None``): the in-memory schedule run
+      through the streaming bookkeeping;
+    * one band taller than the chip: same sweep, explicit height;
+    * a handful of bands and many bands (height divided by primes that
+      avoid landing floors on stop boundaries systematically);
+    * band-per-strip: an explicit floor at every natural stop.
+    """
+    height = chip_height(layout)
+    plans: list[dict] = [{"band_height": None}]
+    if height > 0:
+        plans.append({"band_height": height + 1})
+        plans.append({"band_height": max(1, height // 5)})
+        plans.append({"band_height": max(1, height // 23)})
+    bounds = stop_boundaries(layout)
+    if bounds:
+        plans.append({"boundaries": bounds})
+    return plans
+
+
+def assert_band_equivalent(
+    layout,
+    *,
+    engine: str = "auto",
+    keep_geometry: bool = False,
+    plans: "list[dict] | None" = None,
+    label: str = "layout",
+) -> None:
+    """Streamed bytes must equal the in-memory bytes at every plan."""
+    expected = expected_text(layout, keep_geometry=keep_geometry)
+    for plan in plans if plans is not None else band_plans(layout):
+        report = stream_extract(
+            layout,
+            TECH,
+            name="case",
+            engine=engine,
+            keep_geometry=keep_geometry,
+            **plan,
+        )
+        if report.text != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    report.text.splitlines(),
+                    fromfile="in-memory",
+                    tofile=f"streamed {plan}",
+                    lineterm="",
+                )
+            )
+            raise AssertionError(
+                f"{label}: streamed wirelist diverged under plan {plan} "
+                f"(engine={engine}, keep_geometry={keep_geometry}):\n"
+                f"{diff}"
+            )

@@ -1,0 +1,132 @@
+"""Unit tests for the banded front-end (repro.frontend.bands).
+
+The contract under test: a :class:`BandFeed` over any floor list is
+*observationally identical* to the raw :class:`GeometryStream` — same
+``next_top``/``fetch`` traffic, same label visibility at every point of
+the sweep — because byte-identical wirelists are downstream of exactly
+that equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import GeometryStream
+from repro.frontend.bands import BandFeed, BandSource, plan_bands
+from tests.golden.cases import GOLDEN_CASES
+
+from .harness import chip_height
+
+
+def replay(feed_like) -> list:
+    """Drain a stream/feed, recording the engine-visible event trace."""
+    trace = []
+    t = feed_like.next_top()
+    while t is not None:
+        trace.append(("peek", t, [lb.name for lb in feed_like.labels()]))
+        boxes = feed_like.fetch(t)
+        trace.append(("fetch", t, len(boxes),
+                      [lb.name for lb in feed_like.labels()]))
+        t = feed_like.next_top()
+    trace.append(("end", [lb.name for lb in feed_like.labels()]))
+    return trace
+
+
+def feed_for(layout, **plan_kwargs) -> BandFeed:
+    stream = GeometryStream(layout)
+    bbox = stream.chip_bbox
+    floors = plan_bands(
+        bbox.ymax if bbox else None,
+        bbox.ymin if bbox else None,
+        **plan_kwargs,
+    )
+    return BandFeed(BandSource(stream, floors))
+
+
+class TestPlanBands:
+    def test_no_height_is_single_band(self):
+        assert plan_bands(100, 0) == [None]
+
+    def test_uniform_floors_descend_to_bottom(self):
+        assert plan_bands(100, 0, band_height=30) == [70, 40, 10, None]
+
+    def test_exact_division_has_no_empty_tail(self):
+        # A floor at the chip bottom would make an empty final band;
+        # the planner stops strictly above it.
+        assert plan_bands(90, 0, band_height=30) == [60, 30, None]
+
+    def test_explicit_boundaries_sorted_and_deduped(self):
+        assert plan_bands(None, None, boundaries=[10, 40, 10]) == [
+            40,
+            10,
+            None,
+        ]
+
+    def test_nonpositive_height_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_bands(100, 0, band_height=0)
+
+    def test_empty_chip_is_single_band(self):
+        assert plan_bands(None, None, band_height=10) == [None]
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+def test_feed_trace_matches_raw_stream(case):
+    layout = GOLDEN_CASES[case]()
+    raw = replay(GeometryStream(layout))
+    height = chip_height(layout)
+    for plan in ({}, {"band_height": max(1, height // 7)},
+                 {"band_height": 1}):
+        banded = replay(feed_for(layout, **plan))
+        assert banded == raw, f"{case}: trace diverged under plan {plan}"
+
+
+def test_feed_trace_matches_with_prefetch_thread():
+    layout = GOLDEN_CASES["hier_pair"]()
+    raw = replay(GeometryStream(layout))
+    stream = GeometryStream(layout)
+    bbox = stream.chip_bbox
+    floors = plan_bands(bbox.ymax, bbox.ymin, band_height=500)
+    feed = BandFeed(BandSource(stream, floors, prefetch=2))
+    assert replay(feed) == raw
+
+
+def test_fetch_off_head_returns_empty():
+    """Pending-continuation stops fetch at a y the feed never recorded."""
+    layout = GOLDEN_CASES["inverter"]()
+    feed = feed_for(layout, band_height=300)
+    t = feed.next_top()
+    assert feed.fetch(t - 1) == []
+    assert feed.fetch(t), "the recorded head must still be served"
+
+
+def test_producer_error_surfaces_in_consumer():
+    class Boom(RuntimeError):
+        pass
+
+    class ExplodingStream:
+        _labels: list = []
+        stats = None
+
+        def next_top(self):
+            raise Boom("mid-chip parse error")
+
+        def fetch(self, y):  # pragma: no cover - never reached
+            raise AssertionError
+
+    source = BandSource(ExplodingStream(), [None], prefetch=1)
+    with pytest.raises(Boom, match="mid-chip"):
+        source.next_band()
+
+
+def test_close_releases_blocked_producer():
+    layout = GOLDEN_CASES["nand2"]()
+    stream = GeometryStream(layout)
+    bbox = stream.chip_bbox
+    floors = plan_bands(bbox.ymax, bbox.ymin, band_height=100)
+    source = BandSource(stream, floors, prefetch=1)
+    # Consume one band, abandon the rest with the queue full.
+    assert source.next_band() is not None
+    source.close()
+    assert source._thread is None
+    source.close()  # idempotent

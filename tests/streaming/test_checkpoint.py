@@ -1,0 +1,172 @@
+"""Checkpoint serialization: round-trip fidelity and identity checks.
+
+A checkpoint is only trustworthy if restoring it reproduces the paused
+sweep *exactly* — same ScanStats counters, same suspension state, same
+eventual bytes.  These tests pause a real sweep mid-chip, round-trip
+the host snapshot through a fresh engine, and also drive the full
+save/load/resume path end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.scanline import ScanlineEngine
+from repro.frontend import GeometryStream
+from repro.streaming import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    stream_extract,
+)
+from tests.golden.cases import GOLDEN_CASES
+
+from .harness import ENGINES, TECH, chip_height, expected_text
+
+nand2 = GOLDEN_CASES["nand2"]
+
+
+def paused_engine(engine: str) -> ScanlineEngine:
+    """An engine suspended mid-sweep (roughly half the chip consumed)."""
+    layout = nand2()
+    stream = GeometryStream(layout)
+    bbox = stream.chip_bbox
+    scan = ScanlineEngine(TECH, engine=engine)
+    more = scan.advance(stream, (bbox.ymax + bbox.ymin) // 2)
+    assert more, "the sweep should pause mid-chip, not exhaust"
+    return scan
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_snapshot_roundtrip_is_exact(engine):
+    scan = paused_engine(engine)
+    snap = scan.snapshot_state()
+    restored = ScanlineEngine(TECH, engine=engine)
+    restored.restore_state(snap)
+    assert restored.snapshot_state() == snap
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_snapshot_restores_scanstats_counters(engine):
+    scan = paused_engine(engine)
+    restored = ScanlineEngine(TECH, engine=engine)
+    restored.restore_state(scan.snapshot_state())
+    for field in dataclasses.fields(scan.stats):
+        assert getattr(restored.stats, field.name) == getattr(
+            scan.stats, field.name
+        ), f"counter {field.name} did not survive the round trip"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_snapshot_survives_json(engine, tmp_path):
+    """The snapshot must survive the actual serialization format used."""
+    scan = paused_engine(engine)
+    snap = scan.snapshot_state()
+    path = tmp_path / "ck.json"
+    save_checkpoint(path, {"host": snap})
+    restored = ScanlineEngine(TECH, engine=engine)
+    restored.restore_state(load_checkpoint(path)["host"])
+    assert restored.snapshot_state() == snap
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_resume_completes_to_identical_bytes(engine, tmp_path):
+    """Full path: checkpointed run, then resume replays the tail."""
+    layout = nand2()
+    expected = expected_text(layout)
+    band_height = max(1, chip_height(layout) // 7)
+    ck = tmp_path / "sweep.ck"
+    first = stream_extract(
+        layout,
+        TECH,
+        name="case",
+        engine=engine,
+        band_height=band_height,
+        checkpoint=str(ck),
+    )
+    assert first.text == expected
+    assert ck.exists()
+    resumed = stream_extract(
+        layout,
+        TECH,
+        name="case",
+        engine=engine,
+        band_height=band_height,
+        checkpoint=str(ck),
+        resume=True,
+    )
+    assert resumed.resumed
+    assert resumed.text == expected
+    for field in dataclasses.fields(first.stats):
+        assert getattr(resumed.stats, field.name) == getattr(
+            first.stats, field.name
+        ), f"resumed ScanStats.{field.name} diverged"
+
+
+def test_resume_refuses_option_mismatch(tmp_path):
+    layout = nand2()
+    ck = tmp_path / "sweep.ck"
+    stream_extract(
+        layout, TECH, band_height=1000, checkpoint=str(ck)
+    )
+    with pytest.raises(CheckpointError, match="options"):
+        stream_extract(
+            layout,
+            TECH,
+            band_height=1000,
+            checkpoint=str(ck),
+            resume=True,
+            keep_geometry=True,
+        )
+
+
+def test_resume_refuses_layout_mismatch(tmp_path):
+    ck = tmp_path / "sweep.ck"
+    stream_extract(
+        nand2(), TECH, band_height=1000, checkpoint=str(ck)
+    )
+    with pytest.raises(CheckpointError, match="layout"):
+        stream_extract(
+            GOLDEN_CASES["inverter"](),
+            TECH,
+            band_height=1000,
+            checkpoint=str(ck),
+            resume=True,
+        )
+
+
+def test_resume_refuses_corrupt_checkpoint(tmp_path):
+    ck = tmp_path / "sweep.ck"
+    stream_extract(nand2(), TECH, band_height=1000, checkpoint=str(ck))
+    text = ck.read_text()
+    ck.write_text(text.replace('"band"', '"bend"', 1))
+    with pytest.raises(CheckpointError):
+        stream_extract(
+            nand2(),
+            TECH,
+            band_height=1000,
+            checkpoint=str(ck),
+            resume=True,
+        )
+
+
+def test_resume_without_checkpoint_path_rejected():
+    with pytest.raises(ValueError, match="checkpoint"):
+        stream_extract(nand2(), TECH, resume=True)
+
+
+def test_resume_auto_starts_fresh_without_file(tmp_path):
+    """``resume="auto"`` with no checkpoint on disk is a fresh sweep."""
+    layout = nand2()
+    report = stream_extract(
+        layout,
+        TECH,
+        name="case",
+        band_height=1000,
+        checkpoint=str(tmp_path / "none-yet.ck"),
+        resume="auto",
+    )
+    assert not report.resumed
+    assert report.text == expected_text(layout)

@@ -1,0 +1,92 @@
+"""Property: a band seam at *any* y leaves the wirelist untouched.
+
+The band-equivalence tests sweep uniform plans; this one attacks the
+seam itself.  For fuzzed layouts (the difftest generator, so the
+geometry sits on the extractor's semantic edges — abutting boxes,
+corner touches, devices straddling rows), a single explicit boundary is
+dropped at an arbitrary y: through geometry, exactly on box edges, at
+the bbox extremes.  Retirement at the seam must be invisible in the
+bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.difftest.generator import generate_layout, iteration_seed
+from repro.frontend import GeometryStream
+
+from .harness import assert_band_equivalent
+
+BASE_SEED = 771983
+
+
+def seam_candidates(layout, rng: random.Random) -> list[int]:
+    """Arbitrary seam ys: random interior points plus exact box edges."""
+    bbox = GeometryStream(layout).chip_bbox
+    if bbox is None or bbox.ymax - bbox.ymin < 2:
+        return []
+    ys = [rng.randint(bbox.ymin + 1, bbox.ymax - 1) for _ in range(2)]
+    # A seam exactly on a natural stop: the floor coincides with a box
+    # top, the case where an off-by-one in the "strictly above" rule
+    # would double- or zero-count the stop.
+    stream = GeometryStream(layout)
+    t = stream.next_top()
+    edges = []
+    while t is not None:
+        stream.fetch(t)
+        edges.append(t)
+        t = stream.next_top()
+    interior = [y for y in edges if bbox.ymin < y < bbox.ymax]
+    if interior:
+        ys.append(rng.choice(interior))
+    # Degenerate seams at (and beyond) the bbox extremes: empty bands.
+    ys.extend([bbox.ymin, bbox.ymax, bbox.ymax + 100])
+    return ys
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_single_seam_anywhere(index):
+    case = generate_layout(iteration_seed(BASE_SEED, index))
+    rng = random.Random(case.seed)
+    for y in seam_candidates(case.layout, rng):
+        assert_band_equivalent(
+            case.layout,
+            plans=[{"boundaries": [y]}],
+            label=f"seed {case.seed}, seam y={y}",
+        )
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_multi_seam(index):
+    """Several random seams at once (unsorted input, duplicates)."""
+    case = generate_layout(iteration_seed(BASE_SEED, 1000 + index))
+    bbox = GeometryStream(case.layout).chip_bbox
+    if bbox is None or bbox.ymax - bbox.ymin < 4:
+        pytest.skip("degenerate layout")
+    rng = random.Random(case.seed)
+    seams = [
+        rng.randint(bbox.ymin + 1, bbox.ymax - 1) for _ in range(5)
+    ]
+    seams.append(seams[0])  # duplicate floors must collapse
+    assert_band_equivalent(
+        case.layout,
+        plans=[{"boundaries": seams}],
+        label=f"seed {case.seed}, seams {sorted(set(seams))}",
+    )
+
+
+@pytest.mark.slow
+def test_seam_sweep_hundred_seeds():
+    """The acceptance-scale version: 100 seeds, several seams each."""
+    for index in range(100):
+        case = generate_layout(iteration_seed(BASE_SEED, index))
+        rng = random.Random(case.seed)
+        for y in seam_candidates(case.layout, rng):
+            assert_band_equivalent(
+                case.layout,
+                plans=[{"boundaries": [y]}],
+                label=f"seed {case.seed}, seam y={y}",
+            )

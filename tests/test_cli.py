@@ -247,6 +247,70 @@ class TestPlotting:
         assert target.read_text().startswith("<svg")
 
 
+class TestStreaming:
+    def test_stream_stdout_byte_identical_to_flat(
+        self, inverter_cif, capsys
+    ):
+        assert main([inverter_cif]) == 0
+        flat = capsys.readouterr().out
+        assert main([inverter_cif, "--stream", "--band-height", "500"]) == 0
+        assert capsys.readouterr().out == flat
+
+    def test_stream_stats_report_bands(
+        self, inverter_cif, tmp_path, capsys
+    ):
+        target = tmp_path / "out.wl"
+        assert main(
+            [
+                inverter_cif,
+                "--stream",
+                "--band-height",
+                "500",
+                "--stats",
+                "-o",
+                str(target),
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "stream:" in err and "bands" in err
+        assert target.read_text().startswith("(DefPart")
+
+    def test_checkpoint_then_resume(self, inverter_cif, tmp_path, capsys):
+        ck = tmp_path / "sweep.ck"
+        base = [
+            inverter_cif,
+            "--stream",
+            "--band-height",
+            "500",
+            "--checkpoint",
+            str(ck),
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert ck.exists()
+        assert main([*base, "--resume", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "(resumed)" in captured.err
+
+    def test_stream_rejects_hierarchical(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--stream", "--hierarchical"]) == 2
+        assert "flat-only" in capsys.readouterr().err
+
+    def test_stream_rejects_check(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--stream", "--check"]) == 2
+        assert "in-memory circuit" in capsys.readouterr().err
+
+    def test_band_height_without_stream_is_noted(
+        self, inverter_cif, capsys
+    ):
+        assert main([inverter_cif, "--band-height", "500"]) == 0
+        assert "only apply with --stream" in capsys.readouterr().err
+
+    def test_stream_lint_catches_violations(self, violations_cif, capsys):
+        assert main([violations_cif, "--stream", "--lint"]) == 1
+
+
 class TestVersionFlag:
     """Every console script reports the same package version."""
 
