@@ -21,9 +21,16 @@ with the repair story instead of a raw traceback.  The counters are not
 hardware-bound: ``--check`` asserts machine-independent invariants of
 the event-heap design (every scheduled interval is popped exactly once,
 per-stop scheduling overhead is bounded by the number of tracked layers,
-never by the active-list population) — and, because the counters must be
-identical for every strip engine, the check doubles as an engine-parity
-probe CI can run without timing flakiness.  See docs/SCANLINE_PERF.md.
+never by the active-list population, and never worse than the per-size
+``max_stop_overhead`` recorded in the committed baseline) — and, because
+the counters must be identical for every strip engine, the check doubles
+as an engine-parity probe CI can run without timing flakiness.
+
+``--profile`` adds one profiled run per (size, engine) through the
+host's per-phase timers (``schedule`` / ``expire`` / ``insert`` /
+``strip`` / ``finalize``, see :data:`~repro.core.scanline.PROFILE_PHASES`)
+and writes the breakdown both into each report row and into a sibling
+``<out-stem>_profile.json`` artifact.  See docs/SCANLINE_PERF.md.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ import sys
 from pathlib import Path
 
 from ..core.extractor import extract_report
-from ..core.scanline import ScanlineEngine
+from ..core.scanline import PROFILE_PHASES, ScanlineEngine
 from ..core.stripengine import (
     EngineUnavailable,
     numpy_available,
@@ -75,8 +82,8 @@ def _repo_root() -> Path:
     return Path(__file__).resolve().parents[3]
 
 
-def load_baseline(path: Path | None = None) -> dict[int, float]:
-    """Map mesh size -> legacy-engine seconds from a committed capture.
+def _load_baseline_rows(path: Path | None = None) -> list[dict]:
+    """The committed capture's row list, schema-checked.
 
     Raises :class:`BaselineError` — not ``FileNotFoundError`` soup — when
     the capture is absent or does not look like one, so the CLI can say
@@ -98,14 +105,40 @@ def load_baseline(path: Path | None = None) -> dict[int, float]:
         ) from exc
     try:
         rows = payload["rows"]
-        baseline = {int(row["n"]): float(row["seconds"]) for row in rows}
+        for row in rows:
+            int(row["n"]), float(row["seconds"])
     except (KeyError, TypeError, ValueError) as exc:
         raise BaselineError(
             f"legacy baseline at {path} does not match the capture "
             "schema (expected {'rows': [{'n': int, 'seconds': float}, "
             f"...]}}): {exc!r}"
         ) from exc
-    return baseline
+    return rows
+
+
+def load_baseline(path: Path | None = None) -> dict[int, float]:
+    """Map mesh size -> legacy-engine seconds from a committed capture."""
+    return {
+        int(row["n"]): float(row["seconds"])
+        for row in _load_baseline_rows(path)
+    }
+
+
+def load_baseline_overheads(path: Path | None = None) -> dict[int, int]:
+    """Map mesh size -> committed ``max_stop_overhead`` bound.
+
+    The bound is a machine-independent counter, so ``--check`` can hold
+    every fresh run to it exactly.  Rows without the field (captures
+    predating it) are simply skipped — old baselines keep loading, they
+    just bound fewer sizes.
+    """
+    bounds: dict[int, int] = {}
+    for row in _load_baseline_rows(path):
+        try:
+            bounds[int(row["n"])] = int(row["max_stop_overhead"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return bounds
 
 
 def resolve_bench_engines(requested: str) -> tuple[list[str], list[str]]:
@@ -136,13 +169,22 @@ def bench_scanline(
     repeats: int = DEFAULT_REPEATS,
     baseline: dict[int, float] | None = None,
     engines: "list[str] | None" = None,
+    profile: bool = False,
 ) -> list[dict]:
     """Benchmark each (mesh size, strip engine); one JSON row per pair.
 
     Engines are interleaved per size (every engine runs on the same
     layout object back to back) so the same-run ``speedup_vs_python``
     column compares like with like even when machine speed drifts over
-    the course of the run.
+    the course of the run.  Python rows carry ``speedup_vs_python`` of
+    ``1.0`` (the identity comparison), so report consumers can assert
+    the column uniformly instead of special-casing nulls.
+
+    With ``profile=True`` each pair runs once more with the host's
+    per-phase profiler enabled; that run's wall clock is **not** folded
+    into ``seconds`` (the timer instrumentation, however light, would
+    taint the headline number) and its breakdown lands in the row's
+    ``profile`` mapping.
     """
     if baseline is None:
         baseline = load_baseline()
@@ -169,41 +211,50 @@ def bench_scanline(
             stream = GeometryStream(layout)
             engine = ScanlineEngine(tech, engine=engine_name)
             tracked = timed(engine.run, stream, track_alloc=True)
+            phases: "dict[str, float] | None" = None
+            if profile:
+                stream = GeometryStream(layout)
+                profiled = ScanlineEngine(
+                    tech, engine=engine_name, profile=True
+                )
+                timed(profiled.run, stream)
+                phases = dict(profiled.stats.profile or {})
             if engine_name == "python":
                 python_seconds = seconds
             stats = engine.stats
             before = baseline.get(n)
-            rows.append(
-                {
-                    "n": n,
-                    "engine": engine.engine_name,
-                    "mode": "engine",
-                    "band_height": None,
-                    "peak_alloc": tracked.peak_alloc,
-                    "boxes": stats.boxes_in,
-                    "stops": stats.stops,
-                    "devices": stats.devices_created,
-                    "peak_active": stats.peak_active,
-                    "seconds": seconds,
-                    "baseline_seconds": before,
-                    "speedup": (before / seconds) if before else None,
-                    "speedup_vs_python": (
-                        python_seconds / seconds
-                        if engine_name != "python"
-                        and python_seconds is not None
-                        else None
-                    ),
-                    "tracked_layers": len(engine._heaps),
-                    "counters": {
-                        "heap_pushes": stats.heap_pushes,
-                        "heap_pops": stats.heap_pops,
-                        "lazy_discards": stats.lazy_discards,
-                        "expired": stats.expired,
-                        "intervals_scanned": stats.intervals_scanned,
-                        "max_stop_overhead": stats.max_stop_overhead,
-                    },
-                }
-            )
+            row = {
+                "n": n,
+                "engine": engine.engine_name,
+                "mode": "engine",
+                "band_height": None,
+                "peak_alloc": tracked.peak_alloc,
+                "boxes": stats.boxes_in,
+                "stops": stats.stops,
+                "devices": stats.devices_created,
+                "peak_active": stats.peak_active,
+                "seconds": seconds,
+                "baseline_seconds": before,
+                "speedup": (before / seconds) if before else None,
+                "speedup_vs_python": (
+                    python_seconds / seconds
+                    if engine_name != "python"
+                    and python_seconds is not None
+                    else (1.0 if engine_name == "python" else None)
+                ),
+                "tracked_layers": len(engine._heaps),
+                "counters": {
+                    "heap_pushes": stats.heap_pushes,
+                    "heap_pops": stats.heap_pops,
+                    "lazy_discards": stats.lazy_discards,
+                    "expired": stats.expired,
+                    "intervals_scanned": stats.intervals_scanned,
+                    "max_stop_overhead": stats.max_stop_overhead,
+                },
+            }
+            if phases is not None:
+                row["profile"] = phases
+            rows.append(row)
     return rows
 
 
@@ -257,11 +308,17 @@ def bench_stream(
         bbox = GeometryStream(layout).chip_bbox
         height = bbox.ymax - bbox.ymin
         tracked_layers = len(ScanlineEngine(tech)._heaps)
+        # Same-run python seconds per (mode, band_height), so stream
+        # rows get the same like-with-like speedup column as the
+        # engine-only axis (engines run python-first).
+        python_secs: "dict[tuple, float]" = {}
         for engine_name in engines:
             mem = measured(
                 _memory_once, layout, tech, engine_name, repeats=repeats
             )
             report, expected = mem.result
+            if engine_name == "python":
+                python_secs[("memory", None)] = mem.seconds
             rows.append(
                 _stream_row(
                     n,
@@ -273,6 +330,7 @@ def bench_stream(
                     engine=engine_name,
                     devices=len(report.circuit.devices),
                     tracked_layers=tracked_layers,
+                    python_seconds=python_secs.get(("memory", None)),
                 )
             )
             for divisor in divisors:
@@ -292,6 +350,8 @@ def bench_stream(
                         f"n={n} engine={engine_name} "
                         f"band_height={band_height}"
                     )
+                if engine_name == "python":
+                    python_secs[("stream", band_height)] = run.seconds
                 rows.append(
                     _stream_row(
                         n,
@@ -303,6 +363,9 @@ def bench_stream(
                         engine=engine_name,
                         devices=sreport.devices,
                         tracked_layers=tracked_layers,
+                        python_seconds=python_secs.get(
+                            ("stream", band_height)
+                        ),
                     )
                 )
     return rows
@@ -319,7 +382,14 @@ def _stream_row(
     engine: str,
     devices: int,
     tracked_layers: int,
+    python_seconds: "float | None" = None,
 ) -> dict:
+    if engine == "python":
+        speedup_vs_python: "float | None" = 1.0
+    elif python_seconds is not None:
+        speedup_vs_python = python_seconds / run.seconds
+    else:
+        speedup_vs_python = None
     return {
         "n": n,
         "engine": engine,
@@ -334,7 +404,7 @@ def _stream_row(
         "peak_alloc": run.peak_alloc,
         "baseline_seconds": None,
         "speedup": None,
-        "speedup_vs_python": None,
+        "speedup_vs_python": speedup_vs_python,
         "tracked_layers": tracked_layers,
         "counters": {
             "heap_pushes": stats.heap_pushes,
@@ -347,7 +417,10 @@ def _stream_row(
     }
 
 
-def check_rows(rows: list[dict]) -> list[str]:
+def check_rows(
+    rows: list[dict],
+    overhead_bounds: "dict[int, int] | None" = None,
+) -> list[str]:
     """Machine-independent event-heap invariants; returns violations.
 
     * conservation: every push is eventually popped, and every pop is
@@ -358,9 +431,15 @@ def check_rows(rows: list[dict]) -> list[str]:
     * the aggregate corollary: total examinations are bounded by total
       removals plus that per-stop allowance;
     * engine parity: the counters are host-side event bookkeeping, so
-      every strip engine must report identical counters for a size.
+      every strip engine must report identical counters for a size;
+    * baseline regression: with ``overhead_bounds`` (size ->
+      ``max_stop_overhead`` from the committed baseline capture), a
+      fresh run must not schedule worse per stop than the capture did —
+      the counter is deterministic, so any excess is a real regression,
+      not noise.
     """
     problems = []
+    overhead_bounds = overhead_bounds or {}
     for row in rows:
         n, c = row["n"], row["counters"]
         layers = row["tracked_layers"]
@@ -377,6 +456,12 @@ def check_rows(rows: list[dict]) -> list[str]:
             problems.append(
                 f"n={n}: max per-stop overhead {c['max_stop_overhead']}"
                 f" exceeds 2 x {layers} tracked layers"
+            )
+        bound = overhead_bounds.get(n)
+        if bound is not None and c["max_stop_overhead"] > bound:
+            problems.append(
+                f"n={n}: max per-stop overhead {c['max_stop_overhead']}"
+                f" exceeds the committed baseline bound {bound}"
             )
         budget = c["heap_pops"] + 2 * layers * row["stops"]
         if c["intervals_scanned"] > budget:
@@ -427,7 +512,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="fail on event-heap counter invariant violations",
+        help="fail on event-heap counter invariant violations (including "
+        "per-stop overhead regressions against the committed baseline)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each (size, engine) once more with the host's "
+        "per-phase profiler and write the schedule/expire/insert/strip/"
+        "finalize breakdown to <out-stem>_profile.json next to --out",
     )
     parser.add_argument(
         "--stream", action="store_true",
@@ -446,6 +538,7 @@ def main(argv=None) -> int:
     try:
         engines, notes = resolve_bench_engines(args.engine)
         baseline = load_baseline(args.baseline)
+        overhead_bounds = load_baseline_overheads(args.baseline)
     except (BaselineError, EngineUnavailable, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -457,6 +550,7 @@ def main(argv=None) -> int:
         repeats=args.repeats,
         baseline=baseline,
         engines=engines,
+        profile=args.profile,
     )
     stream_rows: list[dict] = []
     if args.stream:
@@ -472,7 +566,33 @@ def main(argv=None) -> int:
         "rows": rows,
         "stream_rows": stream_rows,
     }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    profile_path: Path | None = None
+    if args.profile:
+        # A sibling artifact CI can upload next to the main report.
+        profile_path = out_path.with_name(
+            out_path.stem + "_profile" + (out_path.suffix or ".json")
+        )
+        profile_path.write_text(
+            json.dumps(
+                {
+                    "benchmark": report["benchmark"],
+                    "phases": list(PROFILE_PHASES),
+                    "rows": [
+                        {
+                            "n": row["n"],
+                            "engine": row["engine"],
+                            "seconds": row["seconds"],
+                            "profile": row.get("profile", {}),
+                        }
+                        for row in rows
+                    ],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
 
     for row in rows:
         speed = (
@@ -482,7 +602,7 @@ def main(argv=None) -> int:
         )
         cross = (
             f"  {row['speedup_vs_python']:.2f}x vs python"
-            if row["speedup_vs_python"]
+            if row["engine"] != "python" and row["speedup_vs_python"]
             else ""
         )
         c = row["counters"]
@@ -503,10 +623,24 @@ def main(argv=None) -> int:
             f"{row['seconds']:.4f}s  "
             f"peak {row['peak_alloc'] / 1e6:.1f}MB"
         )
+    if args.profile:
+        header = "  ".join(f"{phase:>9}" for phase in PROFILE_PHASES)
+        print("per-phase profile (seconds):")
+        print(f"{'n':>6}  {'engine':>6}  {header}")
+        for row in rows:
+            cells = "  ".join(
+                f"{row.get('profile', {}).get(phase, 0.0):>9.4f}"
+                for phase in PROFILE_PHASES
+            )
+            print(f"n={row['n']:>4}  {row['engine']:>6}  {cells}")
     print(f"wrote {args.out}")
+    if profile_path is not None:
+        print(f"wrote {profile_path}")
 
     if args.check:
-        problems = check_rows(rows + stream_rows)
+        problems = check_rows(
+            rows + stream_rows, overhead_bounds=overhead_bounds
+        )
         if problems:
             for p in problems:
                 print(f"INVARIANT VIOLATION: {p}", file=sys.stderr)

@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print extraction statistics to stderr",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the scanline host's phases (schedule/expire/insert/"
+        "strip/finalize) and print the per-phase breakdown to stderr "
+        "(flat and --stream modes)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="run the static checker and print diagnostics to stderr",
@@ -204,6 +211,20 @@ def main(argv: "list[str] | None" = None) -> int:
         return 2
 
 
+def _print_profile(stats) -> None:
+    """The ``--profile`` stderr line: per-phase seconds plus shares."""
+    profile = getattr(stats, "profile", None)
+    if not profile:
+        return
+    total = sum(profile.values())
+    parts = ", ".join(
+        f"{phase} {seconds:.3f}s"
+        f" ({100.0 * seconds / total:.0f}%)" if total else f"{phase} 0s"
+        for phase, seconds in profile.items()
+    )
+    print(f"ace profile: {parts}", file=sys.stderr)
+
+
 def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
     if args.stream:
         return _run_streaming(args, tech, layout, name, drc_checker, started)
@@ -214,6 +235,12 @@ def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
             file=sys.stderr,
         )
     if args.hierarchical:
+        if args.profile:
+            print(
+                "note: --profile times the flat scanline host and does "
+                "not apply with --hierarchical",
+                file=sys.stderr,
+            )
         result = hext_extract(
             layout, tech, jobs=args.jobs, cache=args.cache,
             engine=args.engine,
@@ -256,9 +283,11 @@ def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
             layout, tech, keep_geometry=args.geometry,
             jobs=args.jobs, cache=args.cache,
             strip_consumers=(drc_checker,) if drc_checker else (),
-            engine=args.engine,
+            engine=args.engine, profile=args.profile,
         )
         circuit = report.circuit
+        if args.profile:
+            _print_profile(report.stats)
         wirelist = to_wirelist(
             circuit, name=name, include_geometry=args.geometry
         )
@@ -372,7 +401,10 @@ def _run_streaming(args, tech, layout, name, drc_checker, started) -> int:
             checkpoint=args.checkpoint,
             resume="auto" if args.resume else False,
             strip_consumers=(drc_checker,) if drc_checker else (),
+            profile=args.profile,
         )
+        if args.profile:
+            _print_profile(report.stats)
         if args.stats:
             scan = report.stats
             print(

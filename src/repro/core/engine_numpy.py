@@ -46,10 +46,31 @@ from .netlist import Device
 from .sizing import size_device
 
 from . import scanline as _scan
-from .scanline import _NET, _X1, _X2
 from .stripengine import StripEngine
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _sort3(
+    p: "np.ndarray", a: "np.ndarray", b: "np.ndarray"
+) -> "np.ndarray":
+    """Row order ascending by ``(p, a, b)`` -- ``np.lexsort((b, a, p))``.
+
+    When the three value ranges pack into one int64 (virtually always:
+    ids and coordinates are far below 2**62 combined), a single-key
+    argsort replaces the three stable merge passes of lexsort.  Ties are
+    only ever identical rows, so the unstable sort folds identically.
+    """
+    if p.shape[0] == 0:
+        return _EMPTY
+    p0 = int(p.min())
+    a0, a1 = int(a.min()), int(a.max())
+    b0, b1 = int(b.min()), int(b.max())
+    sa = a1 - a0 + 1
+    sb = b1 - b0 + 1
+    if (int(p.max()) - p0 + 1) * sa * sb <= 1 << 62:
+        return np.argsort((p - p0) * (sa * sb) + (a - a0) * sb + (b - b0))
+    return np.lexsort((b, a, p))
 
 
 def _resolve_parents(parent: "np.ndarray") -> "np.ndarray":
@@ -127,6 +148,13 @@ def _subtract_spans(
     total = int(counts.sum())
     if total == 0:
         return s_x1, s_x2, np.arange(n_seg, dtype=np.int64)
+    if total == n_seg and int(counts.max()) == 1:
+        # One hole per segment and every hole covers its segment whole:
+        # the dense-mesh steady state (poly strips where every diffusion
+        # span is all channel).  Nothing survives the subtraction.
+        cov = (h_x1[lo] <= s_x1) & (h_x2[lo] >= s_x2)
+        if cov.all():
+            return _EMPTY, _EMPTY, _EMPTY
     h_tgt = _flat_targets(lo, counts, total)
     # Each segment yields counts+1 candidate pieces: (seg_x1 or a hole's
     # x2) up to (the next hole's x1 or seg_x2); empty pieces filter out.
@@ -153,6 +181,8 @@ class NumpyStripEngine(StripEngine):
     """Step 2.c and the finalize folds as numpy batch passes."""
 
     name = "numpy"
+    supports_runs = True
+    wants_index_of = False
 
     def __init__(self, host) -> None:
         super().__init__(host)
@@ -177,31 +207,34 @@ class NumpyStripEngine(StripEngine):
         #: find-at-append-time device geometry (keep_geometry replay)
         self._dev_geo: dict[int, list[Box]] = {}
         self._net_parent: "np.ndarray | None" = None
+        self._order_roots: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # layer materialization
     # ------------------------------------------------------------------
 
     def _layer(self, layer: str) -> tuple:
-        """The layer's active intervals as ``(x1[], x2[], net[])``.
+        """The layer's live intervals as ``(x1[], x2[], net[])``.
 
-        Cached against the host's per-layer version counter; interval
-        fields are immutable after creation (merges build new interval
-        records and bump the version), so a cached view stays exact.
+        One C-level gather from the host's columnar buffers per change:
+        the result is cached against the table's version counter, and
+        column cells are immutable after allocation (merges allocate new
+        rows and bump the version), so a cached view stays exact.  The
+        ``np.frombuffer`` views are transient -- fancy indexing copies
+        the live subset out, releasing the ``array('q')`` buffer before
+        the host appends to it again.
         """
-        host = self.host
-        version = host._versions[layer]
+        t = self.host._tables[layer]
+        version = t.version
         cached = self._cache.get(layer)
         if cached is not None and cached[0] == version:
             return cached[1]
-        ivs = host._active[layer]
-        if ivs:
-            x1 = np.fromiter((iv[_X1] for iv in ivs), np.int64, len(ivs))
-            x2 = np.fromiter((iv[_X2] for iv in ivs), np.int64, len(ivs))
-            if layer in host._net_layers:
-                net = np.fromiter(
-                    (iv[_NET] for iv in ivs), np.int64, len(ivs)
-                )
+        if t.order:
+            idx = np.array(t.order, dtype=np.int64)
+            x1 = np.frombuffer(t.x1, dtype=np.int64)[idx]
+            x2 = np.frombuffer(t.x2, dtype=np.int64)[idx]
+            if layer in self.host._net_layers:
+                net = np.frombuffer(t.net, dtype=np.int64)[idx]
             else:
                 net = _EMPTY
             arrays = (x1, x2, net)
@@ -390,13 +423,13 @@ class NumpyStripEngine(StripEngine):
         # Contact cuts: batch-clip every (cut x conducting layer) overlap
         # into per-cut entry lists, then replay the reference engine's
         # sorted pairwise union cascade per cut.
-        if h._active[h._contact]:
+        if h._tables[h._contact].order:
             self._contact_unions(cond_x1, cond_x2, cond_net)
 
         # Buried contacts: poly x buried x conducting triple overlaps,
         # unions replayed in (buried, poly, cond) sweep order.
         if (
-            h._active[h._buried]
+            h._tables[h._buried].order
             and n_cond
             and px1.shape[0]
             and "buried-skip" not in faults
@@ -450,6 +483,179 @@ class NumpyStripEngine(StripEngine):
         if keep_geometry:
             self._pv_d_list = cond_list if cond_list is not None else []
             self._pv_c_list = ch_list if ch_list is not None else []
+
+    # ------------------------------------------------------------------
+    # batched strip runs
+    # ------------------------------------------------------------------
+
+    def process_run(
+        self,
+        stop0: int,
+        strips: "list[tuple[int, int]]",
+        diff_rows: "list[int]",
+        born_start: int,
+    ) -> None:
+        """Replay a run of deferred stops as one batch (docs/ENGINES.md).
+
+        The host's preconditions make every strip in the run independent
+        and side-effect-free: no strip binds vertically to the one above
+        it (so every conducting span and channel is *fresh*), the poly
+        view is constant across the run, the contact/buried/implant
+        tables are empty, and no label or boundary capture lands inside
+        it.  Each diffusion row's ``born``/``died`` stop stamps say
+        exactly which strips it participates in, so the whole run's
+        spans expand with one ``repeat``; channels come from one overlap
+        pass against the static poly arrays, and conducting diffusion
+        from one hole subtraction in strip-offset x space.  Fresh ids
+        batch-allocate via ``extend`` in (strip, x) order -- the exact
+        ids the stop-by-stop sweep would hand out -- and the attribute
+        chunks land in the same order-independent accumulators, so the
+        wirelist is byte-identical to immediate processing.
+        """
+        h = self.host
+        t = h._tables[h._diff]
+        n_strips = len(strips)
+        n_rows = t.rows()
+        n_prior = len(diff_rows)
+        n_cand = n_prior + (n_rows - born_start)
+        if n_cand == 0:
+            self._pv_dx1 = self._pv_dx2 = self._pv_dnet = _EMPTY
+            self._pv_cx1 = self._pv_cx2 = self._pv_cdev = _EMPTY
+            return
+        cand = np.empty(n_cand, dtype=np.int64)
+        cand[:n_prior] = diff_rows
+        cand[n_prior:] = np.arange(born_start, n_rows, dtype=np.int64)
+        # Transient frombuffer views; the fancy index copies out the
+        # candidate rows so the buffers are released immediately.
+        born = np.frombuffer(t.born, dtype=np.int64)[cand]
+        died = np.frombuffer(t.died, dtype=np.int64)[cand]
+        r_x1 = np.frombuffer(t.x1, dtype=np.int64)[cand]
+        r_x2 = np.frombuffer(t.x2, dtype=np.int64)[cand]
+        # Rows born at the flushing stop (a defer-fail flush runs after
+        # that stop's inserts) land past the run; the clip drops them.
+        lo_s = np.maximum(born - stop0, 0)
+        hi_s = np.minimum(died - stop0, n_strips)
+        counts = np.maximum(hi_s - lo_s, 0)
+        total = int(counts.sum())
+        if total == 0:
+            self._pv_dx1 = self._pv_dx2 = self._pv_dnet = _EMPTY
+            self._pv_cx1 = self._pv_cx2 = self._pv_cdev = _EMPTY
+            return
+        d_strip = _flat_targets(lo_s, counts, total)
+        d_x1 = np.repeat(r_x1, counts)
+        d_x2 = np.repeat(r_x2, counts)
+        order = np.lexsort((d_x1, d_strip))
+        d_strip = d_strip[order]
+        d_x1 = d_x1[order]
+        d_x2 = d_x2[order]
+
+        y_hi_arr = np.fromiter((s[1] for s in strips), np.int64, n_strips)
+        heights = y_hi_arr - np.fromiter(
+            (s[0] for s in strips), np.int64, n_strips
+        )
+
+        # Strip-offset x space: shifting each strip's spans by
+        # strip * stride keeps them sorted and disjoint across strips,
+        # so one subtraction / exact-endpoint search covers the run.
+        stride = int(d_x2.max()) - int(d_x1.min()) + 2
+        d_off = d_strip * stride
+        d_x1o = d_x1 + d_off
+        d_x2o = d_x2 + d_off
+
+        # Channels against the static poly view, per strip.
+        px1, px2, pnet = self._layer(h._poly)
+        ch_x1 = ch_x2 = ch_net = ch_strip = _EMPTY
+        if px1.shape[0]:
+            lo, hi = _overlap_windows(d_x1, d_x2, px1, px2)
+            d_src, p_tgt = _pair_enum(lo, hi)
+            if d_src.shape[0]:
+                ch_x1 = np.maximum(d_x1[d_src], px1[p_tgt])
+                ch_x2 = np.minimum(d_x2[d_src], px2[p_tgt])
+                ch_net = pnet[p_tgt]
+                ch_strip = d_strip[d_src]
+
+        # Conducting diffusion: diffusion minus channels, in offset space.
+        if ch_x1.shape[0]:
+            ch_x1o = ch_x1 + ch_strip * stride
+            ch_x2o = ch_x2 + ch_strip * stride
+            cond_x1o, cond_x2o, seg = _subtract_spans(
+                d_x1o, d_x2o, ch_x1o, ch_x2o
+            )
+            cond_strip = d_strip[seg]
+            cond_off = cond_strip * stride
+            cond_x1 = cond_x1o - cond_off
+            cond_x2 = cond_x2o - cond_off
+        else:
+            ch_x1o = ch_x2o = _EMPTY
+            cond_x1, cond_x2, cond_strip = d_x1, d_x2, d_strip
+            cond_x1o, cond_x2o = d_x1o, d_x2o
+
+        n_cond = cond_x1.shape[0]
+        n_ch = ch_x1.shape[0]
+
+        # All spans are fresh: batch-allocate ids in (strip, x) order.
+        if n_cond:
+            base = h._nets.extend(n_cond)
+            h.stats.nets_created += n_cond
+            cond_net = np.arange(base, base + n_cond, dtype=np.int64)
+            touched = self._touched
+            n_nets = len(h._nets)
+            if touched.shape[0] < n_nets:
+                grown = np.zeros(
+                    max(n_nets, touched.shape[0] * 2), dtype=bool
+                )
+                grown[: touched.shape[0]] = touched
+                self._touched = touched = grown
+            touched[cond_net] = True
+            self._tn_chunks.append(
+                (cond_net, y_hi_arr[cond_strip], -cond_x1)
+            )
+        else:
+            cond_net = _EMPTY
+        if n_ch:
+            base = h._devs.extend(n_ch)
+            h.stats.devices_created += n_ch
+            ch_dev = np.arange(base, base + n_ch, dtype=np.int64)
+            ch_h = heights[ch_strip]
+            self._area_chunks.append((ch_dev, (ch_x2 - ch_x1) * ch_h))
+            self._gate_chunks.append((ch_dev, ch_net))
+            self._loc_chunks.append(
+                (ch_dev, y_hi_arr[ch_strip], -ch_x1)
+            )
+        else:
+            ch_dev = _EMPTY
+            ch_h = _EMPTY
+
+        # Horizontal terminals: channels and conducting spans partition
+        # each strip's diffusion, so abutting pairs share an endpoint
+        # exactly; offsets never collide across strips, making the two
+        # exact-match searches of the strip case valid run-wide.  The
+        # vertical terminal sweeps vanish: every strip with channels has
+        # an empty strip above it (the host's independence rule).
+        if n_ch and n_cond:
+            last = n_cond - 1
+            pos = np.minimum(np.searchsorted(cond_x2o, ch_x1o), last)
+            m = cond_x2o[pos] == ch_x1o
+            if m.any():
+                self._term_chunks.append(
+                    (ch_dev[m], cond_net[pos[m]], ch_h[m])
+                )
+            pos = np.minimum(np.searchsorted(cond_x1o, ch_x2o), last)
+            m = cond_x1o[pos] == ch_x2o
+            if m.any():
+                self._term_chunks.append(
+                    (ch_dev[m], cond_net[pos[m]], ch_h[m])
+                )
+
+        # Previous-strip state after the run is the last strip's tail.
+        k = int(np.searchsorted(cond_strip, n_strips - 1))
+        self._pv_dx1 = cond_x1[k:]
+        self._pv_dx2 = cond_x2[k:]
+        self._pv_dnet = cond_net[k:] if n_cond else _EMPTY
+        k = int(np.searchsorted(ch_strip, n_strips - 1))
+        self._pv_cx1 = ch_x1[k:]
+        self._pv_cx2 = ch_x2[k:]
+        self._pv_cdev = ch_dev[k:] if n_ch else _EMPTY
 
     # ------------------------------------------------------------------
     # net / device binding
@@ -684,14 +890,43 @@ class NumpyStripEngine(StripEngine):
         nxs = np.concatenate([c[2] for c in chunks])
         roots = parent[ids]
         # Group-max location per root: sort by (root, y, -x) and keep
-        # each group's last row -- the python engine's tuple-max.
-        order = np.lexsort((nxs, ys, roots))
-        r_s, y_s, nx_s = roots[order], ys[order], nxs[order]
-        last = np.append(np.nonzero(np.diff(r_s))[0], r_s.shape[0] - 1)
-        g_root, g_y, g_nx = r_s[last], y_s[last], nx_s[last]
+        # each group's last row -- the python engine's tuple-max.  On a
+        # union-free sweep the touched-filter leaves exactly one row per
+        # root: the engine-chunk prefix and the host-scalar tail are each
+        # strictly increasing and disjoint, every root appears once, and
+        # grouping is the identity (the canonical sort below does not
+        # care about pre-order, so no merge is needed either).
+        n_c = roots.shape[0] - len(self._tn_scalar)
+        roots_c, roots_s = roots[:n_c], roots[n_c:]
+        if (
+            bool(np.all(roots_c[1:] > roots_c[:-1]))
+            and bool(np.all(roots_s[1:] > roots_s[:-1]))
+            and (
+                roots_s.shape[0] == 0
+                or roots_c.shape[0] == 0
+                or not bool(
+                    (
+                        roots_c[
+                            np.minimum(
+                                np.searchsorted(roots_c, roots_s),
+                                roots_c.shape[0] - 1,
+                            )
+                        ]
+                        == roots_s
+                    ).any()
+                )
+            )
+        ):
+            g_root, g_y, g_nx = roots, ys, nxs
+        else:
+            order = _sort3(roots, ys, nxs)
+            r_s, y_s, nx_s = roots[order], ys[order], nxs[order]
+            last = np.append(np.nonzero(np.diff(r_s))[0], r_s.shape[0] - 1)
+            g_root, g_y, g_nx = r_s[last], y_s[last], nx_s[last]
         # Canonical net order: key (-ymax, -(-xmin), root) ascending.
-        out = np.lexsort((g_root, -g_nx, -g_y))
-        roots_list = g_root[out].tolist()
+        out = _sort3(-g_y, -g_nx, g_root)
+        self._order_roots = g_root[out]
+        roots_list = self._order_roots.tolist()
         locations = list(
             zip(np.negative(g_nx[out]).tolist(), g_y[out].tolist())
         )
@@ -719,11 +954,16 @@ class NumpyStripEngine(StripEngine):
         l_y = np.concatenate([c[1] for c in self._loc_chunks])
         l_nx = np.concatenate([c[2] for c in self._loc_chunks])
         l_root = dparent[l_ids]
-        order = np.lexsort((l_nx, l_y, l_root))
-        r_s, y_s, nx_s = l_root[order], l_y[order], l_nx[order]
-        last = np.append(np.nonzero(np.diff(r_s))[0], r_s.shape[0] - 1)
-        g_root, g_y, g_nx = r_s[last], y_s[last], nx_s[last]
-        out = np.lexsort((g_root, -g_nx, -g_y))
+        # Same strictly-increasing shortcut as the net fold: channel ids
+        # allocate in strip order, so a union-free sweep needs no sort.
+        if bool(np.all(l_root[1:] > l_root[:-1])):
+            g_root, g_y, g_nx = l_root, l_y, l_nx
+        else:
+            order = _sort3(l_root, l_y, l_nx)
+            r_s, y_s, nx_s = l_root[order], l_y[order], l_nx[order]
+            last = np.append(np.nonzero(np.diff(r_s))[0], r_s.shape[0] - 1)
+            g_root, g_y, g_nx = r_s[last], y_s[last], nx_s[last]
+        out = _sort3(-g_y, -g_nx, g_root)
         order_roots = g_root[out]
         loc_y = g_y[out]
         loc_nx = g_nx[out]
@@ -740,14 +980,27 @@ class NumpyStripEngine(StripEngine):
         for ids in self._impl_chunks:
             impl[dparent[ids]] = True
 
-        # net root -> 1-based wirelist index, as an array
+        # net root -> 1-based wirelist index, as an array.  The host
+        # builds index_of by enumerating net_order's roots 1-based, so
+        # when the stashed order array matches we scatter an arange
+        # instead of round-tripping the dict through fromiter.
         n_nets = nparent.shape[0]
         net_index = np.zeros(max(n_nets, 1), dtype=np.int64)
-        if index_of:
+        order_roots_net = self._order_roots
+        n_order = (
+            order_roots_net.shape[0] if index_of is None else len(index_of)
+        )
+        if order_roots_net is not None and (
+            index_of is None or order_roots_net.shape[0] == len(index_of)
+        ):
+            net_index[order_roots_net] = np.arange(
+                1, n_order + 1, dtype=np.int64
+            )
+        elif index_of:
             keys = np.fromiter(index_of.keys(), np.int64, len(index_of))
             vals = np.fromiter(index_of.values(), np.int64, len(index_of))
             net_index[keys] = vals
-        mult = len(index_of) + 2
+        mult = n_order + 2
 
         # gates: unique (device root, gate net index) pairs, ascending --
         # identical to the python engine's sorted gate-index list.
@@ -758,8 +1011,11 @@ class NumpyStripEngine(StripEngine):
             ]
             known = gn > 0
             g_all = gd[known] * mult + gn[known]
-            g_all.sort()
-            if g_all.shape[0]:
+            if g_all.shape[0] > 1 and bool(np.all(g_all[1:] > g_all[:-1])):
+                # already strictly increasing: sorted and duplicate-free
+                g_keys = g_all
+            elif g_all.shape[0]:
+                g_all.sort()
                 keep = np.empty(g_all.shape[0], dtype=bool)
                 keep[0] = True
                 np.not_equal(g_all[1:], g_all[:-1], out=keep[1:])
@@ -796,11 +1052,24 @@ class NumpyStripEngine(StripEngine):
         else:
             t_dev = t_idx = t_sum = _EMPTY
 
-        # per-device slices into the grouped gate/terminal arrays
-        t_lo = np.searchsorted(t_dev, order_roots, side="left")
-        t_hi = np.searchsorted(t_dev, order_roots, side="right")
-        g_lo = np.searchsorted(g_dev, order_roots, side="left")
-        g_hi = np.searchsorted(g_dev, order_roots, side="right")
+        # Per-device slices into the grouped gate/terminal arrays.  Both
+        # grouped arrays are sorted by device root, so one bincount plus
+        # an exclusive prefix sum gives every root's slice in a single
+        # linear pass instead of four binary-search sweeps.
+        if t_dev.shape[0]:
+            t_cnt = np.bincount(t_dev, minlength=n_dev)
+            t_off = np.cumsum(t_cnt) - t_cnt
+            t_lo = t_off[order_roots]
+            t_hi = t_lo + t_cnt[order_roots]
+        else:
+            t_lo = t_hi = np.zeros(order_roots.shape[0], dtype=np.int64)
+        if g_dev.shape[0]:
+            g_cnt_all = np.bincount(g_dev, minlength=n_dev)
+            g_off = np.cumsum(g_cnt_all) - g_cnt_all
+            g_lo = g_off[order_roots]
+            g_hi = g_lo + g_cnt_all[order_roots]
+        else:
+            g_lo = g_hi = np.zeros(order_roots.shape[0], dtype=np.int64)
 
         # vectorized two-terminal sizing (the overwhelming common case);
         # other terminal counts fall back to size_device per row.
@@ -837,7 +1106,6 @@ class NumpyStripEngine(StripEngine):
                     self._dev_geo[key]
                 )
 
-        roots_l = order_roots.tolist()
         area_l = area_out.tolist()
         impl_out = impl[order_roots]
         locs = list(
@@ -848,7 +1116,7 @@ class NumpyStripEngine(StripEngine):
         if geo_fold or boundary_dev_roots:
             return self._build_devices_rowwise(
                 kind_enh, kind_dep, boundary_dev_roots, geo_fold,
-                roots_l, area_l, impl_out, locs,
+                order_roots.tolist(), area_l, impl_out, locs,
                 t_lo, t_hi, t_idx, t_sum,
                 g_lo, g_hi, g_idx,
                 src2, drn2, width2, length2,
@@ -860,11 +1128,12 @@ class NumpyStripEngine(StripEngine):
         # do not fit the one-gate/two-terminal template are patched
         # afterwards.  One python iteration per device costs more than
         # the whole array pipeline at mesh scale.
-        n_out = len(roots_l)
         kinds = [kind_enh] * n_out
-        if impl_out.any():
-            for i in np.nonzero(impl_out)[0].tolist():
-                kinds[i] = kind_dep
+        impl_idx = (
+            np.nonzero(impl_out)[0].tolist() if impl_out.any() else []
+        )
+        for i in impl_idx:
+            kinds[i] = kind_dep
         if g_idx.shape[0]:
             g_first = g_idx[np.minimum(g_lo, g_idx.shape[0] - 1)]
             gate_l = g_first.tolist()
@@ -873,14 +1142,14 @@ class NumpyStripEngine(StripEngine):
             gate_l = [None] * n_out
             gates_l = list(map(list, repeat((), n_out)))
         if t_idx.shape[0]:
-            # one C pass: (n_out, 2, 2) -> [[[n1,p1],[n2,p2]], ...],
-            # which dict() consumes pairwise
-            pair_block = np.empty((n_out, 2, 2), dtype=np.int64)
-            pair_block[:, 0, 0] = n1
-            pair_block[:, 0, 1] = p1
-            pair_block[:, 1, 0] = n2
-            pair_block[:, 1, 1] = p2
-            terms_l = list(map(dict, pair_block.tolist()))
+            # dict displays over four flat lists beat building and
+            # re-walking an (n_out, 2, 2) nested tolist block
+            terms_l = [
+                {a: b, c: d}
+                for a, b, c, d in zip(
+                    n1.tolist(), p1.tolist(), n2.tolist(), p2.tolist()
+                )
+            ]
         else:
             terms_l = list(map(dict, repeat((), n_out)))
         devices = list(
@@ -897,11 +1166,13 @@ class NumpyStripEngine(StripEngine):
                 locs,
                 terms_l,
                 gates_l,
-                map(list, repeat((), n_out)),
-                repeat(False),
-                impl_out.tolist(),
             )
         )
+        # geometry/touches_boundary take their dataclass defaults (the
+        # bulk path never runs with kept geometry or a window); only the
+        # rare depletion rows need patching.
+        for i in impl_idx:
+            devices[i].depletion = True
 
         # patch rows outside the two-terminal template
         for i in np.nonzero(t_count != 2)[0].tolist():
@@ -934,7 +1205,7 @@ class NumpyStripEngine(StripEngine):
         # The root -> index map only feeds window boundary records;
         # whole-chip extraction never reads it.
         dev_index_of = (
-            dict(zip(roots_l, range(n_out)))
+            dict(zip(order_roots.tolist(), range(n_out)))
             if h.window is not None
             else {}
         )
@@ -1085,7 +1356,7 @@ class NumpyStripEngine(StripEngine):
             ys = np.concatenate([c[1] for c in chunks])
             nxs = np.concatenate([c[2] for c in chunks])
             roots = nparent[ids]
-            order = np.lexsort((nxs, ys, roots))
+            order = _sort3(roots, ys, nxs)
             r_s, y_s, nx_s = roots[order], ys[order], nxs[order]
             last = np.append(
                 np.nonzero(np.diff(r_s))[0], r_s.shape[0] - 1
@@ -1244,6 +1515,10 @@ class NumpyStripEngine(StripEngine):
         }
 
     def restore_state(self, state: dict) -> None:
+        # The layer view cache is keyed by table version counters, which
+        # restart after a restore -- stale entries could alias.
+        self._cache.clear()
+
         def cols(rows, n: int):
             if not rows:
                 return tuple(_EMPTY for _ in range(n))

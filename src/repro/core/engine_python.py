@@ -17,9 +17,6 @@ from .sizing import size_device
 
 from . import scanline as _scan
 from .scanline import (
-    _NET,
-    _X1,
-    _X2,
     _intersect_intervals,
     _subtract_channels,
     _subtract_diff,
@@ -53,10 +50,10 @@ class PythonStripEngine(StripEngine):
         prev_diff = self._prev_diff
         prev_channels = self._prev_channels
 
-        nd = h._active[h._diff]
-        np_ = h._active[h._poly]
-        nb = h._active[h._buried]
-        ni = h._active[h._implant]
+        nd = h._tables[h._diff].spans()
+        np_ = h._tables[h._poly].spans()
+        nb = h._tables[h._buried].spans()
+        ni = h._tables[h._implant].spans()
 
         # Channels: diffusion AND poly AND NOT buried, remembering the
         # poly interval that forms each gate.
@@ -71,7 +68,7 @@ class PythonStripEngine(StripEngine):
         if channels:
             cond_bare = _subtract_diff(nd, channels)
         else:
-            cond_bare = [(iv[_X1], iv[_X2]) for iv in nd]
+            cond_bare = [(x1, x2) for x1, x2, _ in nd]
 
         # Assign diffusion nets by vertical adjacency to the strip above;
         # both lists are sorted, so one merged sweep suffices.
@@ -140,9 +137,9 @@ class PythonStripEngine(StripEngine):
             loc = (y_hi, -x1)
             if rec["loc"] is None or loc > rec["loc"]:
                 rec["loc"] = loc
-            while ij < n_implant and ni[ij][_X2] <= x1:
+            while ij < n_implant and ni[ij][1] <= x1:
                 ij += 1
-            if ij < n_implant and ni[ij][_X1] < x2:
+            if ij < n_implant and ni[ij][0] < x2:
                 rec["impl"] = True
             strip_channels.append((x1, x2, dev))
 
@@ -188,34 +185,34 @@ class PythonStripEngine(StripEngine):
         # both each other and the cut (pointwise, not per cut span).  The
         # cuts are disjoint and sorted, so each conducting list is walked
         # once across all cuts.
-        nc = h._active[h._contact]
+        nc = h._tables[h._contact].spans()
         if nc:
-            metal = h._active[h._metal]
+            metal = h._tables[h._metal].spans()
             n_metal, n_poly, n_cond = len(metal), len(np_), len(cond)
             mi = pi = di = 0
             for cut in nc:
-                cx1, cx2 = cut[_X1], cut[_X2]
+                cx1, cx2 = cut[0], cut[1]
                 present: list[tuple[int, int, int]] = []
-                while mi < n_metal and metal[mi][_X2] <= cx1:
+                while mi < n_metal and metal[mi][1] <= cx1:
                     mi += 1
                 k = mi
                 while k < n_metal:
                     iv = metal[k]
-                    if iv[_X1] >= cx2:
+                    if iv[0] >= cx2:
                         break
                     present.append(
-                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                        (max(iv[0], cx1), min(iv[1], cx2), iv[2])
                     )
                     k += 1
-                while pi < n_poly and np_[pi][_X2] <= cx1:
+                while pi < n_poly and np_[pi][1] <= cx1:
                     pi += 1
                 k = pi
                 while k < n_poly:
                     iv = np_[k]
-                    if iv[_X1] >= cx2:
+                    if iv[0] >= cx2:
                         break
                     present.append(
-                        (max(iv[_X1], cx1), min(iv[_X2], cx2), iv[_NET])
+                        (max(iv[0], cx1), min(iv[1], cx2), iv[2])
                     )
                     k += 1
                 while di < n_cond and cond[di][1] <= cx1:
@@ -240,15 +237,15 @@ class PythonStripEngine(StripEngine):
             n_poly, n_cond = len(np_), len(cond)
             bp = bd = 0
             for biv in nb:
-                bx1, bx2 = biv[_X1], biv[_X2]
-                while bp < n_poly and np_[bp][_X2] <= bx1:
+                bx1, bx2 = biv[0], biv[1]
+                while bp < n_poly and np_[bp][1] <= bx1:
                     bp += 1
                 k = bp
                 while k < n_poly:
                     iv = np_[k]
-                    if iv[_X1] >= bx2:
+                    if iv[0] >= bx2:
                         break
-                    px1, px2 = max(iv[_X1], bx1), min(iv[_X2], bx2)
+                    px1, px2 = max(iv[0], bx1), min(iv[1], bx2)
                     if px1 < px2:
                         while bd < n_cond and cond[bd][1] <= px1:
                             bd += 1
@@ -257,7 +254,7 @@ class PythonStripEngine(StripEngine):
                             dx1, dx2, dnet = cond[dk]
                             if dx1 >= px2:
                                 break
-                            nets.union(iv[_NET], dnet)
+                            nets.union(iv[2], dnet)
                             dk += 1
                     k += 1
 

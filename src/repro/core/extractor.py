@@ -74,6 +74,7 @@ def extract_report(
     cache: "str | None" = None,
     strip_consumers: tuple = (),
     engine: str = "auto",
+    profile: bool = False,
 ) -> ExtractionReport:
     """Like :func:`extract` but returns timers and counters as well.
 
@@ -87,6 +88,11 @@ def extract_report(
     ``strip_consumers`` ride the same sweep
     (:class:`~repro.core.scanline.StripConsumer`); the design-rule
     checker attaches here so extraction and DRC share one pass.
+
+    ``profile`` arms the scanline host's per-phase wall-clock timers
+    (CLI: ``--profile``); the breakdown lands in
+    ``report.stats.profile`` keyed by
+    :data:`~repro.core.scanline.PROFILE_PHASES`.
     """
     tech = tech or NMOS()
     timer = PhaseTimer()
@@ -100,6 +106,7 @@ def extract_report(
         timer=timer,
         strip_consumers=strip_consumers,
         engine=engine,
+        profile=profile,
     )
     circuit = scan.run(stream)
     return ExtractionReport(

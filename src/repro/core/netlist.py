@@ -46,7 +46,7 @@ class BoundaryRecord:
         return self.hi - self.lo
 
 
-@dataclass
+@dataclass(slots=True)
 class Net:
     """An electrically connected region with no intervening transistor."""
 
@@ -61,7 +61,7 @@ class Net:
         return self.names[0] if self.names else f"N{self.index}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Device:
     """A transistor (or, when malformed, a transistor-like channel).
 

@@ -28,6 +28,19 @@ is then a constant number of heap peeks and step "expire" pops exactly
 the intervals whose bottom edge is the current stop.  The design notes
 and invariants live in docs/SCANLINE_PERF.md.
 
+Active intervals live in per-layer *columnar* tables
+(:class:`~repro.core.columnar.LayerTable`): persistent int64 columns
+plus a live mask, updated incrementally on insert/expire.  The numpy
+strip engine gathers a layer's live rows straight from the columns
+(zero-copy buffer views) instead of re-materializing python lists every
+strip, and the stable row ids with their ``born``/``died`` stop stamps
+let the host *batch* stop handling: a run of consecutive stops that
+only expires/inserts -- no union-find side effects, no labels, no
+boundary capture, no consumers -- is deferred and handed to the engine
+as one vectorized strip run (:meth:`StripEngine.process_run`).  The
+deferral rules that keep this byte-identical to stop-by-stop processing
+are documented in docs/ENGINES.md.
+
 In *window mode* (HEXT's modified ACE) the engine also records every
 conducting span and channel span that touches the window boundary; those
 records become the window's interface.
@@ -37,28 +50,30 @@ delegated to a pluggable :class:`~repro.core.stripengine.StripEngine`:
 the pure-python reference back-end or, when numpy is importable, a
 vectorized strip-batch back-end.  Both produce byte-identical wirelists;
 docs/ENGINES.md documents the split and the parity contract.
+
+Pass ``profile=True`` (CLI: ``--profile``) to accumulate wall-clock
+seconds per host phase -- ``schedule`` / ``expire`` / ``insert`` /
+``strip`` / ``finalize`` -- into :attr:`ScanStats.profile`.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from bisect import bisect_left, bisect_right
 
 from ..frontend.instantiate import PlacedLabel
 from ..frontend.stream import GeometryStream
 from ..geometry import Box
 from ..tech import Technology
+from .columnar import NO_NET, LayerTable
 from .netlist import CHANNEL, BoundaryRecord, Circuit, Face
 from .stats import PhaseTimer, ScanStats
 from .stripengine import CondSource, create_strip_engine
 from .unionfind import UnionFind
 
-# Active-interval field indices (plain lists are measurably faster than
-# objects in this inner loop).  _LIVE is the lazy-deletion flag: cleared
-# when a merge or expiry retires the interval while its heap entry is
-# still queued.  _BORN is the stop ordinal the interval was created at,
-# which distinguishes strip-above survivors from same-stop newcomers.
-_X1, _X2, _YBOT, _NET, _LIVE, _BORN = 0, 1, 2, 3, 4, 5
+#: Host profiler phase keys (``ScanStats.profile``).
+PROFILE_PHASES = ("schedule", "expire", "insert", "strip", "finalize")
 
 #: Deliberately broken scanline rules, set only by the differential
 #: harness's fault-injection self-test (:mod:`repro.difftest.faults`).
@@ -109,6 +124,7 @@ class ScanlineEngine:
         timer: PhaseTimer | None = None,
         strip_consumers: "tuple[StripConsumer, ...]" = (),
         engine: str = "auto",
+        profile: bool = False,
     ) -> None:
         self.tech = tech
         self.keep_geometry = keep_geometry
@@ -116,6 +132,17 @@ class ScanlineEngine:
         self.timer = timer or PhaseTimer()
         self.stats = ScanStats()
         self.strip_consumers = tuple(strip_consumers)
+
+        #: per-phase wall clock, shared with ``stats.profile`` so the
+        #: bench and /metrics read it straight off the counters object
+        self._profile: dict[str, float] | None = (
+            {phase: 0.0 for phase in PROFILE_PHASES} if profile else None
+        )
+        self.stats.profile = self._profile
+        #: seconds spent inside :meth:`_flush_run` since construction;
+        #: phase sections subtract their delta so a flush fired from
+        #: within expire/insert bills to "strip", not the host phase
+        self._flush_spent = 0.0
 
         self._metal = tech.conducting_layers[0].cif_name
         self._poly = tech.channel_layers[1].cif_name
@@ -137,19 +164,17 @@ class ScanlineEngine:
             self._implant,
             self._buried,
         }
-        self._active: dict[str, list[list]] = {name: [] for name in tracked}
-        self._keys: dict[str, list[int]] = {name: [] for name in tracked}
-        #: per-layer mutation counters; batch engines key their cached
-        #: array materializations on these, so an unchanged layer is
-        #: converted to flat arrays once, not once per strip.
-        self._versions: dict[str, int] = {name: 0 for name in tracked}
-        #: per-layer bottom-edge event heaps of (-ybot, seq, interval)
-        self._heaps: dict[str, list[tuple[int, int, list]]] = {
+        #: per-layer columnar active-interval tables (docs/ENGINES.md)
+        self._tables: dict[str, LayerTable] = {
+            name: LayerTable() for name in tracked
+        }
+        #: per-layer bottom-edge event heaps of (-ybot, seq, row id)
+        self._heaps: dict[str, list[tuple[int, int, int]]] = {
             name: [] for name in tracked
         }
         self._heap_seq = 0
         self._active_count = 0
-        self._stop = 0  #: current stop ordinal (compared against _BORN)
+        self._stop = 0  #: current stop ordinal (compared against born)
         #: net-layer strip-above intervals retired during the current
         #: stop, by expiry or merge consumption.  Together with in-list
         #: intervals born before the stop, these reconstruct the exact
@@ -181,9 +206,34 @@ class ScanlineEngine:
         self._y: int | None = None
         self._primed = False
 
+        #: deferred strip run: ``(y_lo, y_hi)`` per consecutive stop,
+        #: the diff rows live when the run opened, and the diff row
+        #: count at that moment (rows allocated during the run are
+        #: ``born_start..``).  Flushed through
+        #: :meth:`StripEngine.process_run` before anything that could
+        #: observe or reorder union-find state.
+        self._run_strips: list[tuple[int, int]] = []
+        self._run_stop0 = 0
+        self._run_diff_rows: list[int] = []
+        self._run_born_start = 0
+        #: diff active count of the most recent strip (processed or
+        #: deferred); a strip may join a run only when it or its
+        #: predecessor has no diffusion, so run strips never bind
+        #: vertically to one another.
+        self._last_strip_diff = 0
+
         #: the pluggable step-2.c back-end; see docs/ENGINES.md
         self.strip_engine = create_strip_engine(engine, self)
         self.engine_name = self.strip_engine.name
+        #: strip runs require a run-capable engine and none of the
+        #: per-strip side channels (geometry replay, window boundary
+        #: capture, strip consumers)
+        self._batch_ok = (
+            self.strip_engine.supports_runs
+            and not keep_geometry
+            and window is None
+            and not self.strip_consumers
+        )
 
     # ------------------------------------------------------------------
     # driver
@@ -203,10 +253,14 @@ class ScanlineEngine:
         exact in-memory sweep: band boundaries only ever *pause between
         natural stops*, never force one, so every counter in
         :class:`~repro.core.stats.ScanStats` and every strip handed to
-        the engine is identical to an unbanded run.
+        the engine is identical to an unbanded run.  Any open strip run
+        is flushed before the method returns, so suspension state never
+        contains deferred strips.
         """
         timer = self.timer
         stats = self.stats
+        prof = self._profile
+        perf = time.perf_counter
         timer.start("frontend")
         if not self._primed:
             y = stream.next_top()
@@ -218,6 +272,12 @@ class ScanlineEngine:
         y = self._y
 
         strip_engine = self.strip_engine
+        batch_ok = self._batch_ok
+        net_layers = self._net_layers
+        diff_order = self._tables[self._diff].order
+        contact_order = self._tables[self._contact].order
+        buried_order = self._tables[self._buried].order
+        implant_order = self._tables[self._implant].order
 
         while y is not None:
             if y_limit is not None and y <= y_limit:
@@ -227,17 +287,47 @@ class ScanlineEngine:
             scanned_before = stats.intervals_scanned
             pops_before = stats.heap_pops
             timer.start("insert")
-            self._expire(y)
+            if prof is None:
+                self._expire(y)
+            else:
+                fs = self._flush_spent
+                t0 = perf()
+                self._expire(y)
+                prof["expire"] += perf() - t0 - (self._flush_spent - fs)
             timer.start("frontend")
             new_boxes = stream.fetch(y)
             timer.start("insert")
-            self._enter_continuations(y)
-            for layer, box in new_boxes:
-                stats.boxes_in += 1
-                self._insert(
-                    layer, box.xmin, box.xmax, box.ymin, None, True, box
-                )
-            y_next = self._next_stop(stream, y)
+            if self._run_strips and (
+                (self._pending and -self._pending[0][0] == y)
+                or any(layer in net_layers for layer, _ in new_boxes)
+            ):
+                # A net-layer insert or a re-entering continuation can
+                # make or union nets; the run's deferred batch allocations
+                # must land first so union-find id order matches the
+                # stop-by-stop sequence exactly.
+                self._flush_run()
+            if prof is None:
+                self._enter_continuations(y)
+                for layer, box in new_boxes:
+                    stats.boxes_in += 1
+                    self._insert(
+                        layer, box.xmin, box.xmax, box.ymin, None, True, box
+                    )
+            else:
+                t0 = perf()
+                self._enter_continuations(y)
+                for layer, box in new_boxes:
+                    stats.boxes_in += 1
+                    self._insert(
+                        layer, box.xmin, box.xmax, box.ymin, None, True, box
+                    )
+                prof["insert"] += perf() - t0
+            if prof is None:
+                y_next = self._next_stop(stream, y)
+            else:
+                t0 = perf()
+                y_next = self._next_stop(stream, y)
+                prof["schedule"] += perf() - t0
             overhead = (stats.intervals_scanned - scanned_before) - (
                 stats.heap_pops - pops_before
             )
@@ -251,10 +341,39 @@ class ScanlineEngine:
             stats.observe_active(total_active)
             if total_active:
                 stats.strips += 1
-            strip_engine.process_strip(y_next, y, stream)
+            if (
+                batch_ok
+                and not self._labels
+                and not contact_order
+                and not buried_order
+                and not implant_order
+                and (self._last_strip_diff == 0 or not diff_order)
+                and len(stream.labels()) == self._labels_taken
+            ):
+                # Defer the strip: no label can land in it, nothing on
+                # the contact/buried/implant layers, and it never binds
+                # vertically to the previous strip.  The engine replays
+                # the whole run from the diff rows' born/died stamps.
+                if not self._run_strips:
+                    self._run_stop0 = self._stop
+                    self._run_diff_rows = list(diff_order)
+                    self._run_born_start = self._tables[self._diff].rows()
+                self._run_strips.append((y_next, y))
+            else:
+                if self._run_strips:
+                    self._flush_run()
+                if prof is None:
+                    strip_engine.process_strip(y_next, y, stream)
+                else:
+                    t0 = perf()
+                    strip_engine.process_strip(y_next, y, stream)
+                    prof["strip"] += perf() - t0
+            self._last_strip_diff = len(diff_order)
             timer.start("frontend")
             y = y_next
 
+        if self._run_strips:
+            self._flush_run()
         self._y = y
         return y is not None
 
@@ -262,11 +381,59 @@ class ScanlineEngine:
         """Close the sweep: flush consumers and fold the circuit."""
         timer = self.timer
         timer.start("output")
-        for consumer in self.strip_consumers:
-            consumer.finish()
-        circuit = self._finalize()
+        if self._run_strips:  # pragma: no cover - advance always flushes
+            self._flush_run()
+        prof = self._profile
+        if prof is None:
+            for consumer in self.strip_consumers:
+                consumer.finish()
+            circuit = self._finalize()
+        else:
+            t0 = time.perf_counter()
+            for consumer in self.strip_consumers:
+                consumer.finish()
+            circuit = self._finalize()
+            prof["finalize"] += time.perf_counter() - t0
         timer.stop()
         return circuit
+
+    def _flush_run(self) -> None:
+        """Hand the deferred strip run to the engine in one call.
+
+        Billed to the ``devices`` timer phase (and the profiler's
+        ``strip`` bucket) regardless of which host phase triggered the
+        flush; the triggering phase subtracts the time via
+        ``_flush_spent``.
+        """
+        strips = self._run_strips
+        if not strips:
+            return
+        timer = self.timer
+        prev = timer._active
+        timer.start("devices")
+        prof = self._profile
+        if prof is None:
+            self.strip_engine.process_run(
+                self._run_stop0,
+                strips,
+                self._run_diff_rows,
+                self._run_born_start,
+            )
+        else:
+            t0 = time.perf_counter()
+            self.strip_engine.process_run(
+                self._run_stop0,
+                strips,
+                self._run_diff_rows,
+                self._run_born_start,
+            )
+            dt = time.perf_counter() - t0
+            prof["strip"] += dt
+            self._flush_spent += dt
+        self._run_strips = []
+        self._run_diff_rows = []
+        if prev is not None and prev != "devices":
+            timer.start(prev)
 
     # ------------------------------------------------------------------
     # banded sweeps: liveness, retirement, checkpoint state
@@ -286,12 +453,14 @@ class ScanlineEngine:
         find = self._nets.find
         live: set[int] = set()
         for layer in self._net_layers:
-            for iv in self._active[layer]:
-                live.add(find(iv[_NET]))
+            t = self._tables[layer]
+            net = t.net
+            for rid in t.order:
+                live.add(find(net[rid]))
         for entry in self._pending:
-            net = entry[6]
-            if net is not None:
-                live.add(find(net))
+            net_id = entry[6]
+            if net_id is not None:
+                live.add(find(net_id))
         return live
 
     def retire_net_payload(self, dead_roots: "set[int]") -> dict[int, dict]:
@@ -334,18 +503,35 @@ class ScanlineEngine:
         rebuilt from live intervals alone would pop and lazily discard
         different entry counts after resume, so the restored ScanStats
         would diverge from an uninterrupted run.  Live entries become
-        indices into the layer's active list; dead ones keep only their
-        ``(-ybot, seq)`` ordering key.
+        indices into the layer's live row order; dead ones keep only
+        their ``(-ybot, seq)`` ordering key.  Columnar tables serialize
+        as the same per-interval row schema the list-record host used
+        (``[x1, x2, ybot, net, live, born]`` with ``net`` None on
+        non-net layers), so checkpoints round-trip losslessly.
         """
+        if self._run_strips:  # pragma: no cover - advance always flushes
+            self._flush_run()
         active: dict[str, list[list]] = {}
         heaps: dict[str, list[list]] = {}
-        for layer in sorted(self._active):
-            ivs = self._active[layer]
-            pos = {id(iv): i for i, iv in enumerate(ivs)}
-            active[layer] = [list(iv) for iv in ivs]
+        for layer in sorted(self._tables):
+            t = self._tables[layer]
+            carries_net = layer in self._net_layers
+            x1, x2, ybot, net, born = t.x1, t.x2, t.ybot, t.net, t.born
+            active[layer] = [
+                [
+                    x1[rid],
+                    x2[rid],
+                    ybot[rid],
+                    net[rid] if carries_net else None,
+                    True,
+                    born[rid],
+                ]
+                for rid in t.order
+            ]
+            pos = {rid: i for i, rid in enumerate(t.order)}
             heaps[layer] = [
-                [neg_bot, seq, pos.get(id(iv))]
-                for neg_bot, seq, iv in self._heaps[layer]
+                [neg_bot, seq, pos.get(rid)]
+                for neg_bot, seq, rid in self._heaps[layer]
             ]
         return {
             "y": self._y,
@@ -355,7 +541,11 @@ class ScanlineEngine:
             "active_count": self._active_count,
             "active": active,
             "heaps": heaps,
-            "versions": dict(self._versions),
+            "versions": {
+                layer: self._tables[layer].version
+                for layer in sorted(self._tables)
+            },
+            "last_strip_diff": self._last_strip_diff,
             "pending": [list(entry) for entry in self._pending],
             "pending_seq": self._pending_seq,
             "labels_taken": self._labels_taken,
@@ -391,7 +581,11 @@ class ScanlineEngine:
         """Restore a sweep suspended by :meth:`snapshot_state`.
 
         The engine must have been constructed with the same technology
-        and options as the one that produced the snapshot.
+        and options as the one that produced the snapshot.  Restored
+        live rows get row ids equal to their live-order index, so a
+        snapshot taken immediately after restore is identical to the
+        one restored from; dead heap references become dead placeholder
+        rows that nothing else can reach.
         """
         self._y = state["y"]
         self._primed = bool(state["primed"])
@@ -399,25 +593,32 @@ class ScanlineEngine:
         self._heap_seq = int(state["heap_seq"])
         self._active_count = int(state["active_count"])
         for layer, rows in state["active"].items():
-            ivs = [
-                [row[0], row[1], row[2], row[3], bool(row[4]), row[5]]
-                for row in rows
-            ]
-            self._active[layer] = ivs
-            self._keys[layer] = [iv[_X1] for iv in ivs]
+            t = self._tables[layer]
+            t.clear()
+            for row in rows:
+                net = row[3]
+                t.alloc(
+                    row[0],
+                    row[1],
+                    row[2],
+                    NO_NET if net is None else net,
+                    row[5],
+                )
+            t.order = list(range(len(rows)))
+            t.keys = [row[0] for row in rows]
+            t.version = int(state["versions"][layer])
             # The serialized list order IS the heap order; rebuilding
             # entry by entry (no heapify) preserves the exact structure.
-            self._heaps[layer] = [
-                (
-                    neg_bot,
-                    seq,
-                    ivs[ref]
-                    if ref is not None
-                    else [0, 0, -neg_bot, None, False, 0],
-                )
-                for neg_bot, seq, ref in state["heaps"][layer]
-            ]
-        self._versions.update(state["versions"])
+            heap: list[tuple[int, int, int]] = []
+            for neg_bot, seq, ref in state["heaps"][layer]:
+                if ref is None:
+                    rid = t.alloc(0, 0, -neg_bot, NO_NET, 0)
+                    t.kill(rid, 0)
+                else:
+                    rid = ref
+                heap.append((neg_bot, seq, rid))
+            self._heaps[layer] = heap
+        self._last_strip_diff = int(state.get("last_strip_diff", -1))
         self._pending = [
             (e[0], e[1], e[2], e[3], e[4], e[5], e[6])
             for e in state["pending"]
@@ -447,6 +648,14 @@ class ScanlineEngine:
         self._nets.restore(state["nets"])
         self._devs.restore(state["devs"])
         self.stats.restore(state["stats"])
+        if self._profile is not None:
+            # Re-link the shared profile dict: adopt restored timings
+            # when the snapshot carried them, keep accumulating into
+            # the same object either way.
+            if isinstance(self.stats.profile, dict):
+                self._profile = self.stats.profile
+            else:
+                self.stats.profile = self._profile
         self.strip_engine.restore_state(state["engine"])
 
     def _next_stop(self, stream: GeometryStream, y: int) -> int | None:
@@ -457,11 +666,14 @@ class ScanlineEngine:
             top = -self._pending[0][0]
             if best is None or top > best:
                 best = top
-        for heap in self._heaps.values():
+        for layer, heap in self._heaps.items():
+            if not heap:
+                continue
+            live = self._tables[layer].live
             while heap:
                 stats.intervals_scanned += 1
-                neg_bot, _, iv = heap[0]
-                if iv[_LIVE]:
+                neg_bot, _, rid = heap[0]
+                if live[rid]:
                     bot = -neg_bot
                     if best is None or bot > best:
                         best = bot
@@ -494,33 +706,39 @@ class ScanlineEngine:
         for layer in retired:
             if retired[layer]:
                 retired[layer] = []
+        stop = self._stop
         for layer, heap in self._heaps.items():
             if not heap:
                 continue
+            t = self._tables[layer]
+            live = t.live
             retired_here = retired.get(layer)
+            is_poly = layer == self._poly
             while heap:
                 stats.intervals_scanned += 1
-                neg_bot, _, iv = heap[0]
-                if iv[_LIVE] and -neg_bot != y:
+                neg_bot, _, rid = heap[0]
+                if live[rid] and -neg_bot != y:
                     break
                 heapq.heappop(heap)
                 stats.heap_pops += 1
-                if not iv[_LIVE]:
+                if not live[rid]:
                     stats.lazy_discards += 1
                     continue
+                if is_poly and self._run_strips:
+                    # Deferred strips all lie above this expiry, so the
+                    # run must replay against the pre-expiry poly view.
+                    self._flush_run()
                 stats.expired += 1
-                iv[_LIVE] = False
-                intervals = self._active[layer]
-                keys = self._keys[layer]
+                t.kill(rid, stop)
                 # Live intervals are disjoint, so x1 is unique: bisect
                 # lands exactly on the retiring interval.
-                i = bisect_left(keys, iv[_X1])
-                del intervals[i]
-                del keys[i]
-                self._versions[layer] += 1
+                i = bisect_left(t.keys, t.x1[rid])
+                del t.order[i]
+                del t.keys[i]
+                t.version += 1
                 self._active_count -= 1
                 if retired_here is not None:
-                    retired_here.append((iv[_X1], iv[_X2], iv[_NET]))
+                    retired_here.append((t.x1[rid], t.x2[rid], t.net[rid]))
 
     def _enter_continuations(self, y: int) -> None:
         """Re-insert buffered lower portions whose top is the scanline."""
@@ -539,7 +757,7 @@ class ScanlineEngine:
         fresh: bool,
         box: Box | None,
     ) -> None:
-        """Merge one box (or continuation) into a layer's active list.
+        """Merge one box (or continuation) into a layer's active table.
 
         ``net`` is None for fresh geometry (a net is allocated on demand
         for net-carrying layers) and pre-bound for continuations.  ``box``
@@ -549,13 +767,14 @@ class ScanlineEngine:
         nets of strip-above intervals that retired at this very stop;
         adjacency to intervals that continue below is the ordinary merge.
         """
-        intervals = self._active.get(layer)
-        if intervals is None:
+        t = self._tables.get(layer)
+        if t is None:
             if layer not in self._ignored and layer not in self._unknown_layers:
                 self._unknown_layers.add(layer)
                 self._warnings.append(f"ignoring geometry on unknown layer {layer}")
             return
-        keys = self._keys[layer]
+        keys = t.keys
+        order = t.order
         carries_net = layer in self._net_layers
 
         if carries_net:
@@ -567,7 +786,7 @@ class ScanlineEngine:
                 # the strip above ended joins the nets above it.  The
                 # strip-above view is reconstructed from two event-bounded
                 # sources: intervals retired during this stop (expiry or
-                # merge consumption) and in-list survivors born before
+                # merge consumption) and in-table survivors born before
                 # this stop.  Union order follows ascending x1, exactly
                 # as a full strip snapshot would.
                 cands: list[tuple[int, int]] | None = None
@@ -578,19 +797,21 @@ class ScanlineEngine:
                         for px1, px2, pnet in retired
                         if px2 > x1 and px1 < x2
                     ]
+                tx1, tx2 = t.x1, t.x2
+                tborn, tnet = t.born, t.net
                 i = bisect_left(keys, x1)
-                if i > 0 and intervals[i - 1][_X2] > x1:
+                if i > 0 and tx2[order[i - 1]] > x1:
                     i -= 1
-                n_intervals = len(intervals)
+                n_live = len(order)
                 born_limit = self._stop
-                while i < n_intervals:
-                    iv = intervals[i]
-                    if iv[_X1] >= x2:
+                while i < n_live:
+                    rid = order[i]
+                    if tx1[rid] >= x2:
                         break
-                    if iv[_BORN] < born_limit and iv[_X2] > x1:
+                    if tborn[rid] < born_limit and tx2[rid] > x1:
                         if cands is None:
                             cands = []
-                        cands.append((iv[_X1], iv[_NET]))
+                        cands.append((tx1[rid], tnet[rid]))
                     i += 1
                 if cands:
                     cands.sort()
@@ -605,60 +826,64 @@ class ScanlineEngine:
 
         # Locate the run of intervals that overlap or abut [x1, x2].
         lo = bisect_left(keys, x1)
-        if lo > 0 and intervals[lo - 1][_X2] >= x1:
+        if lo > 0 and t.x2[order[lo - 1]] >= x1:
             lo -= 1
         hi = bisect_right(keys, x2, lo=lo)
         if lo == hi:
-            interval = [x1, x2, ybot, net, True, self._stop]
-            intervals.insert(lo, interval)
+            rid = t.alloc(
+                x1, x2, ybot, NO_NET if net is None else net, self._stop
+            )
+            order.insert(lo, rid)
             keys.insert(lo, x1)
-            self._versions[layer] += 1
+            t.version += 1
             self._active_count += 1
-            self._schedule(layer, interval)
+            self._schedule(layer, rid, ybot)
             return
 
-        # Merge the new box with intervals[lo:hi] (step 2.b).  The merged
-        # interval lives until the *earliest* bottom; the deeper remainder
-        # of every taller piece re-enters from the pending buffer.  The
-        # consumed pieces are lazily invalidated: their heap entries stay
-        # queued, flagged dead, and are dropped when they surface.
+        # Merge the new box with the rows at order[lo:hi] (step 2.b).
+        # The merged interval lives until the *earliest* bottom; the
+        # deeper remainder of every taller piece re-enters from the
+        # pending buffer.  The consumed pieces are lazily invalidated:
+        # their heap entries stay queued, flagged dead, and are dropped
+        # when they surface.
         self.stats.merges += 1
-        pieces = intervals[lo:hi]
-        new_x1 = min(x1, pieces[0][_X1])
-        new_x2 = max(x2, pieces[-1][_X2])
+        pieces = order[lo:hi]
+        tx1, tx2, tybot, tnet = t.x1, t.x2, t.ybot, t.net
+        new_x1 = min(x1, tx1[pieces[0]])
+        new_x2 = max(x2, tx2[pieces[-1]])
         max_bot = ybot
-        for piece in pieces:
-            if piece[_YBOT] > max_bot:
-                max_bot = piece[_YBOT]
+        for rid in pieces:
+            if tybot[rid] > max_bot:
+                max_bot = tybot[rid]
             if carries_net:
-                net = self._nets.union(net, piece[_NET])
+                net = self._nets.union(net, tnet[rid])
         stop = self._stop
         retired = self._prev_retired.get(layer) if carries_net else None
-        for piece in pieces:
-            piece[_LIVE] = False
-            if retired is not None and piece[_BORN] < stop:
+        for rid in pieces:
+            t.kill(rid, stop)
+            if retired is not None and t.born[rid] < stop:
                 # A consumed strip-above interval stays visible to later
                 # same-stop vertical-adjacency checks.
-                retired.append((piece[_X1], piece[_X2], piece[_NET]))
-            if piece[_YBOT] < max_bot:
+                retired.append((tx1[rid], tx2[rid], tnet[rid]))
+            if tybot[rid] < max_bot:
                 self._push_pending(
-                    layer, piece[_X1], piece[_X2], max_bot, piece[_YBOT], net
+                    layer, tx1[rid], tx2[rid], max_bot, tybot[rid], net
                 )
         if ybot < max_bot:
             self._push_pending(layer, x1, x2, max_bot, ybot, net)
-        merged = [new_x1, new_x2, max_bot, net, True, stop]
-        intervals[lo:hi] = [merged]
-        keys[lo:hi] = [new_x1]
-        self._versions[layer] += 1
-        self._active_count += 1 - len(pieces)
-        self._schedule(layer, merged)
-
-    def _schedule(self, layer: str, interval: list) -> None:
-        """Register an interval's bottom edge on its layer's event heap."""
-        self._heap_seq += 1
-        heapq.heappush(
-            self._heaps[layer], (-interval[_YBOT], self._heap_seq, interval)
+        merged = t.alloc(
+            new_x1, new_x2, max_bot, NO_NET if net is None else net, stop
         )
+        order[lo:hi] = [merged]
+        keys[lo:hi] = [new_x1]
+        t.version += 1
+        self._active_count += 1 - len(pieces)
+        self._schedule(layer, merged, max_bot)
+
+    def _schedule(self, layer: str, rid: int, ybot: int) -> None:
+        """Register a row's bottom edge on its layer's event heap."""
+        self._heap_seq += 1
+        heapq.heappush(self._heaps[layer], (-ybot, self._heap_seq, rid))
         self.stats.heap_pushes += 1
 
     def _push_pending(
@@ -681,10 +906,10 @@ class ScanlineEngine:
         channels: list[tuple[int, int, int]],
     ) -> None:
         """Hand the strip's spans to every attached consumer."""
-        spans = {
-            layer: [(iv[_X1], iv[_X2]) for iv in ivs]
-            for layer, ivs in self._active.items()
-        }
+        spans: dict[str, list[tuple[int, int]]] = {}
+        for layer, t in self._tables.items():
+            x1, x2 = t.x1, t.x2
+            spans[layer] = [(x1[rid], x2[rid]) for rid in t.order]
         for consumer in self.strip_consumers:
             consumer.observe_strip(y_lo, y_hi, spans, channels)
 
@@ -748,12 +973,12 @@ class ScanlineEngine:
                 if i >= 0 and cond[i][1] >= x:
                     return cond[i][2]
             elif layer in self._net_layers:
-                keys = self._keys[layer]
-                i = bisect_right(keys, x) - 1
+                t = self._tables[layer]
+                i = bisect_right(t.keys, x) - 1
                 if i >= 0:
-                    iv = self._active[layer][i]
-                    if iv[_X2] >= x:
-                        return iv[_NET]
+                    rid = t.order[i]
+                    if t.x2[rid] >= x:
+                        return t.net[rid]
         return None
 
     # ------------------------------------------------------------------
@@ -777,19 +1002,20 @@ class ScanlineEngine:
         # window edge (and one end on the right): bisect to the two
         # candidates instead of scanning the whole list every strip.
         for layer in self._net_layers:
-            intervals = self._active[layer]
-            if not intervals:
+            t = self._tables[layer]
+            order = t.order
+            if not order:
                 continue
-            keys = self._keys[layer]
+            keys = t.keys
             i = bisect_left(keys, wx1)
             if i < len(keys) and keys[i] == wx1:
                 records.append(
-                    (Face.LEFT, layer, y_lo, y_hi, intervals[i][_NET])
+                    (Face.LEFT, layer, y_lo, y_hi, t.net[order[i]])
                 )
             j = bisect_right(keys, wx2) - 1
-            if j >= 0 and intervals[j][_X2] == wx2:
+            if j >= 0 and t.x2[order[j]] == wx2:
                 records.append(
-                    (Face.RIGHT, layer, y_lo, y_hi, intervals[j][_NET])
+                    (Face.RIGHT, layer, y_lo, y_hi, t.net[order[j]])
                 )
         for x1, x2, net in cond:
             if x1 == wx1:
@@ -804,9 +1030,10 @@ class ScanlineEngine:
 
         if y_hi == window.ymax:
             for layer in self._net_layers:
-                for iv in self._active[layer]:
+                t = self._tables[layer]
+                for rid in t.order:
                     records.append(
-                        (Face.TOP, layer, iv[_X1], iv[_X2], iv[_NET])
+                        (Face.TOP, layer, t.x1[rid], t.x2[rid], t.net[rid])
                     )
             for x1, x2, net in cond:
                 records.append((Face.TOP, self._diff, x1, x2, net))
@@ -814,9 +1041,10 @@ class ScanlineEngine:
                 records.append((Face.TOP, CHANNEL, x1, x2, dev))
         if y_lo == window.ymin:
             for layer in self._net_layers:
-                for iv in self._active[layer]:
+                t = self._tables[layer]
+                for rid in t.order:
                     records.append(
-                        (Face.BOTTOM, layer, iv[_X1], iv[_X2], iv[_NET])
+                        (Face.BOTTOM, layer, t.x1[rid], t.x2[rid], t.net[rid])
                     )
             for x1, x2, net in cond:
                 records.append((Face.BOTTOM, self._diff, x1, x2, net))
@@ -843,7 +1071,13 @@ class ScanlineEngine:
         # The engine owns the location folds: canonical net order is
         # topmost, then leftmost, location first.
         roots, locations = self.strip_engine.net_order()
-        index_of = dict(zip(roots, range(1, len(roots) + 1)))
+        # A batch engine reconstructs root -> index from its own order
+        # arrays; the 66k-entry dict is only built when something here
+        # (window boundary mapping, a dict-driven engine) consumes it.
+        if self.strip_engine.wants_index_of or self._boundary:
+            index_of = dict(zip(roots, range(1, len(roots) + 1)))
+        else:
+            index_of = None
 
         # Net materialization runs once per net (66k times on the n=256
         # mesh), so the unlabeled/no-geometry bulk goes through C-level
@@ -856,7 +1090,6 @@ class ScanlineEngine:
                     range(1, len(roots) + 1),
                     map(list, repeat((), len(roots))),
                     locations,
-                    map(list, repeat((), len(roots))),
                 )
             )
         else:
@@ -923,20 +1156,20 @@ class ScanlineEngine:
 
 
 def _intersect_intervals(
-    spans: list[list], intervals: list[list]
+    spans: list[tuple[int, int, int]], intervals: list[tuple[int, int, int]]
 ) -> list[tuple[int, int, int]]:
-    """Intersect two sorted interval lists, keeping the second's nets."""
+    """Intersect two sorted span lists, keeping the second's nets."""
     out: list[tuple[int, int, int]] = []
     i = j = 0
     n_spans, n_intervals = len(spans), len(intervals)
     while i < n_spans and j < n_intervals:
         a = spans[i]
         b = intervals[j]
-        lo = a[_X1] if a[_X1] > b[_X1] else b[_X1]
-        hi = a[_X2] if a[_X2] < b[_X2] else b[_X2]
+        lo = a[0] if a[0] > b[0] else b[0]
+        hi = a[1] if a[1] < b[1] else b[1]
         if lo < hi:
-            out.append((lo, hi, b[_NET]))
-        if a[_X2] <= b[_X2]:
+            out.append((lo, hi, b[2]))
+        if a[1] <= b[1]:
             i += 1
         else:
             j += 1
@@ -944,25 +1177,25 @@ def _intersect_intervals(
 
 
 def _subtract_channels(
-    segments: list[tuple[int, int, int]], holes: list[list]
+    segments: list[tuple[int, int, int]], holes: list[tuple[int, int, int]]
 ) -> list[tuple[int, int, int]]:
-    """Channel segments minus hole intervals, keeping each gate net."""
+    """Channel segments minus hole spans, keeping each gate net."""
     out: list[tuple[int, int, int]] = []
     hj = 0
     n_holes = len(holes)
     for x1, x2, pnet in segments:
         pos = x1
-        while hj < n_holes and holes[hj][_X2] <= pos:
+        while hj < n_holes and holes[hj][1] <= pos:
             hj += 1
         j = hj
         while j < n_holes:
             hole = holes[j]
-            if hole[_X1] >= x2:
+            if hole[0] >= x2:
                 break
-            if hole[_X1] > pos:
-                out.append((pos, hole[_X1], pnet))
-            if hole[_X2] > pos:
-                pos = hole[_X2]
+            if hole[0] > pos:
+                out.append((pos, hole[0], pnet))
+            if hole[1] > pos:
+                pos = hole[1]
             if pos >= x2:
                 break
             j += 1
@@ -972,14 +1205,13 @@ def _subtract_channels(
 
 
 def _subtract_diff(
-    spans: list[list], holes: list[tuple[int, int, int]]
+    spans: list[tuple[int, int, int]], holes: list[tuple[int, int, int]]
 ) -> list[tuple[int, int]]:
-    """Diffusion intervals minus channel spans; all inputs sorted."""
+    """Diffusion spans minus channel spans; all inputs sorted."""
     out: list[tuple[int, int]] = []
     hj = 0
     n_holes = len(holes)
-    for iv in spans:
-        lo, hi = iv[_X1], iv[_X2]
+    for lo, hi, _ in spans:
         pos = lo
         while hj < n_holes and holes[hj][1] <= pos:
             hj += 1

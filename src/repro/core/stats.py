@@ -74,14 +74,33 @@ class ScanStats:
     intervals_scanned: int = 0  #: heap entries examined across all stops
     max_stop_overhead: int = 0  #: max per-stop examinations beyond removals
 
+    #: Wall-clock seconds per host phase (schedule / expire / insert /
+    #: strip / finalize), populated only when the host runs with
+    #: ``profile=True``; ``None`` otherwise so counter comparisons across
+    #: engines and checkpoint round-trips stay timing-free by default.
+    profile: "dict[str, float] | None" = None
+
     def as_dict(self) -> dict[str, int]:
-        """All counters as a plain dict (checkpoint payload)."""
-        return dict(vars(self))
+        """All counters as a plain dict (checkpoint payload).
+
+        The optional ``profile`` timings ride along only when profiling
+        is on; an unprofiled snapshot is byte-identical to the pre-
+        profiler schema.
+        """
+        out = dict(vars(self))
+        if out.get("profile") is None:
+            out.pop("profile", None)
+        else:
+            out["profile"] = dict(out["profile"])
+        return out
 
     def restore(self, values: dict[str, int]) -> None:
         """Restore counters captured by :meth:`as_dict`."""
         for key, value in values.items():
-            setattr(self, key, int(value))
+            if key == "profile":
+                self.profile = {k: float(v) for k, v in value.items()}
+            else:
+                setattr(self, key, int(value))
 
     @property
     def mean_active(self) -> float:

@@ -140,13 +140,26 @@ class Metrics:
             self.run_latency.observe(run_seconds)
 
     def fold_scan_stats(self, scan: object) -> None:
-        """Accumulate a flat run's ScanStats event counters."""
+        """Accumulate a flat run's ScanStats event counters.
+
+        When the run carried the host's per-phase profiler
+        (``ScanStats.profile``), the phase seconds fold into the stage
+        table as ``scan_<phase>`` rows, decomposing the ``extract``
+        stage the same way ``--profile`` does on the CLI.
+        """
         with self._lock:
             for name in _SCAN_COUNTERS:
                 self.scan[name] += int(getattr(scan, name, 0) or 0)
             self.peak_active = max(
                 self.peak_active, int(getattr(scan, "peak_active", 0) or 0)
             )
+            profile = getattr(scan, "profile", None)
+            if profile:
+                for phase, seconds in profile.items():
+                    key = f"scan_{phase}"
+                    self.stage_seconds[key] = self.stage_seconds.get(
+                        key, 0.0
+                    ) + float(seconds)
 
     def fold_hext_stats(self, stats: object) -> None:
         """Accumulate a hierarchical run's HextStats counters/timers."""

@@ -96,6 +96,7 @@ def stream_extract(
     prefetch: int = 1,
     strip_consumers: tuple = (),
     progress: "ProgressFn | None" = None,
+    profile: bool = False,
 ) -> StreamReport:
     """Extract ``source`` band by band, writing the wirelist to ``out``.
 
@@ -118,6 +119,9 @@ def stream_extract(
         prefetch: bands the producer thread pulls ahead (0 = pull
             inline on the consumer thread).
         progress: callback after each band, for job-status reporting.
+        profile: arm the scanline host's per-phase timers; the
+            breakdown rides ``report.stats.profile`` and survives
+            checkpoint/resume.
     """
     tech = tech or NMOS()
     if resume and checkpoint is None:
@@ -135,6 +139,7 @@ def stream_extract(
         timer=timer,
         strip_consumers=strip_consumers,
         engine=engine,
+        profile=profile,
     )
 
     digest = ckpt.layout_digest(layout, resolution, tech.lambda_)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.scanline import ScanlineEngine
 from repro.frontend import GeometryStream
@@ -21,11 +23,20 @@ from repro.streaming import (
     save_checkpoint,
     stream_extract,
 )
+from repro.workloads.mesh import poly_diff_mesh
 from tests.golden.cases import GOLDEN_CASES
 
 from .harness import ENGINES, TECH, chip_height, expected_text
 
 nand2 = GOLDEN_CASES["nand2"]
+
+#: Layouts the scratch-rebuild property samples: a golden cell with
+#: contacts/labels/implants, and the dense mesh whose sweep lives on
+#: the columnar host's persistent-buffer fast paths.
+_PROPERTY_LAYOUTS = {
+    "nand2": nand2,
+    "mesh8": lambda: poly_diff_mesh(8),
+}
 
 
 def paused_engine(engine: str) -> ScanlineEngine:
@@ -46,6 +57,37 @@ def test_snapshot_roundtrip_is_exact(engine):
     restored = ScanlineEngine(TECH, engine=engine)
     restored.restore_state(snap)
     assert restored.snapshot_state() == snap
+
+
+def _advanced_to(engine: str, layout, y: int) -> ScanlineEngine:
+    scan = ScanlineEngine(TECH, engine=engine)
+    scan.advance(GeometryStream(layout), y)
+    return scan
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(sorted(_PROPERTY_LAYOUTS)),
+    frac=st.floats(min_value=0.02, max_value=0.98),
+)
+def test_restore_is_bit_identical_to_scratch_rebuild(engine, name, frac):
+    """Snapshot/restore equals a from-scratch sweep paused at the same y.
+
+    The host keeps per-layer active intervals in persistent columnar
+    buffers that are updated incrementally across the whole sweep; this
+    pins down that a restored host carries *no* incidental buffer state
+    a fresh host would lack (and vice versa) at any pause point.
+    """
+    layout = _PROPERTY_LAYOUTS[name]()
+    bbox = GeometryStream(layout).chip_bbox
+    y = int(bbox.ymin + frac * (bbox.ymax - bbox.ymin))
+    scratch = _advanced_to(engine, layout, y)
+    snap = _advanced_to(engine, layout, y).snapshot_state()
+    assert snap == scratch.snapshot_state()
+    restored = ScanlineEngine(TECH, engine=engine)
+    restored.restore_state(snap)
+    assert restored.snapshot_state() == scratch.snapshot_state()
 
 
 @pytest.mark.parametrize("engine", ENGINES)

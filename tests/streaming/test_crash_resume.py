@@ -33,7 +33,12 @@ from repro.tech import NMOS
 from tests.golden.cases import GOLDEN_CASES
 
 case, engine, band_height, checkpoint, out_path = sys.argv[1:6]
-layout = GOLDEN_CASES[case]()
+if case.startswith("mesh:"):
+    from repro.workloads.mesh import poly_diff_mesh
+
+    layout = poly_diff_mesh(int(case.split(":", 1)[1]))
+else:
+    layout = GOLDEN_CASES[case]()
 with open(out_path, "w") as out:
     stream_extract(
         layout,
@@ -95,6 +100,43 @@ def test_sigkill_then_resume_is_byte_identical(engine, phase, tmp_path):
     # Relaunch clean (kill hooks off); resume="auto" picks up the
     # checkpoint when one was committed, or starts over when the kill
     # landed before the first commit.
+    resumed = run_child(args, {})
+    assert resumed.returncode == 0, resumed.stderr
+    assert out.read_text() == expected
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sigkill_then_resume_on_mesh_columnar_path(engine, tmp_path):
+    """Kill+resume through the columnar host's buffer fast paths.
+
+    The poly/diffusion mesh keeps every diffusion line live across the
+    whole sweep, so its strips run entirely on the persistent
+    active-interval buffers; a mid-sweep SIGKILL plus resume proves the
+    buffer-backed host state survives the checkpoint round trip on the
+    workload that stresses it hardest.
+    """
+    from repro.workloads.mesh import poly_diff_mesh
+
+    layout = poly_diff_mesh(12)
+    expected = expected_text(layout)
+    band_height = max(1, chip_height(layout) // 9)
+
+    ck = tmp_path / "sweep.ck"
+    out = tmp_path / "out.wirelist"
+    args = ["mesh:12", engine, str(band_height), str(ck), str(out)]
+
+    killed = run_child(
+        args,
+        {
+            "ACE_STREAM_KILL_AFTER_BANDS": "3",
+            "ACE_STREAM_KILL_PHASE": "checkpoint",
+        },
+    )
+    assert killed.returncode == -signal.SIGKILL, (
+        f"child should die by SIGKILL, got rc={killed.returncode}\n"
+        f"stderr: {killed.stderr}"
+    )
+
     resumed = run_child(args, {})
     assert resumed.returncode == 0, resumed.stderr
     assert out.read_text() == expected

@@ -1,5 +1,8 @@
 """The benchmark harness utilities."""
 
+import gc
+import tracemalloc
+
 from repro.bench import (
     SuiteRow,
     Timed,
@@ -58,6 +61,35 @@ class TestHarness:
         run = best_of(3, lambda: calls.append(1) or len(calls))
         assert len(calls) == 3
         assert run.result == 3
+
+    def test_timed_track_alloc_stops_its_own_tracing(self):
+        # Regression: an early version left tracemalloc running after
+        # the call, slowing every later untracked timing in the process.
+        assert not tracemalloc.is_tracing()
+        run = timed(lambda: [0] * 1024, track_alloc=True)
+        assert not tracemalloc.is_tracing()
+        assert run.peak_alloc is not None and run.peak_alloc > 0
+
+    def test_timed_track_alloc_leaves_callers_tracing_alone(self):
+        tracemalloc.start()
+        try:
+            run = timed(lambda: [0] * 1024, track_alloc=True)
+            # The caller started tracing, so timed must not stop it.
+            assert tracemalloc.is_tracing()
+            assert run.peak_alloc is not None
+        finally:
+            tracemalloc.stop()
+
+    def test_timed_restores_gc_state(self):
+        assert gc.isenabled()
+        timed(lambda: None)
+        assert gc.isenabled()
+        gc.disable()
+        try:
+            timed(lambda: None)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
 
 
 class TestSuiteRunner:

@@ -11,9 +11,11 @@ from repro.bench.scanline import (
     bench_scanline,
     check_rows,
     load_baseline,
+    load_baseline_overheads,
     main,
     resolve_bench_engines,
 )
+from repro.core.scanline import PROFILE_PHASES
 from repro.core.stripengine import numpy_available
 
 
@@ -31,6 +33,10 @@ class TestBenchScanline:
         for row in rows:
             assert row["devices"] == row["n"] ** 2
             assert row["counters"]["heap_pushes"] > 0
+            # Python rows carry the identity comparison, never null, so
+            # report consumers can bound the column uniformly.
+            assert row["speedup_vs_python"] == 1.0
+            assert "profile" not in row  # only with profile=True
 
     def test_invariants_hold_on_real_runs(self):
         rows = bench_scanline(sizes=(8, 16), repeats=1, baseline={})
@@ -58,6 +64,50 @@ class TestBenchScanline:
         baseline = load_baseline()
         assert len(baseline) >= 3
         assert all(seconds > 0 for seconds in baseline.values())
+
+    def test_committed_baseline_has_overhead_bounds(self):
+        bounds = load_baseline_overheads()
+        assert bounds  # the committed capture carries the new field
+        assert all(bound >= 1 for bound in bounds.values())
+
+    def test_overhead_bounds_tolerate_legacy_captures(self, tmp_path):
+        legacy = tmp_path / "old.json"
+        legacy.write_text(
+            json.dumps({"rows": [{"n": 8, "seconds": 1.0}]})
+        )
+        assert load_baseline(legacy) == {8: 1.0}
+        assert load_baseline_overheads(legacy) == {}
+
+    def test_check_rows_flags_overhead_regression(self):
+        rows = bench_scanline(
+            sizes=(8,), repeats=1, baseline={}, engines=["python"]
+        )
+        overhead = rows[0]["counters"]["max_stop_overhead"]
+        assert check_rows(rows, overhead_bounds={8: overhead}) == []
+        problems = check_rows(rows, overhead_bounds={8: overhead - 1})
+        assert any("baseline bound" in p for p in problems)
+
+    def test_profile_rows_cover_every_phase(self):
+        rows = bench_scanline(
+            sizes=(8,), repeats=1, baseline={}, engines=["python"],
+            profile=True,
+        )
+        profile = rows[0]["profile"]
+        assert set(profile) == set(PROFILE_PHASES)
+        assert all(seconds >= 0.0 for seconds in profile.values())
+
+    def test_main_profile_writes_sibling_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_scanline.json"
+        assert main(["--sizes", "8", "--repeats", "1",
+                     "--out", str(out), "--profile"]) == 0
+        sibling = tmp_path / "BENCH_scanline_profile.json"
+        payload = json.loads(sibling.read_text())
+        assert payload["phases"] == list(PROFILE_PHASES)
+        assert payload["rows"][0]["n"] == 8
+        assert set(payload["rows"][0]["profile"]) == set(PROFILE_PHASES)
+        # The main report rows carry the same breakdown inline.
+        report = json.loads(out.read_text())
+        assert set(report["rows"][0]["profile"]) == set(PROFILE_PHASES)
 
     def test_main_writes_report(self, tmp_path, capsys):
         out = tmp_path / "BENCH_scanline.json"
@@ -93,7 +143,7 @@ class TestEngineAxis:
         )
         assert [r["engine"] for r in rows] == ["python", "numpy"]
         py, np_ = rows
-        assert py["speedup_vs_python"] is None
+        assert py["speedup_vs_python"] == 1.0
         assert np_["speedup_vs_python"] == pytest.approx(
             py["seconds"] / np_["seconds"]
         )

@@ -57,6 +57,26 @@ class TestFlat:
     def test_check_clean(self, inverter_cif, capsys):
         assert main([inverter_cif, "--check"]) == 0
 
+    def test_profile_breakdown_to_stderr(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "ace profile:" in captured.err
+        for phase in ("schedule", "expire", "insert", "strip", "finalize"):
+            assert phase in captured.err
+        # The profiler must not leak into the wirelist itself.
+        assert "profile" not in captured.out
+
+    def test_profile_with_stream(self, inverter_cif, capsys):
+        assert main([inverter_cif, "--stream", "--profile"]) == 0
+        assert "ace profile:" in capsys.readouterr().err
+
+    def test_profile_hierarchical_notes_flat_only(
+        self, inverter_cif, capsys
+    ):
+        assert main([inverter_cif, "--hierarchical", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "--profile" in err and "--hierarchical" in err
+
     def test_engine_flag_byte_identical_output(self, inverter_cif, capsys):
         from repro.core.stripengine import numpy_available
 
