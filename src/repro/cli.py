@@ -109,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="process lambda in centimicrons (default 250)",
     )
     parser.add_argument(
+        "--deck",
+        default="nmos",
+        metavar="NAME|PATH",
+        help="technology deck: a builtin name (nmos, cmos) or a deck "
+        "JSON file (default nmos)",
+    )
+    parser.add_argument(
         "--engine",
         choices=ENGINE_CHOICES,
         default="auto",
@@ -186,7 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    tech = NMOS(args.lambda_) if args.lambda_ else NMOS()
+    if args.deck == "nmos":
+        tech = NMOS(args.lambda_) if args.lambda_ else NMOS()
+    else:
+        from .lint import resolve_deck
+        from .tech import DeckError, compile_deck
+
+        try:
+            tech = compile_deck(resolve_deck(args.deck, args.lambda_))
+        except (DeckError, KeyError, OSError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: --deck {args.deck}: {message}", file=sys.stderr)
+            return 2
     layout = parse_file(args.cif)
     name = args.cif.rsplit("/", 1)[-1]
     drc_checker = None
@@ -289,7 +307,7 @@ def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
         if args.profile:
             _print_profile(report.stats)
         wirelist = to_wirelist(
-            circuit, name=name, include_geometry=args.geometry
+            circuit, name=name, include_geometry=args.geometry, tech=tech
         )
         if args.stats:
             scan = report.stats
@@ -349,12 +367,12 @@ def _run_extraction(args, tech, layout, name, drc_checker, started) -> int:
             failed = True
 
     if args.check:
-        from .analysis.static_check import DEFAULT_GND_NAMES, DEFAULT_VDD_NAMES
-
+        erc = tech.deck.erc
         report = static_check(
             circuit,
-            vdd_names=DEFAULT_VDD_NAMES + tuple(args.vdd or ()),
-            gnd_names=DEFAULT_GND_NAMES + tuple(args.gnd or ()),
+            tech=tech,
+            vdd_names=tuple(erc.vdd_names) + tuple(args.vdd or ()),
+            gnd_names=tuple(erc.gnd_names) + tuple(args.gnd or ()),
         )
         for diag in report.diagnostics:
             print(f"{diag.severity.value}: [{diag.rule}] {diag.message}", file=sys.stderr)

@@ -65,7 +65,7 @@ from bisect import bisect_left, bisect_right
 from ..frontend.instantiate import PlacedLabel
 from ..frontend.stream import GeometryStream
 from ..geometry import Box
-from ..tech import Technology
+from ..tech import Technology, scan_layers
 from .columnar import NO_NET, LayerTable
 from .netlist import CHANNEL, BoundaryRecord, Circuit, Face
 from .stats import PhaseTimer, ScanStats
@@ -144,26 +144,16 @@ class ScanlineEngine:
         #: within expire/insert bills to "strip", not the host phase
         self._flush_spent = 0.0
 
-        self._metal = tech.conducting_layers[0].cif_name
-        self._poly = tech.channel_layers[1].cif_name
-        self._diff = tech.channel_layers[0].cif_name
-        self._contact = tech.contact_layer.cif_name
-        self._implant = tech.depletion_marker.cif_name
-        self._buried = tech.buried_layer.cif_name
+        roles = scan_layers(tech)
+        self._metal = roles.metal
+        self._poly = roles.poly
+        self._diff = roles.diff
+        self._contact = roles.contact
+        self._implant = roles.marker
+        self._buried = roles.buried
         #: layers whose active intervals carry net ids directly
-        self._net_layers = frozenset(
-            layer.cif_name
-            for layer in tech.conducting_layers
-            if layer.cif_name != self._diff
-        )
-        tracked = {
-            self._metal,
-            self._poly,
-            self._diff,
-            self._contact,
-            self._implant,
-            self._buried,
-        }
+        self._net_layers = roles.net_layers
+        tracked = roles.tracked()
         #: per-layer columnar active-interval tables (docs/ENGINES.md)
         self._tables: dict[str, LayerTable] = {
             name: LayerTable() for name in tracked
@@ -183,7 +173,7 @@ class ScanlineEngine:
         self._prev_retired: dict[str, list[tuple[int, int, int]]] = {
             name: [] for name in self._net_layers
         }
-        self._ignored = {layer.cif_name for layer in tech.ignored_layers}
+        self._ignored = set(roles.ignored)
 
         self._nets = UnionFind()
         self._devs = UnionFind()

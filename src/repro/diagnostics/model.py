@@ -23,6 +23,8 @@ from enum import Enum
 class Severity(str, Enum):
     ERROR = "error"
     WARNING = "warning"
+    #: advisory findings (SARIF "note"): worth seeing, never load-bearing.
+    INFO = "info"
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +116,10 @@ class CheckReport:
     @property
     def warnings(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.INFO]
 
     @property
     def ok(self) -> bool:

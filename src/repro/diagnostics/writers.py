@@ -55,6 +55,8 @@ def format_text(report: CheckReport) -> str:
         f"{len(ordered.errors)} error(s), "
         f"{len(ordered.warnings)} warning(s)"
     )
+    if ordered.infos:
+        summary += f", {len(ordered.infos)} info(s)"
     if ordered.suppressed:
         summary += f", {ordered.suppressed} suppressed by baseline"
     prefix = f"{ordered.artifact}: " if ordered.artifact else ""
@@ -154,7 +156,11 @@ def reports_from_json(text: str) -> list[CheckReport]:
 # SARIF
 # ----------------------------------------------------------------------
 
-_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
 _SEVERITY_OF_LEVEL = {v: k for k, v in _SARIF_LEVEL.items()}
 
 

@@ -49,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CENTIMICRONS", help="process lambda (default 250)",
     )
     parser.add_argument(
+        "--deck", default="nmos", metavar="NAME|PATH",
+        help="technology deck to fuzz under: a builtin name (nmos, "
+        "cmos) or a deck JSON file; generated layouts are retargeted "
+        "to the deck's layers and oracles without support for the "
+        "deck are excluded (default nmos)",
+    )
+    parser.add_argument(
         "--max-failures", type=int, default=5,
         help="stop after this many distinct failures (default 5)",
     )
@@ -95,7 +102,21 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.oracles
         else DEFAULT_ORACLES
     )
-    tech = NMOS(args.lambda_) if args.lambda_ else NMOS()
+    if args.deck == "nmos":
+        tech = NMOS(args.lambda_) if args.lambda_ else NMOS()
+    else:
+        from ..lint import resolve_deck
+        from ..tech import DeckError, compile_deck
+
+        try:
+            tech = compile_deck(resolve_deck(args.deck, args.lambda_))
+        except (DeckError, KeyError, OSError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(
+                f"repro-difftest: --deck {args.deck}: {message}",
+                file=sys.stderr,
+            )
+            return 2
 
     def progress(line: str) -> None:
         if not args.quiet:

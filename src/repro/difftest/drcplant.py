@@ -22,8 +22,14 @@ from ..drc import run_drc
 from ..frontend import instantiate
 from ..geometry import Box
 from ..tech import NMOS, Technology
-from ..workloads import inverter, nand2, single_transistor
-from ..workloads.violations import VIOLATION_SNIPPETS
+from ..workloads import (
+    cmos_inverter,
+    cmos_nand2,
+    inverter,
+    nand2,
+    single_transistor,
+)
+from ..workloads.violations import VIOLATION_SNIPPETS, violation_snippets_for
 from .shrink import ShrinkResult, shrink
 
 #: Clear distance (lambda) between a host's artwork and the planted
@@ -37,6 +43,22 @@ DEFAULT_HOSTS: dict[str, Callable[[int], Layout]] = {
     "nand2": nand2,
     "single_transistor": single_transistor,
 }
+
+#: deck name -> known-clean hosts drawn in that deck's layers.
+DECK_HOSTS: dict[str, dict[str, Callable[[int], Layout]]] = {
+    "nmos": DEFAULT_HOSTS,
+    "cmos": {
+        "cmos_inverter": cmos_inverter,
+        "cmos_nand2": cmos_nand2,
+    },
+}
+
+
+def hosts_for(tech: Technology) -> "dict[str, Callable[[int], Layout]]":
+    """The known-clean host cells drawn in ``tech``'s deck layers."""
+    deck = getattr(tech, "deck", None)
+    name = deck.name if deck is not None else "nmos"
+    return DECK_HOSTS.get(name, DEFAULT_HOSTS)
 
 
 @dataclass
@@ -67,12 +89,17 @@ class SelfTestResult:
         return not self.dirty_hosts and all(p.ok for p in self.plants)
 
 
-def plant_violation(layout: Layout, rule: str, lambda_: int) -> Layout:
+def plant_violation(
+    layout: Layout,
+    rule: str,
+    lambda_: int,
+    snippets: "dict[str, tuple] | None" = None,
+) -> Layout:
     """``layout`` plus ``rule``'s snippet placed clear of its artwork."""
     boxes, _labels = instantiate(layout)
     xmax = max((box.xmax for _layer, box in boxes), default=0)
     ymin = min((box.ymin for _layer, box in boxes), default=0)
-    snippet = VIOLATION_SNIPPETS[rule]
+    snippet = (snippets or VIOLATION_SNIPPETS)[rule]
     min_x = min(x1 for _layer, x1, _y1, _x2, _y2 in snippet)
     dx = xmax + (PLANT_CLEARANCE - min_x) * lambda_
     dy = ymin
@@ -97,9 +124,16 @@ def run_drc_self_test(
     max_probes: int = 200,
     progress: "Callable[[str], None] | None" = None,
 ) -> SelfTestResult:
-    """Plant every violation class into every host and check detection."""
+    """Plant every violation class into every host and check detection.
+
+    Hosts and snippets follow ``tech``'s deck: the planted geometry is
+    rewritten into the deck's layer names and restricted to the rules
+    the deck enables, and the clean host cells are the ones drawn in
+    that deck (:data:`DECK_HOSTS`).
+    """
     tech = tech or NMOS()
-    hosts = hosts if hosts is not None else DEFAULT_HOSTS
+    hosts = hosts if hosts is not None else hosts_for(tech)
+    snippets = violation_snippets_for(tech)
     say = progress or (lambda line: None)
 
     def fired(layout: Layout, rule: str) -> bool:
@@ -117,10 +151,10 @@ def run_drc_self_test(
             clean.append(name)
 
     plants: list[PlantResult] = []
-    for rule in VIOLATION_SNIPPETS:
+    for rule in snippets:
         for name in clean:
             layout = plant_violation(
-                hosts[name](tech.lambda_), rule, tech.lambda_
+                hosts[name](tech.lambda_), rule, tech.lambda_, snippets
             )
             result = PlantResult(rule=rule, host=name, caught=fired(layout, rule))
             if not result.caught:

@@ -29,6 +29,7 @@ from .generator import (
     GenProfile,
     generate_layout,
     iteration_seed,
+    retarget_case,
 )
 from .oracles import Oracle, OracleResult, select_oracles
 from .shrink import shrink
@@ -41,6 +42,8 @@ class DifftestResult:
     iterations: int = 0
     agreed: int = 0
     raster_skips: int = 0
+    #: oracles excluded up front because they do not support the deck.
+    deck_skips: int = 0
     failures: list = field(default_factory=list)
 
     @property
@@ -64,14 +67,18 @@ def run_difftest(
     """Run the harness; see the module docstring for the loop."""
     tech = tech or NMOS()
     oracles = select_oracles(oracle_names)
+    oracles, deck_skips = _deck_capable(oracles, tech)
     if profile is None:
         profile = FAULT_HUNT_PROFILE if fault else DEFAULT_PROFILE
     result = DifftestResult()
+    result.deck_skips = deck_skips
 
     with inject_fault(fault):
         for index in range(iterations):
             sub_seed = iteration_seed(seed, index)
-            case = generate_layout(sub_seed, tech.lambda_, profile)
+            case = retarget_case(
+                generate_layout(sub_seed, tech.lambda_, profile), tech
+            )
             usable = tuple(
                 oracle
                 for oracle in oracles
@@ -131,7 +138,22 @@ def check_layout(
 ) -> "list[Mismatch]":
     """Cross-check one explicit layout (used by tests and repro replay)."""
     tech = tech or NMOS()
-    return _cross_check(layout, select_oracles(oracle_names), tech)
+    oracles, _ = _deck_capable(select_oracles(oracle_names), tech)
+    return _cross_check(layout, oracles, tech)
+
+
+def _deck_capable(
+    oracles: "tuple[Oracle, ...]", tech: Technology
+) -> "tuple[tuple[Oracle, ...], int]":
+    """The oracles validated for ``tech``'s deck, plus the skip count."""
+    deck_name = tech.deck.name if tech.deck is not None else "nmos"
+    capable = tuple(o for o in oracles if o.supports_deck(deck_name))
+    if len(capable) < 2:
+        raise ValueError(
+            f"deck {deck_name!r} leaves {len(capable)} capable oracle(s); "
+            "differential testing needs at least two"
+        )
+    return capable, len(oracles) - len(capable)
 
 
 def _cross_check(

@@ -377,3 +377,101 @@ def _on_any_edge(x: int, y: int, boxes: "list[Box]") -> bool:
 def iteration_seed(seed: int, index: int) -> int:
     """The per-iteration sub-seed: stable, well spread, positive."""
     return (seed * 1_000_003 + index * 7_919 + 0x5F0F) & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------------
+# deck retargeting
+# ----------------------------------------------------------------------
+
+#: The canonical layer names the motifs draw in (the NMOS deck's).
+CANONICAL_LAYERS = ("NM", "NP", "ND", "NC", "NI", "NB", "NG")
+
+
+def deck_layer_map(tech) -> "dict[str, str | None]":
+    """Canonical generator layers -> the target deck's role layers.
+
+    The motifs are written against the NMOS layer names; a deck with
+    different names (or without some role -- e.g. no buried windows)
+    gets the same geometry with each canonical layer rewritten to the
+    layer holding that role in the deck.  ``None`` means the role does
+    not exist and its geometry is dropped.
+    """
+    from ..tech import ABSENT_LAYER, scan_layers
+
+    roles = scan_layers(tech)
+
+    def role(name: str) -> "str | None":
+        return None if name == ABSENT_LAYER else name
+
+    return {
+        "NM": roles.metal,
+        "NP": roles.poly,
+        "ND": roles.diff,
+        "NC": roles.contact,
+        "NI": role(roles.marker),
+        "NB": role(roles.buried),
+        "NG": None,
+    }
+
+
+def remap_layout(layout: Layout, mapping: "dict[str, str | None]") -> Layout:
+    """A copy of ``layout`` with every layer rewritten through ``mapping``.
+
+    Geometry on a layer mapped to ``None`` is dropped; layers absent
+    from the mapping pass through unchanged.  Symbol numbers, calls,
+    transforms, and label positions are preserved, so the remapped
+    layout exercises the same hierarchy and the same coordinates.
+    """
+    out = Layout()
+
+    def fill(src, dst) -> None:
+        for layer, box in src.boxes:
+            target = mapping.get(layer, layer)
+            if target is not None:
+                dst.add_box(target, box)
+        for layer, polygon in src.polygons:
+            target = mapping.get(layer, layer)
+            if target is not None:
+                dst.add_polygon(target, polygon)
+        for layer, width, points in src.wires:
+            target = mapping.get(layer, layer)
+            if target is not None:
+                dst.add_wire(target, width, points)
+        for call in src.calls:
+            dst.add_call(call.symbol, call.transform)
+        for label in src.labels:
+            target = (
+                mapping.get(label.layer, label.layer)
+                if label.layer is not None
+                else None
+            )
+            if label.layer is not None and target is None:
+                continue  # anchored to a dropped layer
+            dst.add_label(
+                Label(label.name, label.x, label.y, target)
+            )
+
+    for number, symbol in layout.symbols.items():
+        fill(symbol, out.define(number))
+    fill(layout.top, out.top)
+    out.validate()
+    return out
+
+
+def retarget_case(case: GeneratedCase, tech) -> GeneratedCase:
+    """``case`` rewritten for ``tech``'s deck (identity for NMOS names).
+
+    The rng stream is untouched -- retargeting is a pure post-pass --
+    so seed N under any deck is the same geometry, just dressed in that
+    deck's layers.
+    """
+    mapping = deck_layer_map(tech)
+    identity = ("NM", "NP", "ND", "NC", "NI", "NB")
+    if all(mapping.get(name) == name for name in identity):
+        return case
+    return GeneratedCase(
+        seed=case.seed,
+        layout=remap_layout(case.layout, mapping),
+        grid_aligned=case.grid_aligned,
+        description=case.description,
+    )

@@ -56,6 +56,13 @@ class Oracle:
     grid_exact: bool
     sizes_exact: bool
     runner: Callable[[Layout, Technology], Circuit]
+    #: deck names this oracle is validated for; ``None`` means the
+    #: implementation is deck-agnostic (it reads every layer role from
+    #: the compiled technology and handles any valid deck).
+    decks: "tuple[str, ...] | None" = None
+
+    def supports_deck(self, deck_name: str) -> bool:
+        return self.decks is None or deck_name in self.decks
 
     def run(self, layout: Layout, tech: Technology) -> "OracleResult":
         circuit = self.runner(layout, tech)
@@ -105,7 +112,9 @@ def _stream_extract_oracle(layout: Layout, tech: Technology) -> Circuit:
     from ..streaming import stream_extract
 
     reference = extract(layout, tech)
-    expected = write_wirelist(to_wirelist(reference, name="difftest.cif"))
+    expected = write_wirelist(
+        to_wirelist(reference, name="difftest.cif", tech=tech)
+    )
     stream = GeometryStream(layout)
     bbox = stream.chip_bbox
     height = (bbox.ymax - bbox.ymin) if bbox else 0
@@ -133,8 +142,12 @@ def _numpy_engine_extract(layout: Layout, tech: Technology) -> Circuit:
     """
     fast = extract(layout, tech, engine="numpy")
     reference = extract(layout, tech, engine="python")
-    fast_text = write_wirelist(to_wirelist(fast, name="difftest.cif"))
-    ref_text = write_wirelist(to_wirelist(reference, name="difftest.cif"))
+    fast_text = write_wirelist(
+        to_wirelist(fast, name="difftest.cif", tech=tech)
+    )
+    ref_text = write_wirelist(
+        to_wirelist(reference, name="difftest.cif", tech=tech)
+    )
     if fast_text != ref_text:
         raise EngineParityError(
             "numpy strip engine wirelist differs from the python "
@@ -182,12 +195,14 @@ def _service_extract(layout: Layout, tech: Technology) -> Circuit:
     expected = write_wirelist(
         to_hierarchical_wirelist(local, name="difftest.cif")
     )
+    deck = tech.deck
     result = _service_client().extract(
         write_cif(layout),
         name="difftest.cif",
         hext=True,
         jobs=2,
         lambda_=tech.lambda_,
+        deck=deck.name if deck is not None else "nmos",
         wait_timeout=120.0,
     )
     if result["wirelist"] != expected:
@@ -231,6 +246,9 @@ ORACLES: dict[str, Oracle] = {
             grid_exact=True,
             sizes_exact=True,
             runner=_service_extract,
+            # The daemon protocol names decks; only builtin names can
+            # cross the wire, so custom deck files are gated out here.
+            decks=("nmos", "cmos"),
         ),
         *(
             (
@@ -262,6 +280,7 @@ ORACLES: dict[str, Oracle] = {
             grid_exact=False,
             sizes_exact=False,
             runner=lambda layout, tech: extract_raster(layout, tech),
+            decks=("nmos", "cmos"),
         ),
         Oracle(
             "polyflat",
@@ -269,6 +288,7 @@ ORACLES: dict[str, Oracle] = {
             grid_exact=True,
             sizes_exact=False,
             runner=lambda layout, tech: extract_polyflat(layout, tech),
+            decks=("nmos", "cmos"),
         ),
     )
 }

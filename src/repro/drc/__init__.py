@@ -26,6 +26,8 @@ from .rules import (
     RULE_WIDTH,
     LambdaRules,
     default_rules,
+    help_for,
+    rules_for,
 )
 
 __all__ = [
@@ -40,6 +42,8 @@ __all__ = [
     "DrcChecker",
     "LambdaRules",
     "default_rules",
+    "help_for",
+    "rules_for",
     "run_drc",
 ]
 
@@ -59,8 +63,8 @@ def run_drc(
     Args:
         source: CIF text or a parsed :class:`Layout`.
         tech: process rules; defaults to standard NMOS.
-        rules: lambda deck; defaults to :func:`default_rules` at the
-            technology's lambda.
+        rules: lambda deck; defaults to :func:`rules_for` -- the
+            technology deck's dimensional section.
         enabled: restrict checking to these rule ids (None = all).
         resolution: fracture resolution for non-manhattan geometry.
         attribute: map violations back to the CIF symbols whose
@@ -72,7 +76,7 @@ def run_drc(
     """
     tech = tech or NMOS()
     layout = parse(source) if isinstance(source, str) else source
-    checker = DrcChecker(tech, rules or default_rules(tech.lambda_), enabled=enabled)
+    checker = DrcChecker(tech, rules or rules_for(tech), enabled=enabled)
     extract_report(
         layout, tech, resolution=resolution, strip_consumers=(checker,)
     )

@@ -33,8 +33,9 @@ from dataclasses import dataclass, field
 
 from ..core.scanline import StripConsumer
 from ..diagnostics import CheckReport, Diagnostic, Severity
-from ..tech import NMOS, Technology
+from ..tech import ABSENT_LAYER, NMOS, Technology, scan_layers
 from .rules import (
+    ALL_RULES,
     RULE_BURIED_ENCLOSURE,
     RULE_CONTACT_ENCLOSURE,
     RULE_GATE_EXTENSION,
@@ -42,7 +43,7 @@ from .rules import (
     RULE_SPACING,
     RULE_WIDTH,
     LambdaRules,
-    default_rules,
+    rules_for,
 )
 from .spans import (
     intersect_spans,
@@ -101,18 +102,32 @@ class DrcChecker(StripConsumer):
         enabled: "frozenset[str] | None" = None,
     ) -> None:
         self.tech = tech or NMOS()
-        self.rules = rules or default_rules(self.tech.lambda_)
-        self.enabled = enabled  # None = all rules
+        self.rules = rules or rules_for(self.tech)
+        self.enabled = enabled  # None = every deck-enabled rule
+        #: rules this checker actually flags: the deck's enabled set
+        #: (all rules for deckless technologies), optionally narrowed
+        #: by the caller's ``enabled`` filter.
+        deck = self.tech.deck
+        deck_rules = (
+            frozenset(deck.drc.rules)
+            if deck is not None
+            else frozenset(ALL_RULES)
+        )
+        self._active = (
+            deck_rules if enabled is None else deck_rules & enabled
+        )
 
-        self._poly = self.tech.channel_layers[1].cif_name
-        self._diff = self.tech.channel_layers[0].cif_name
-        self._metal = self.tech.conducting_layers[0].cif_name
-        self._contact = self.tech.contact_layer.cif_name
-        self._implant = self.tech.depletion_marker.cif_name
-        self._buried = self.tech.buried_layer.cif_name
+        roles = scan_layers(self.tech)
+        self._poly = roles.poly
+        self._diff = roles.diff
+        self._metal = roles.metal
+        self._contact = roles.contact
+        self._implant = roles.marker
+        self._buried = roles.buried
         #: all layers under width/spacing bookkeeping, fixed order.
         self._layers: tuple[str, ...] = tuple(
-            dict.fromkeys(
+            name
+            for name in dict.fromkeys(
                 (
                     self._diff,
                     self._poly,
@@ -122,6 +137,7 @@ class DrcChecker(StripConsumer):
                     self._implant,
                 )
             )
+            if name != ABSENT_LAYER
         )
         self._state: dict[str, _LayerState] = {
             name: _LayerState() for name in self._layers
@@ -151,16 +167,38 @@ class DrcChecker(StripConsumer):
             )
             for name in self._layers
         }
-        self._msg_gate = (
-            f"channel edge lacks the {r.gate_extension} lambda "
-            "poly or diffusion extension"
+        # Rule message text comes from the deck (so each technology
+        # words its own diagnostics); deckless technologies get the
+        # historical NMOS strings, which the NMOS deck reproduces.
+        templates = dict(deck.drc.messages) if deck is not None else {}
+
+        def template(key: str, default: str, n: int) -> str:
+            return templates.get(key, default).format(n=n)
+
+        self._msg_gate = template(
+            "gate-extension",
+            "channel edge lacks the {n} lambda poly or diffusion "
+            "extension",
+            r.gate_extension,
         )
-        self._msg_contact = "contact cut not fully covered by metal"
-        self._msg_buried_cover = "buried window not fully covered by diffusion"
-        self._msg_buried_poly = "buried window never overlaps poly"
-        self._msg_implant = (
-            f"depletion channel not covered by implant with a "
-            f"{r.implant_margin} lambda margin"
+        self._msg_contact = template(
+            "contact-enclosure",
+            "contact cut not fully covered by metal",
+            r.contact_margin,
+        )
+        self._msg_buried_cover = template(
+            "buried-cover",
+            "buried window not fully covered by diffusion",
+            r.buried_margin,
+        )
+        self._msg_buried_poly = template(
+            "buried-overlap", "buried window never overlaps poly", 0
+        )
+        self._msg_implant = template(
+            "marker-coverage",
+            "depletion channel not covered by implant with a {n} "
+            "lambda margin",
+            r.implant_margin,
         )
 
         self._chip_top: "int | None" = None
@@ -566,7 +604,7 @@ class DrcChecker(StripConsumer):
     # ------------------------------------------------------------------
 
     def _flag(self, rule: str, layer: str, message: str, box: FlagBox) -> None:
-        if self.enabled is not None and rule not in self.enabled:
+        if rule not in self._active:
             return
         self._flags.setdefault((rule, layer, message), []).append(box)
 

@@ -119,3 +119,35 @@ class LambdaRules:
 def default_rules(lambda_: int = DEFAULT_LAMBDA) -> LambdaRules:
     """The standard deck at the given lambda."""
     return LambdaRules(lambda_=lambda_)
+
+
+def rules_for(tech: object) -> LambdaRules:
+    """Build the LambdaRules a Technology's deck declares.
+
+    Technologies compiled from a deck get that deck's dimensional
+    section verbatim; hand-built (deckless) Technology objects fall
+    back to the historical NMOS defaults at their lambda.
+    """
+    deck = getattr(tech, "deck", None)
+    lambda_ = getattr(tech, "lambda_", DEFAULT_LAMBDA)
+    if deck is None:
+        return default_rules(lambda_)
+    return LambdaRules(
+        lambda_=deck.lambda_,
+        min_width=dict(deck.drc.min_width),
+        min_spacing=dict(deck.drc.min_spacing),
+        gate_extension=deck.drc.gate_extension,
+        contact_margin=deck.drc.contact_margin,
+        buried_margin=deck.drc.buried_margin,
+        implant_margin=deck.drc.marker_margin,
+    )
+
+
+def help_for(tech: object = None) -> dict[str, str]:
+    """Rule help for ``--list-rules`` and SARIF: the global catalog,
+    overlaid with any deck-specific help entries."""
+    merged = dict(RULE_HELP)
+    deck = getattr(tech, "deck", None)
+    if deck is not None:
+        merged.update(deck.drc.help)
+    return merged

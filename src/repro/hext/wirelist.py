@@ -18,6 +18,7 @@ from ..wirelist.model import (
     NetDecl,
     SubpartInstance,
     Wirelist,
+    primitives_for,
 )
 from .extractor import HextResult
 from .fragment import DeviceRec, Fragment
@@ -62,7 +63,12 @@ def to_hierarchical_wirelist(
         )
         for frag in reversed(order)
     ]
-    return Wirelist(name=name, defparts=parts, top=names[id(result.fragment)])
+    return Wirelist(
+        name=name,
+        defparts=parts,
+        top=names[id(result.fragment)],
+        primitives=primitives_for(tech),
+    )
 
 
 def _level_referenced(frag: Fragment, is_top: bool) -> set[int]:

@@ -8,6 +8,13 @@ lint costs a single pass per layout -- and the merged findings go out
 as text, JSON, or SARIF, optionally filtered through a committed
 baseline file.
 
+Both checkers are driven by a technology deck (``--deck`` selects a
+builtin name like ``nmos``/``cmos`` or a deck JSON file), and the deck
+itself is a lintable artifact: ``--check-deck`` runs the deck
+compiler's static validation pass and reports its findings through the
+same writers, so CI can gate malformed process descriptions exactly
+like malformed layouts.
+
 Exit codes: 0 when no (unsuppressed) errors remain; otherwise the error
 count, capped at 99; 120 for usage, parse, or internal failures.
 """
@@ -15,13 +22,10 @@ count, capped at 99; 120 for usage, parse, or internal failures.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from .analysis.static_check import (
-    DEFAULT_GND_NAMES,
-    DEFAULT_VDD_NAMES,
-    static_check,
-)
+from .analysis.static_check import ERC_RULE_HELP, static_check
 from .cif import Layout, parse_file
 from .cli import add_version_argument
 from .core import extract_report
@@ -35,8 +39,20 @@ from .diagnostics import (
     write_json,
     write_sarif,
 )
-from .drc import ALL_RULES, RULE_HELP, DrcChecker, default_rules
-from .tech import NMOS, Technology
+from .drc import ALL_RULES, DrcChecker, help_for, rules_for
+from .tech import (
+    BUILTIN_DECKS,
+    DECK_RULE_HELP,
+    DEFAULT_LAMBDA,
+    NMOS,
+    DeckError,
+    Technology,
+    TechnologyDeck,
+    compile_deck,
+    deck_by_name,
+    load_deck_file,
+    validate_deck,
+)
 
 #: Exit code cap: large error counts must not collide with shell
 #: signal/usage codes above 125.
@@ -53,6 +69,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_version_argument(parser)
     parser.add_argument("files", nargs="*", help="input CIF files")
+    parser.add_argument(
+        "--deck",
+        default="nmos",
+        metavar="NAME|PATH",
+        help="technology deck: a builtin name "
+        f"({', '.join(sorted(BUILTIN_DECKS))}) or a deck JSON file "
+        "(default nmos)",
+    )
+    parser.add_argument(
+        "--check-deck",
+        action="store_true",
+        help="validate technology decks instead of linting layouts: "
+        "checks the positional files as deck JSON (or, with no files, "
+        "the --deck selection) and reports the findings",
+    )
     parser.add_argument(
         "--lambda",
         dest="lambda_",
@@ -119,9 +150,72 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="list the design-rule ids and exit",
+        help="list the rule ids (DRC, ERC, and deck validation) and exit",
     )
     return parser
+
+
+def resolve_deck(spec: str, lambda_: "int | None" = None) -> TechnologyDeck:
+    """A deck from a builtin name or a JSON file path.
+
+    Anything that looks like a path (exists on disk, ends in ``.json``,
+    or contains a separator) is loaded as a deck file; otherwise the
+    builtin registry is consulted.  Raises :class:`DeckError` for
+    unparsable files and ``KeyError`` for unknown builtin names.
+    """
+    looks_like_path = (
+        os.path.exists(spec)
+        or spec.endswith(".json")
+        or os.sep in spec
+        or "/" in spec
+    )
+    if looks_like_path:
+        return load_deck_file(spec)
+    return deck_by_name(spec, lambda_ or DEFAULT_LAMBDA)
+
+
+def all_rule_help(tech: "Technology | None" = None) -> dict[str, str]:
+    """Rule-id help across DRC, ERC, and deck validation."""
+    return {**help_for(tech), **ERC_RULE_HELP, **DECK_RULE_HELP}
+
+
+def check_deck_reports(
+    specs: "list[str]", lambda_: "int | None" = None
+) -> "list[CheckReport]":
+    """Run the deck validator over each spec; one report per deck.
+
+    Parse failures (unreadable file, malformed JSON shape) surface as a
+    single ``deck.parse`` ERROR so the caller still gets a report per
+    input instead of an exception.
+    """
+    reports: list[CheckReport] = []
+    for spec in specs:
+        try:
+            deck = resolve_deck(spec, lambda_)
+        except DeckError as exc:
+            if exc.report is not None and exc.report.diagnostics:
+                report = exc.report
+                report.artifact = spec
+            else:
+                from .diagnostics import Diagnostic, Severity
+
+                report = CheckReport(
+                    diagnostics=[
+                        Diagnostic(
+                            Severity.ERROR,
+                            "deck.parse",
+                            str(exc),
+                            tool="deck",
+                        )
+                    ],
+                    artifact=spec,
+                )
+            reports.append(report)
+            continue
+        report = validate_deck(deck)
+        report.artifact = spec
+        reports.append(report)
+    return reports
 
 
 def _rule_filter(specs: "list[str] | None") -> "frozenset[str] | None":
@@ -140,17 +234,22 @@ def lint_layout(
     drc: bool = True,
     erc: bool = True,
     rule_ids: "frozenset[str] | None" = None,
-    vdd_names: "tuple[str, ...]" = DEFAULT_VDD_NAMES,
-    gnd_names: "tuple[str, ...]" = DEFAULT_GND_NAMES,
+    vdd_names: "tuple[str, ...] | None" = None,
+    gnd_names: "tuple[str, ...] | None" = None,
     attribute: bool = True,
     artifact: "str | None" = None,
 ) -> CheckReport:
-    """Lint a parsed layout: a single extraction pass feeds both checkers."""
+    """Lint a parsed layout: a single extraction pass feeds both checkers.
+
+    ``tech`` carries the deck whose rule set, messages, and ERC policy
+    apply; rail names left ``None`` resolve from the deck (the CLI's
+    ``--vdd``/``--gnd`` extend rather than replace them).
+    """
     tech = tech or NMOS()
     checker = (
         DrcChecker(
             tech,
-            default_rules(tech.lambda_),
+            rules_for(tech),
             enabled=(
                 frozenset(r for r in rule_ids if r in ALL_RULES)
                 if rule_ids is not None
@@ -171,7 +270,10 @@ def lint_layout(
         report.extend(drc_report)
     if erc:
         erc_report = static_check(
-            extraction.circuit, vdd_names=vdd_names, gnd_names=gnd_names
+            extraction.circuit,
+            tech=tech,
+            vdd_names=vdd_names,
+            gnd_names=gnd_names,
         )
         if rule_ids is not None:
             erc_report = CheckReport(
@@ -187,17 +289,20 @@ def lint_file(
     path: str,
     *,
     lambda_: "int | None" = None,
+    tech: "Technology | None" = None,
     drc: bool = True,
     erc: bool = True,
     rule_ids: "frozenset[str] | None" = None,
-    vdd_names: "tuple[str, ...]" = DEFAULT_VDD_NAMES,
-    gnd_names: "tuple[str, ...]" = DEFAULT_GND_NAMES,
+    vdd_names: "tuple[str, ...] | None" = None,
+    gnd_names: "tuple[str, ...] | None" = None,
     attribute: bool = True,
 ) -> CheckReport:
     """Lint one CIF file (see :func:`lint_layout`)."""
+    if tech is None:
+        tech = NMOS(lambda_) if lambda_ else NMOS()
     return lint_layout(
         parse_file(path),
-        tech=NMOS(lambda_) if lambda_ else NMOS(),
+        tech=tech,
         drc=drc,
         erc=erc,
         rule_ids=rule_ids,
@@ -208,22 +313,66 @@ def lint_file(
     )
 
 
+def _emit(reports: "list[CheckReport]", args: argparse.Namespace,
+          rule_help: "dict[str, str]") -> None:
+    if args.format == "json":
+        text = write_json(reports)
+    elif args.format == "sarif":
+        text = write_sarif(reports, rule_help=rule_help)
+    else:
+        text = "".join(format_text(r) for r in reports)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule}: {RULE_HELP[rule]}")
+        try:
+            deck = resolve_deck(args.deck, args.lambda_)
+            tech = compile_deck(deck)
+        except (DeckError, KeyError, OSError):
+            tech = None
+        for rule, help_text in sorted(all_rule_help(tech).items()):
+            print(f"{rule}: {help_text}")
         return 0
+
+    if args.check_deck:
+        specs = list(args.files) or [args.deck]
+        reports = check_deck_reports(specs, args.lambda_)
+        _emit(reports, args, all_rule_help())
+        errors = sum(len(r.errors) for r in reports)
+        return min(errors, MAX_ERROR_EXIT)
+
     if not args.files:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no input files", file=sys.stderr)
         return INTERNAL_ERROR_EXIT
 
+    try:
+        deck = resolve_deck(args.deck, args.lambda_)
+        tech = compile_deck(deck)
+    except DeckError as exc:
+        print(f"repro-lint: --deck {args.deck}: {exc}", file=sys.stderr)
+        print(
+            "repro-lint: run with --check-deck for the full validation "
+            "report",
+            file=sys.stderr,
+        )
+        return INTERNAL_ERROR_EXIT
+    except (KeyError, OSError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro-lint: --deck {args.deck}: {message}", file=sys.stderr)
+        return INTERNAL_ERROR_EXIT
+
     rule_ids = _rule_filter(args.rules)
-    vdd = DEFAULT_VDD_NAMES + tuple(args.vdd or ())
-    gnd = DEFAULT_GND_NAMES + tuple(args.gnd or ())
+    vdd = tuple(tech.deck.erc.vdd_names) + tuple(args.vdd or ())
+    gnd = tuple(tech.deck.erc.gnd_names) + tuple(args.gnd or ())
 
     reports: list[CheckReport] = []
     for path in args.files:
@@ -231,7 +380,7 @@ def main(argv: "list[str] | None" = None) -> int:
             reports.append(
                 lint_file(
                     path,
-                    lambda_=args.lambda_,
+                    tech=tech,
                     drc=not args.no_drc,
                     erc=not args.no_erc,
                     rule_ids=rule_ids,
@@ -262,17 +411,7 @@ def main(argv: "list[str] | None" = None) -> int:
             return INTERNAL_ERROR_EXIT
         reports = [apply_baseline(r, baseline) for r in reports]
 
-    if args.format == "json":
-        text = write_json(reports)
-    elif args.format == "sarif":
-        text = write_sarif(reports, rule_help=RULE_HELP)
-    else:
-        text = "".join(format_text(r) for r in reports)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
-    else:
-        sys.stdout.write(text)
+    _emit(reports, args, all_rule_help(tech))
 
     errors = sum(len(r.errors) for r in reports)
     return min(errors, MAX_ERROR_EXIT)

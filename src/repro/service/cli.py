@@ -170,6 +170,13 @@ def build_submit_parser() -> argparse.ArgumentParser:
         help="process lambda in centimicrons (default 250)",
     )
     parser.add_argument(
+        "--deck",
+        default=None,
+        metavar="NAME",
+        help="builtin technology deck the daemon extracts under "
+        "(nmos, cmos; default nmos)",
+    )
+    parser.add_argument(
         "--lint",
         action="store_true",
         help="run the design-rule checker; diagnostics go to stderr",
@@ -212,6 +219,8 @@ def submit_main(argv: "list[str] | None" = None) -> int:
         options["jobs"] = args.jobs
     if args.lambda_ is not None:
         options["lambda"] = args.lambda_
+    if args.deck is not None:
+        options["deck"] = args.deck
     if args.lint:
         options["lint"] = True
     if args.geometry:

@@ -37,7 +37,7 @@ from ..diagnostics.writers import diagnostic_to_json
 from ..hext.incremental import IncrementalExtractor
 from ..hext.wirelist import to_hierarchical_wirelist
 from ..parallel import PersistentPool, resolve_jobs
-from ..tech import NMOS, Technology
+from ..tech import NMOS, Technology, compile_deck, deck_by_name
 from ..wirelist import to_wirelist, write_wirelist
 from .cache import ResultCache
 from .jobs import Job
@@ -122,20 +122,32 @@ class ExtractionEngine:
         # handful of clock reads per stop, invisible next to the sweep.
         self.profile = profile
         self._state_lock = threading.Lock()
-        self._incremental: "dict[int, IncrementalExtractor]" = {}
-        self._memo_locks: "dict[int, threading.Lock]" = {}
-        self._pools: "dict[tuple[int, int], PersistentPool]" = {}
+        self._incremental: "dict[tuple[str, int], IncrementalExtractor]" = {}
+        self._memo_locks: "dict[tuple[str, int], threading.Lock]" = {}
+        self._pools: "dict[tuple[str, int, int], PersistentPool]" = {}
 
     # -- warm state ------------------------------------------------------
 
-    def _tech_for(self, lambda_: "int | None") -> Technology:
-        return NMOS(lambda_) if lambda_ is not None else NMOS()
+    def _tech_for(
+        self, lambda_: "int | None", deck: str = "nmos"
+    ) -> Technology:
+        if deck == "nmos":
+            return NMOS(lambda_) if lambda_ is not None else NMOS()
+        return compile_deck(
+            deck_by_name(deck, lambda_) if lambda_ else deck_by_name(deck)
+        )
+
+    @staticmethod
+    def _tech_key(tech: Technology) -> "tuple[str, int]":
+        """Warm-state key: decks with equal lambda must never share."""
+        deck = tech.deck
+        return (deck.name if deck is not None else "nmos", tech.lambda_)
 
     def _incremental_for(
         self, tech: Technology
     ) -> "tuple[IncrementalExtractor, threading.Lock]":
         with self._state_lock:
-            key = tech.lambda_
+            key = self._tech_key(tech)
             extractor = self._incremental.get(key)
             if extractor is None:
                 extractor = IncrementalExtractor(
@@ -152,7 +164,7 @@ class ExtractionEngine:
         if workers <= 1:
             return None
         with self._state_lock:
-            key = (tech.lambda_, workers)
+            key = (*self._tech_key(tech), workers)
             pool = self._pools.get(key)
             if pool is None:
                 pool = PersistentPool(
@@ -166,12 +178,12 @@ class ExtractionEngine:
         with self._state_lock:
             return {
                 "window_memos": {
-                    str(lambda_): len(extractor)
-                    for lambda_, extractor in self._incremental.items()
+                    f"{deck}:{lambda_}": len(extractor)
+                    for (deck, lambda_), extractor in self._incremental.items()
                 },
                 "worker_pools": [
-                    {"lambda": lam, "workers": workers}
-                    for (lam, workers) in self._pools
+                    {"deck": deck, "lambda": lam, "workers": workers}
+                    for (deck, lam, workers) in self._pools
                 ],
             }
 
@@ -212,7 +224,7 @@ class ExtractionEngine:
         failure the worker records verbatim.
         """
         options = job.options
-        tech = self._tech_for(options.lambda_)
+        tech = self._tech_for(options.lambda_, options.deck)
         probe = CancellationProbe(job)
 
         self._enter_stage(job, "parse")
@@ -259,6 +271,7 @@ class ExtractionEngine:
                 circuit,
                 name=options.name,
                 include_geometry=options.keep_geometry,
+                tech=tech,
             )
         text = write_wirelist(wirelist)
         self.metrics.observe_stage("wirelist", time.perf_counter() - started)

@@ -59,6 +59,7 @@ class JobOptions:
 
     name: str = "layout.cif"  #: DefPart name stamped into the wirelist
     lambda_: "int | None" = None
+    deck: str = "nmos"  #: builtin technology deck name
     hext: bool = False
     jobs: "int | None" = None
     lint: bool = False
@@ -71,6 +72,7 @@ class JobOptions:
         {
             "name",
             "lambda",
+            "deck",
             "hext",
             "jobs",
             "lint",
@@ -111,6 +113,16 @@ class JobOptions:
         name = data.get("name", "layout.cif")
         if not isinstance(name, str) or not name:
             raise OptionsError("option 'name' must be a non-empty string")
+        deck = data.get("deck", "nmos")
+        if not isinstance(deck, str) or not deck:
+            raise OptionsError("option 'deck' must be a non-empty string")
+        from ..tech import BUILTIN_DECKS
+
+        if deck not in BUILTIN_DECKS:
+            raise OptionsError(
+                f"unknown deck {deck!r}; the daemon serves builtin decks "
+                f"only: {', '.join(sorted(BUILTIN_DECKS))}"
+            )
         timeout = data.get("timeout")
         if timeout is not None:
             if isinstance(timeout, bool) or not isinstance(
@@ -134,6 +146,7 @@ class JobOptions:
         return cls(
             name=name,
             lambda_=_int("lambda"),
+            deck=deck,
             hext=hext,
             jobs=_int("jobs"),
             lint=_flag("lint"),
@@ -147,6 +160,7 @@ class JobOptions:
         return {
             "name": self.name,
             "lambda": self.lambda_,
+            "deck": self.deck,
             "hext": self.hext,
             "jobs": self.jobs,
             "lint": self.lint,
@@ -161,6 +175,7 @@ class JobOptions:
         return {
             "name": self.name,
             "lambda": self.lambda_,
+            "deck": self.deck,
             "hext": self.hext,
             "lint": self.lint,
             "keep_geometry": self.keep_geometry,

@@ -60,6 +60,7 @@ def emit_wirelist(
     kind_enh: str,
     kind_dep: str,
     include_geometry: bool,
+    primitives: "dict | None" = None,
 ) -> EmitResult:
     """Write the flat wirelist for a fully retired sweep.
 
@@ -81,7 +82,7 @@ def emit_wirelist(
     result.nets = len(roots)
 
     out.write(f'(DefPart "{name}"\n')
-    for kind, exports in PRIMITIVE_PARTS.items():
+    for kind, exports in (primitives or PRIMITIVE_PARTS).items():
         out.write(f" (DefPart {kind} (Export {' '.join(exports)}))\n")
 
     # -- devices -------------------------------------------------------

@@ -46,6 +46,7 @@ from ..core.stats import PhaseTimer, ScanStats
 from ..frontend.bands import BandFeed, BandSource, plan_bands
 from ..frontend.stream import GeometryStream
 from ..tech import NMOS, Technology
+from ..wirelist.model import primitives_for
 from . import checkpoint as ckpt
 from .emit import emit_wirelist
 from .spill import SpillStore
@@ -241,6 +242,7 @@ def stream_extract(
         spill=spill,
         kind_enh=tech.device_name(False),
         kind_dep=tech.device_name(True),
+        primitives=primitives_for(tech),
         include_geometry=keep_geometry,
     )
     timer.stop()

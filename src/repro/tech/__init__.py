@@ -1,8 +1,23 @@
-"""NMOS technology description: layers and device-formation rules."""
+"""Technology descriptions: layers, decks, and deck compilation."""
 
+from .cmos import CMOS, cmos_deck
+from .deck import (
+    ABSENT_LAYER,
+    DECK_RULE_HELP,
+    DeckError,
+    ScanLayers,
+    TechnologyDeck,
+    compile_deck,
+    deck_from_dict,
+    deck_to_dict,
+    load_deck_file,
+    scan_layers,
+    validate_deck,
+)
 from .layers import (
     ALL_LAYERS,
     BURIED,
+    CMOS_LAYERS,
     CONTACT,
     DIFFUSION,
     GLASS,
@@ -13,21 +28,66 @@ from .layers import (
     is_known_layer,
     layer_by_name,
 )
-from .nmos import DEFAULT_LAMBDA, NMOS, Technology
+from .nmos import DEFAULT_LAMBDA, NMOS, Technology, nmos_deck
+
+#: Builtin deck factories by name; ``repro-lint --deck nmos`` and the
+#: service's ``deck`` option resolve through this registry.
+BUILTIN_DECKS = {
+    "nmos": nmos_deck,
+    "cmos": cmos_deck,
+}
+
+
+def deck_by_name(name: str, lambda_: int = DEFAULT_LAMBDA) -> TechnologyDeck:
+    """A builtin deck by registry name; raises KeyError when unknown."""
+    try:
+        factory = BUILTIN_DECKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology deck {name!r}; "
+            f"choose from {sorted(BUILTIN_DECKS)}"
+        ) from None
+    return factory(lambda_)
+
+
+def technology_by_name(
+    name: str, lambda_: int = DEFAULT_LAMBDA
+) -> Technology:
+    """Compile a builtin deck by name into a Technology."""
+    return compile_deck(deck_by_name(name, lambda_))
+
 
 __all__ = [
+    "ABSENT_LAYER",
     "ALL_LAYERS",
+    "BUILTIN_DECKS",
     "BURIED",
+    "CMOS",
+    "CMOS_LAYERS",
     "CONTACT",
+    "DECK_RULE_HELP",
     "DEFAULT_LAMBDA",
     "DIFFUSION",
+    "DeckError",
     "GLASS",
     "IMPLANT",
     "METAL",
     "NMOS",
     "POLY",
     "Layer",
+    "ScanLayers",
     "Technology",
+    "TechnologyDeck",
+    "cmos_deck",
+    "compile_deck",
+    "deck_by_name",
+    "deck_from_dict",
+    "deck_to_dict",
     "is_known_layer",
     "layer_by_name",
+    "load_deck_file",
+    "nmos_deck",
+    "scan_layers",
+    "technology_by_name",
+    "validate_deck",
 ]

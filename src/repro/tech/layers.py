@@ -49,7 +49,26 @@ ALL_LAYERS: tuple[Layer, ...] = (
     GLASS,
 )
 
-_BY_NAME = {layer.cif_name: layer for layer in ALL_LAYERS}
+# The p-well CMOS layer set (see repro.tech.cmos).
+CMOS_DIFFUSION = Layer("CD", "diffusion", conducting=True)
+CMOS_POLY = Layer("CP", "polysilicon", conducting=True)
+CMOS_METAL = Layer("CM", "metal", conducting=True)
+CMOS_CONTACT = Layer("CC", "contact cut", conducting=False)
+CMOS_WELL = Layer("CW", "p-well", conducting=False)
+CMOS_GLASS = Layer("CG", "overglass opening", conducting=False)
+
+CMOS_LAYERS: tuple[Layer, ...] = (
+    CMOS_DIFFUSION,
+    CMOS_POLY,
+    CMOS_METAL,
+    CMOS_CONTACT,
+    CMOS_WELL,
+    CMOS_GLASS,
+)
+
+_BY_NAME = {
+    layer.cif_name: layer for layer in (*ALL_LAYERS, *CMOS_LAYERS)
+}
 
 
 def layer_by_name(cif_name: str) -> Layer:

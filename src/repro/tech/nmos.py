@@ -15,16 +15,24 @@ it does embed the NMOS *topology* rules:
 * **Buried contacts** -- buried over poly AND diffusion unions the poly
   and diffusion nets (and, by the channel rule, suppresses the channel).
 
-The lambda value only matters to the raster baseline (grid pitch) and the
-workload generators; ACE itself is grid-free.
+Since the deck refactor these rules are *data*: :func:`nmos_deck` is the
+declarative :class:`~repro.tech.deck.TechnologyDeck` and :func:`NMOS`
+compiles it (the compiled Technology is byte-identical in behavior to
+the historical hardwired one).  The lambda value only matters to the
+raster baseline (grid pitch) and the workload generators; ACE itself is
+grid-free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from . import layers
 from .layers import Layer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .deck import TechnologyDeck
 
 #: Default lambda in CIF centimicrons (2.5 micron process, Mead-Conway).
 DEFAULT_LAMBDA = 250
@@ -32,10 +40,13 @@ DEFAULT_LAMBDA = 250
 
 @dataclass(frozen=True)
 class Technology:
-    """A bundle of process rules; NMOS() is the only instance ACE ships.
+    """A bundle of process rules, normally compiled from a deck.
 
     Kept as a value object (rather than module constants) so tests and the
-    HEXT back-end can construct reduced-layer variants.
+    HEXT back-end can construct reduced-layer variants.  When ``deck`` is
+    set (every deck-compiled instance), the scanline, DRC, and ERC read
+    channel/marker/policy data from it; hand-built instances without a
+    deck fall back to the attribute-derived roles.
     """
 
     name: str = "nmos"
@@ -55,6 +66,8 @@ class Technology:
     device_names: dict = field(
         default_factory=lambda: {False: "nEnh", True: "nDep"}
     )
+    #: The declarative deck this Technology was compiled from, if any.
+    deck: "TechnologyDeck | None" = None
 
     def all_layers(self) -> tuple[Layer, ...]:
         seen: list[Layer] = []
@@ -79,6 +92,104 @@ class Technology:
         return self.device_names[depletion]
 
 
+def nmos_deck(lambda_: int = DEFAULT_LAMBDA) -> "TechnologyDeck":
+    """The Mead & Conway NMOS deck, as declarative data.
+
+    Compiling this deck reproduces the historical hardwired Technology
+    and DRC rules byte-for-byte (layer order, device names, lambda
+    values, and diagnostic message text all pinned by goldens).
+    """
+    from .deck import (
+        BuriedRule,
+        ChannelRule,
+        ContactRule,
+        DeviceTypeRule,
+        DrcDeck,
+        ErcDeck,
+        LayerSpec,
+        TechnologyDeck,
+    )
+
+    return TechnologyDeck(
+        name="nmos",
+        lambda_=lambda_,
+        layers=(
+            LayerSpec("NM", "metal", conducting=True),
+            LayerSpec("NP", "polysilicon", conducting=True),
+            LayerSpec("ND", "diffusion", conducting=True),
+            LayerSpec("NC", "contact cut", conducting=False),
+            LayerSpec("NI", "depletion implant", conducting=False),
+            LayerSpec("NB", "buried contact", conducting=False),
+            LayerSpec("NG", "overglass opening", conducting=False),
+        ),
+        channel=ChannelRule(diffusion="ND", gate="NP", blocker="NB"),
+        device_types=(
+            DeviceTypeRule("nEnh", marker=None, polarity="n"),
+            DeviceTypeRule(
+                "nDep", marker="NI", polarity="n", depletion=True
+            ),
+        ),
+        contact=ContactRule(cut="NC", connects=("NM", "NP", "ND")),
+        buried=BuriedRule(window="NB"),
+        ignored=("NG",),
+        drc=DrcDeck(
+            rules=(
+                "drc.width",
+                "drc.spacing",
+                "drc.gate-extension",
+                "drc.contact-enclosure",
+                "drc.buried-enclosure",
+                "drc.implant-coverage",
+            ),
+            min_width={
+                "ND": 2,
+                "NP": 2,
+                "NM": 3,
+                "NC": 2,
+                "NB": 2,
+                "NI": 2,
+            },
+            min_spacing={
+                "ND": 3,
+                "NP": 2,
+                "NM": 1,
+                "NC": 1,
+                "NB": 2,
+                "NI": 2,
+            },
+            gate_extension=1,
+            contact_margin=0,
+            buried_margin=0,
+            marker_margin=1,
+            messages={
+                "gate-extension": (
+                    "channel edge lacks the {n} lambda poly or "
+                    "diffusion extension"
+                ),
+                "contact-enclosure": (
+                    "contact cut not fully covered by metal"
+                ),
+                "buried-cover": (
+                    "buried window not fully covered by diffusion"
+                ),
+                "buried-overlap": "buried window never overlaps poly",
+                "marker-coverage": (
+                    "depletion channel not covered by implant with a "
+                    "{n} lambda margin"
+                ),
+            },
+        ),
+        erc=ErcDeck(
+            style="ratio",
+            min_ratio=4.0,
+            vdd_names=("VDD", "VDD!"),
+            gnd_names=("GND", "GND!", "VSS", "GROUND"),
+        ),
+    )
+
+
 def NMOS(lambda_: int = DEFAULT_LAMBDA) -> Technology:
     """The standard NMOS technology at the given lambda."""
-    return Technology(lambda_=lambda_)
+    from .deck import compile_deck
+
+    return compile_deck(nmos_deck(lambda_))

@@ -4,17 +4,20 @@ flattener, and netlist comparator."""
 from .compare import ComparisonReport, compare_netlists, netlists_equivalent
 from .flatten import FlatCircuit, FlatDevice, circuit_to_flat, flatten
 from .model import (
+    KNOWN_PRIMITIVES,
     PRIMITIVE_PARTS,
     DefPart,
     DeviceInstance,
     NetDecl,
     SubpartInstance,
     Wirelist,
+    primitives_for,
 )
 from .parser import WirelistParseError, parse_wirelist, read_sexpr
 from .writer import geometry_to_cif, to_wirelist, write_wirelist
 
 __all__ = [
+    "KNOWN_PRIMITIVES",
     "PRIMITIVE_PARTS",
     "ComparisonReport",
     "DefPart",
@@ -28,6 +31,7 @@ __all__ = [
     "circuit_to_flat",
     "compare_netlists",
     "flatten",
+    "primitives_for",
     "geometry_to_cif",
     "netlists_equivalent",
     "parse_wirelist",

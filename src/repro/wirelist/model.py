@@ -12,11 +12,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-#: Export lists of the primitive NMOS transistor parts.
+#: Export lists of the primitive NMOS transistor parts (the default
+#: wirelist prolog; deck-compiled technologies may declare others).
 PRIMITIVE_PARTS = {
     "nEnh": ("Source", "Gate", "Drain"),
     "nDep": ("Source", "Gate", "Drain"),
 }
+
+#: Every primitive part name the parser recognizes, across all decks.
+KNOWN_PRIMITIVES = {
+    **PRIMITIVE_PARTS,
+    "pEnh": ("Source", "Gate", "Drain"),
+}
+
+
+def primitives_for(tech: object = None) -> dict:
+    """The primitive-part prolog a technology's wirelists declare.
+
+    Deck-compiled technologies declare one part per device type, in
+    deck order; deckless (or ``None``) technologies keep the historical
+    NMOS prolog.
+    """
+    deck = getattr(tech, "deck", None)
+    if deck is None:
+        return PRIMITIVE_PARTS
+    return {
+        rule.name: ("Source", "Gate", "Drain")
+        for rule in deck.device_types
+    }
 
 
 @dataclass
@@ -103,6 +126,8 @@ class Wirelist:
     name: str
     defparts: list[DefPart] = field(default_factory=list)
     top: str | None = None
+    #: primitive-part prolog; None means the NMOS PRIMITIVE_PARTS.
+    primitives: dict | None = None
 
     def defpart(self, name: str) -> DefPart:
         for part in self.defparts:

@@ -9,7 +9,7 @@ semicolons (inline CIF).
 from __future__ import annotations
 
 from .model import (
-    PRIMITIVE_PARTS,
+    KNOWN_PRIMITIVES,
     DefPart,
     DeviceInstance,
     NetDecl,
@@ -105,7 +105,7 @@ def parse_wirelist(text: str) -> Wirelist:
         head = item[0]
         if head == "DefPart":
             child_name = _unquote(item[1])
-            if child_name in PRIMITIVE_PARTS and _is_primitive_decl(item):
+            if child_name in KNOWN_PRIMITIVES and _is_primitive_decl(item):
                 continue  # primitive declarations carry no content
             wirelist.defparts.append(_parse_defpart(item))
         elif head == "Part":
@@ -178,7 +178,7 @@ def _parse_part(item: list, part: DefPart) -> str | None:
     name_attr = attrs.get("Name") or attrs.get("InstName")
     inst_name = name_attr[1] if name_attr else f"anon{len(part.devices)}"
 
-    if kind in PRIMITIVE_PARTS:
+    if kind in KNOWN_PRIMITIVES:
         terminals: dict[str, str | None] = {"Gate": None, "Source": None, "Drain": None}
         for sub in item[2:]:
             if isinstance(sub, list) and sub and sub[0] == "T":

@@ -18,11 +18,15 @@ from .model import (
     DeviceInstance,
     NetDecl,
     Wirelist,
+    primitives_for,
 )
 
 
 def to_wirelist(
-    circuit: Circuit, name: str = "chip", include_geometry: bool = True
+    circuit: Circuit,
+    name: str = "chip",
+    include_geometry: bool = True,
+    tech: object = None,
 ) -> Wirelist:
     """Build the flat wirelist for an extracted circuit.
 
@@ -70,7 +74,12 @@ def to_wirelist(
     # The flat format of Figure 3-4 lists every net as Local; user names
     # appear as aliases in the Net declarations.
     part.locals_ = [net_name[net.index] for net in circuit.nets]
-    return Wirelist(name=name, defparts=[part], top=name)
+    return Wirelist(
+        name=name,
+        defparts=[part],
+        top=name,
+        primitives=None if tech is None else primitives_for(tech),
+    )
 
 
 def geometry_to_cif(
@@ -98,7 +107,7 @@ def write_wirelist(wirelist: Wirelist) -> str:
     """Render a wirelist as text in the CMU format."""
     out = StringIO()
     out.write(f'(DefPart "{wirelist.name}"\n')
-    for kind, exports in PRIMITIVE_PARTS.items():
+    for kind, exports in (wirelist.primitives or PRIMITIVE_PARTS).items():
         out.write(f" (DefPart {kind} (Export {' '.join(exports)}))\n")
     for part in wirelist.defparts:
         if len(wirelist.defparts) == 1 and part.name == wirelist.name:

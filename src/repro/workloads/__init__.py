@@ -19,6 +19,7 @@ from .cells import (
     single_transistor,
 )
 from .chips import CHIP_SPECS, SPEC_BY_NAME, ChipSpec, build_chip, chip_suite
+from .cmos import cmos_inverter, cmos_nand2, pseudo_nmos_inverter
 from .memory import BIT_PITCH, dram_column
 from .mesh import poly_diff_mesh
 from .model import random_squares
@@ -41,6 +42,8 @@ __all__ = [
     "BIT_PITCH",
     "dram_column",
     "chip_suite",
+    "cmos_inverter",
+    "cmos_nand2",
     "inverter",
     "inverter_rows",
     "mirrored_array",
@@ -48,6 +51,7 @@ __all__ = [
     "PlaSpec",
     "pla",
     "poly_diff_mesh",
+    "pseudo_nmos_inverter",
     "random_squares",
     "single_transistor",
     "transistor_array",

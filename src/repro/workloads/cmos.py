@@ -1,0 +1,161 @@
+"""Leaf cells for the p-well CMOS deck.
+
+Same composition style as the NMOS cells in :mod:`.cells`, but in the
+complementary idiom: vertical poly gate columns cross two horizontal
+diffusion strips -- the lower one inside the p-well (n-channel devices),
+the upper one outside it (p-channel) -- with metal rails top and bottom.
+All cells are DRC-clean under the CMOS deck; the deliberate exception is
+:func:`pseudo_nmos_inverter`, whose p-channel load has its gate tied to
+GND so the complementary-pair ERC has a planted violation to catch.
+"""
+
+from __future__ import annotations
+
+from ..cif import Layout
+from ..tech import DEFAULT_LAMBDA
+from .builder import LayoutBuilder, SymbolBuilder
+
+#: CMOS inverter footprint in lambda (width, height), rails included.
+CMOS_INVERTER_SIZE = (14, 28)
+
+
+def build_cmos_inverter_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """A CMOS inverter: one poly column gating an n and a p device.
+
+    Local coordinates run x in [-6, 8], y in [-1, 27] lambda.  The
+    n-channel strip sits inside the p-well near the GND rail; the
+    p-channel strip sits in the bare substrate near the VDD rail; OUT
+    metal ties the two drains on the right, the sources contact their
+    rails through stubs on the left.
+    """
+    cell = builder.new_symbol()
+    # p-well around the n-channel device (2-lambda coverage margin).
+    cell.box("CW", -2, 2, 6, 8)
+    # Diffusion strips: n (in well) and p (outside it).
+    cell.box("CD", -4, 4, 6, 6)
+    cell.box("CD", -4, 16, 6, 20)
+    # The input gate column crossing both strips.
+    cell.box("CP", 0, 1, 2, 23)
+    # GND rail plus the n-source stub and contact.
+    cell.box("CM", -6, -1, 8, 2)
+    cell.box("CM", -5, -1, -1, 7)
+    cell.box("CC", -4, 4, -2, 6)
+    # VDD rail plus the p-source stub and contact.
+    cell.box("CM", -6, 24, 8, 27)
+    cell.box("CM", -5, 16, -1, 25)
+    cell.box("CC", -4, 17, -2, 19)
+    # OUT column tying the two drains.
+    cell.box("CM", 3, 4, 7, 20)
+    cell.box("CC", 4, 4, 6, 6)
+    cell.box("CC", 4, 17, 6, 19)
+    # Net names.
+    cell.label("VDD", 0, 26, "CM")
+    cell.label("GND", 0, 0, "CM")
+    cell.label("IN", 1, 12, "CP")
+    cell.label("OUT", 5, 10, "CM")
+    return cell
+
+
+def cmos_inverter(lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """A standalone CMOS inverter chip."""
+    builder = LayoutBuilder(lambda_)
+    cell = build_cmos_inverter_cell(builder)
+    builder.top.call(cell, 0, 0)
+    return builder.done()
+
+
+def build_cmos_nand2_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """A CMOS two-input NAND: series n pair, parallel p pair.
+
+    Local coordinates run x in [-6, 14], y in [-1, 27] lambda.  Gate
+    columns A and B cross both strips; on the n strip GND contacts the
+    left segment and OUT the right one (A and B in series); on the p
+    strip VDD contacts the middle segment and OUT the two outer ones
+    (A and B in parallel), with the left drain routed to the right on
+    a metal bar between the strips.
+    """
+    cell = builder.new_symbol()
+    cell.box("CW", -2, 2, 10, 8)
+    cell.box("CD", -4, 4, 12, 6)
+    cell.box("CD", -4, 16, 12, 20)
+    # Gate columns A (left) and B (right).
+    cell.box("CP", 0, 1, 2, 23)
+    cell.box("CP", 6, 1, 8, 23)
+    # GND rail and the n-source stub.
+    cell.box("CM", -6, -1, 14, 2)
+    cell.box("CM", -5, -1, -1, 7)
+    cell.box("CC", -4, 4, -2, 6)
+    # VDD rail and the p-source stub onto the middle p segment.
+    cell.box("CM", -6, 24, 14, 27)
+    cell.box("CM", 2, 16, 6, 25)
+    cell.box("CC", 3, 17, 5, 19)
+    # OUT: right column over the n drain and right p drain, plus the
+    # left p drain picked up by a stub and a bar below the p strip.
+    cell.box("CM", 9, 3, 13, 20)
+    cell.box("CC", 10, 4, 12, 6)
+    cell.box("CC", 10, 17, 12, 19)
+    cell.box("CM", -5, 9, -1, 20)
+    cell.box("CC", -4, 17, -2, 19)
+    cell.box("CM", -5, 9, 13, 13)
+    # Net names.
+    cell.label("VDD", 0, 26, "CM")
+    cell.label("GND", 0, 0, "CM")
+    cell.label("A", 1, 14, "CP")
+    cell.label("B", 7, 14, "CP")
+    cell.label("OUT", 11, 10, "CM")
+    return cell
+
+
+def cmos_nand2(lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """A standalone CMOS two-input NAND chip."""
+    builder = LayoutBuilder(lambda_)
+    cell = build_cmos_nand2_cell(builder)
+    builder.top.call(cell, 0, 0)
+    return builder.done()
+
+
+def build_pseudo_nmos_inverter_cell(builder: LayoutBuilder) -> SymbolBuilder:
+    """A ratioed pseudo-NMOS inverter: the planted ERC violation.
+
+    Structurally the CMOS inverter, except the p-channel device has its
+    own gate column tied to GND through a metal strap on the right --
+    an always-on load.  DRC-clean, but the complementary-pair ERC must
+    flag the p device whose gate sits on a rail (``erc.pseudo-nmos``).
+    """
+    cell = builder.new_symbol()
+    cell.box("CW", -2, 2, 6, 8)
+    cell.box("CD", -4, 4, 6, 6)
+    cell.box("CD", -4, 16, 6, 20)
+    # The input gates only the n device.
+    cell.box("CP", 0, 1, 2, 11)
+    # The p load's gate column, tied to GND via the top tab and strap.
+    cell.box("CP", 0, 14, 2, 23)
+    cell.box("CP", 0, 21, 12, 23)
+    cell.box("CC", 10, 21, 12, 23)
+    cell.box("CM", 9, -1, 13, 24)
+    # GND rail (reaching the strap) plus the n-source stub.
+    cell.box("CM", -6, -1, 13, 2)
+    cell.box("CM", -5, -1, -1, 7)
+    cell.box("CC", -4, 4, -2, 6)
+    # VDD rail plus the p-source stub.
+    cell.box("CM", -6, 26, 8, 29)
+    cell.box("CM", -5, 16, -1, 27)
+    cell.box("CC", -4, 17, -2, 19)
+    # OUT column tying the two drains.
+    cell.box("CM", 3, 4, 7, 20)
+    cell.box("CC", 4, 4, 6, 6)
+    cell.box("CC", 4, 17, 6, 19)
+    # Net names.
+    cell.label("VDD", 0, 28, "CM")
+    cell.label("GND", 0, 0, "CM")
+    cell.label("IN", 1, 9, "CP")
+    cell.label("OUT", 5, 10, "CM")
+    return cell
+
+
+def pseudo_nmos_inverter(lambda_: int = DEFAULT_LAMBDA) -> Layout:
+    """A standalone pseudo-NMOS inverter chip (deliberate ERC bait)."""
+    builder = LayoutBuilder(lambda_)
+    cell = build_pseudo_nmos_inverter_cell(builder)
+    builder.top.call(cell, 0, 0)
+    return builder.done()

@@ -62,6 +62,49 @@ VIOLATION_SNIPPETS: dict[str, tuple[tuple[str, int, int, int, int], ...]] = {
 SNIPPET_PITCH = 12
 
 
+def violation_snippets_for(
+    tech=None,
+) -> "dict[str, tuple[tuple[str, int, int, int, int], ...]]":
+    """The planted-violation table for ``tech``'s deck.
+
+    The canonical snippets are written in the NMOS layer names; for
+    another deck each snippet is rewritten through the deck's layer
+    roles (diffusion, gate, metal, cut, marker, buried window) and
+    restricted to the rules the deck enables.  A snippet touching a
+    role the deck lacks (e.g. buried windows under CMOS) is dropped --
+    its rule cannot fire there.
+    """
+    deck = getattr(tech, "deck", None)
+    if tech is None or deck is None:
+        return dict(VIOLATION_SNIPPETS)
+    from ..tech import ABSENT_LAYER, scan_layers
+
+    roles = scan_layers(tech)
+    mapping: dict[str, "str | None"] = {
+        "NM": roles.metal,
+        "NP": roles.poly,
+        "ND": roles.diff,
+        "NC": roles.contact,
+        "NI": None if roles.marker == ABSENT_LAYER else roles.marker,
+        "NB": None if roles.buried == ABSENT_LAYER else roles.buried,
+    }
+    enabled = set(deck.drc.rules)
+    table: dict[str, tuple] = {}
+    for rule, boxes in VIOLATION_SNIPPETS.items():
+        if rule not in enabled:
+            continue
+        mapped = []
+        for layer, x1, y1, x2, y2 in boxes:
+            target = mapping.get(layer, layer)
+            if target is None:
+                mapped = None
+                break
+            mapped.append((target, x1, y1, x2, y2))
+        if mapped is not None:
+            table[rule] = tuple(mapped)
+    return table
+
+
 def snippet_rules() -> tuple[str, ...]:
     """The planted rule ids, in fixture placement order."""
     return tuple(VIOLATION_SNIPPETS)

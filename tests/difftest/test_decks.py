@@ -1,0 +1,97 @@
+"""Deck-aware fuzzing: retargeting, oracle gating, CMOS agreement."""
+
+import pytest
+
+from repro.cif.writer import write as write_cif
+from repro.core import extract
+from repro.difftest import generate_layout, run_difftest
+from repro.difftest.driver import _deck_capable
+from repro.difftest.generator import (
+    CANONICAL_LAYERS,
+    deck_layer_map,
+    remap_layout,
+    retarget_case,
+)
+from repro.difftest.oracles import ORACLES, select_oracles
+from repro.tech import CMOS, NMOS
+
+TECH = NMOS()
+CMOS_TECH = CMOS()
+
+
+class TestRetargeting:
+    def test_nmos_retarget_is_identity(self):
+        case = generate_layout(7, TECH.lambda_)
+        assert retarget_case(case, TECH) is case
+
+    def test_cmos_retarget_moves_every_layer(self):
+        case = generate_layout(7, TECH.lambda_)
+        retargeted = retarget_case(case, CMOS_TECH)
+        assert retargeted is not case
+        text = write_cif(retargeted.layout)
+        for layer in CANONICAL_LAYERS:
+            assert f"L {layer};" not in text
+
+    def test_cmos_layer_map_covers_roles(self):
+        mapping = deck_layer_map(CMOS_TECH)
+        assert mapping["NM"] == "CM"
+        assert mapping["NP"] == "CP"
+        assert mapping["ND"] == "CD"
+        assert mapping["NC"] == "CC"
+        assert mapping["NI"] == "CW"
+        assert mapping["NB"] is None  # CMOS has no buried windows
+
+    def test_remapped_layout_extracts_under_cmos(self):
+        case = generate_layout(11, TECH.lambda_)
+        remapped = remap_layout(case.layout, deck_layer_map(CMOS_TECH))
+        circuit = extract(remapped, CMOS_TECH)
+        kinds = {device.kind for device in circuit.devices}
+        assert kinds <= {"pEnh", "nEnh"}
+
+
+class TestDeckGating:
+    def test_all_oracles_support_cmos(self):
+        capable, skips = _deck_capable(
+            select_oracles(tuple(ORACLES)), CMOS_TECH
+        )
+        assert skips == 0
+        assert len(capable) == len(ORACLES)
+
+    def test_unknown_deck_gates_named_oracles(self):
+        class FakeDeck:
+            name = "sos"
+
+        class FakeTech:
+            deck = FakeDeck()
+
+        capable, skips = _deck_capable(
+            select_oracles(tuple(ORACLES)), FakeTech()
+        )
+        assert skips == sum(1 for o in ORACLES.values() if o.decks)
+        assert {o.name for o in capable} == {
+            name for name, o in ORACLES.items() if o.decks is None
+        }
+
+    def test_gating_below_two_oracles_raises(self):
+        class FakeDeck:
+            name = "sos"
+
+        class FakeTech:
+            deck = FakeDeck()
+
+        with pytest.raises(ValueError, match="capable oracle"):
+            _deck_capable(select_oracles(("raster", "polyflat")), FakeTech())
+
+
+class TestCmosRuns:
+    def test_oracles_agree_under_cmos(self, tmp_path):
+        result = run_difftest(
+            iterations=10,
+            seed=313,
+            oracle_names=("ace", "ace-stream", "raster", "polyflat"),
+            tech=CMOS_TECH,
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        assert result.ok, [f.mismatches[0].headline() for f in result.failures]
+        assert result.iterations == 10
+        assert result.deck_skips == 0

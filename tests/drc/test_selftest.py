@@ -3,15 +3,20 @@
 import pytest
 
 from repro.difftest.drcplant import (
+    hosts_for,
     plant_violation,
     run_drc_self_test,
 )
 from repro.drc import run_drc
-from repro.tech import NMOS
-from repro.workloads import single_transistor
-from repro.workloads.violations import VIOLATION_SNIPPETS
+from repro.tech import CMOS, NMOS
+from repro.workloads import cmos_inverter, single_transistor
+from repro.workloads.violations import (
+    VIOLATION_SNIPPETS,
+    violation_snippets_for,
+)
 
 TECH = NMOS()
+CMOS_TECH = CMOS()
 
 
 def test_planting_keeps_host_geometry_clear():
@@ -50,7 +55,42 @@ def test_dirty_host_is_reported_not_planted():
     assert result.plants == []
 
 
+def test_snippets_remap_to_cmos_layers():
+    table = violation_snippets_for(CMOS_TECH)
+    # The CMOS deck has no buried windows, so that rule cannot plant.
+    assert "drc.buried-enclosure" not in table
+    layers = {layer for boxes in table.values() for layer, *_ in boxes}
+    assert layers <= {"CM", "CP", "CD", "CC", "CW"}
+    # The deckless/NMOS path is the canonical table, untouched.
+    assert violation_snippets_for(TECH) == dict(VIOLATION_SNIPPETS)
+    assert violation_snippets_for(None) == dict(VIOLATION_SNIPPETS)
+
+
+def test_deck_hosts_follow_the_technology():
+    assert "cmos_inverter" in hosts_for(CMOS_TECH)
+    assert "inverter" in hosts_for(TECH)
+
+
+def test_self_test_passes_on_one_cmos_host():
+    result = run_drc_self_test(
+        CMOS_TECH,
+        hosts={"cmos_inverter": cmos_inverter},
+        do_shrink=False,
+    )
+    assert result.ok
+    assert result.clean_hosts == ["cmos_inverter"]
+    planted = {plant.rule for plant in result.plants}
+    assert planted == set(violation_snippets_for(CMOS_TECH))
+    assert all(plant.caught for plant in result.plants)
+
+
 @pytest.mark.slow
 def test_self_test_full_hosts():
     result = run_drc_self_test(TECH, do_shrink=True)
+    assert result.ok
+
+
+@pytest.mark.slow
+def test_self_test_full_cmos_hosts():
+    result = run_drc_self_test(CMOS_TECH, do_shrink=True)
     assert result.ok

@@ -16,7 +16,7 @@ from repro.cif import Layout
 from repro.core import extract
 from repro.diagnostics import format_text
 from repro.lint import lint_layout
-from repro.tech import NMOS
+from repro.tech import CMOS, NMOS, Technology
 from repro.wirelist import to_wirelist, write_wirelist
 from repro.workloads.builder import LayoutBuilder
 from repro.workloads.cells import (
@@ -24,9 +24,15 @@ from repro.workloads.cells import (
     inverter,
     nand2,
 )
+from repro.workloads.cmos import (
+    cmos_inverter,
+    cmos_nand2,
+    pseudo_nmos_inverter,
+)
 from repro.workloads.violations import drc_violations
 
 TECH = NMOS()
+CMOS_TECH = CMOS()
 
 
 def butting_contact() -> Layout:
@@ -101,7 +107,22 @@ GOLDEN_CASES: "dict[str, callable]" = {
     "butting_contact": butting_contact,
     "buried_contact": buried_contact,
     "hier_pair": hier_pair,
+    "cmos_inverter": cmos_inverter,
+    "cmos_nand2": cmos_nand2,
+    "pseudo_nmos": pseudo_nmos_inverter,
 }
+
+#: Cases extracted under a non-default deck; everything else is NMOS.
+CASE_TECH: "dict[str, Technology]" = {
+    "cmos_inverter": CMOS_TECH,
+    "cmos_nand2": CMOS_TECH,
+    "pseudo_nmos": CMOS_TECH,
+}
+
+
+def tech_for(name: str) -> Technology:
+    """The technology a golden case extracts under."""
+    return CASE_TECH.get(name, TECH)
 
 #: Lint-report snapshot cases: every wirelist golden (all of which must
 #: stay DRC-clean) plus the deliberately violating fixture, whose report
@@ -120,11 +141,14 @@ def render_case(name: str, engine: str = "auto") -> str:
     fixture (see tests/golden/test_wirelists.py).
     """
     layout = GOLDEN_CASES[name]()
-    circuit = extract(layout, TECH, keep_geometry=True, engine=engine)
-    return write_wirelist(to_wirelist(circuit, name=name))
+    tech = tech_for(name)
+    circuit = extract(layout, tech, keep_geometry=True, engine=engine)
+    return write_wirelist(to_wirelist(circuit, name=name, tech=tech))
 
 
 def render_lint_case(name: str) -> str:
     """The ``repro-lint`` text report a ``<case>.lint`` snapshot pins."""
     layout = LINT_CASES[name]()
-    return format_text(lint_layout(layout, tech=TECH, artifact=name))
+    return format_text(
+        lint_layout(layout, tech=tech_for(name), artifact=name)
+    )

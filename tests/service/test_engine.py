@@ -14,7 +14,7 @@ from repro.service.engine import (
     JobTimeout,
 )
 from repro.service.jobs import Job, JobOptions
-from repro.workloads import inverter, transistor_array
+from repro.workloads import cmos_inverter, inverter, transistor_array
 
 
 def _job(cif: str, **options) -> Job:
@@ -70,6 +70,25 @@ class TestRunJob:
         assert result["devices"] == 2
         assert result["lint_errors"] == 0
         assert engine.results.get(job.cache_key) is result
+
+    def test_deck_option_selects_technology(self):
+        engine = ExtractionEngine()
+        job = _job(write_cif(cmos_inverter()), name="cinv.cif", deck="cmos")
+        result = engine.run_job(job)
+        assert result["devices"] == 2
+        assert "(DefPart pEnh" in result["wirelist"]
+        assert "nDep" not in result["wirelist"]
+        engine.close()
+
+    def test_decks_never_share_a_cache_entry(self):
+        engine = ExtractionEngine()
+        cif = write_cif(inverter())
+        nmos_job = _job(cif, name="inv.cif")
+        cmos_job = _job(cif, name="inv.cif", deck="cmos")
+        assert nmos_job.cache_key != cmos_job.cache_key
+        engine.run_job(nmos_job)
+        assert engine.results.get(cmos_job.cache_key) is None
+        engine.close()
 
     def test_hext_jobs_share_one_warm_memo(self):
         engine = ExtractionEngine()

@@ -31,6 +31,7 @@ class TestJobOptions:
         payload = {
             "name": "chip.cif",
             "lambda": 300,
+            "deck": "cmos",
             "hext": True,
             "jobs": 4,
             "lint": True,
@@ -58,6 +59,9 @@ class TestJobOptions:
             {"name": 7},
             {"timeout": "fast"},
             {"timeout": -1},
+            {"deck": ""},
+            {"deck": 3},
+            {"deck": "tungsten"},
             ["not", "an", "object"],
         ],
     )
@@ -71,8 +75,11 @@ class TestJobOptions:
         assert serial.cache_facet() == parallel.cache_facet()
         # ... but everything result-affecting is present.
         assert set(serial.cache_facet()) == {
-            "name", "lambda", "hext", "lint", "keep_geometry"
+            "name", "lambda", "deck", "hext", "lint", "keep_geometry"
         }
+        # Two decks over the same payload must never share an entry.
+        cmos = JobOptions.from_payload({"name": "a.cif", "deck": "cmos"})
+        assert cmos.cache_facet() != serial.cache_facet()
 
     def test_timeout_sets_deadline(self):
         job = _job(timeout=30)

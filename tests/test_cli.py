@@ -245,6 +245,9 @@ class TestReproLint:
         out = capsys.readouterr().out
         for rule in VIOLATION_SNIPPETS:
             assert rule in out
+        # ERC and deck-validation ids ride the same catalog.
+        assert "floating-gate" in out
+        assert "deck.unknown-layer" in out
 
     def test_missing_file_is_internal_error(self, tmp_path, capsys):
         missing = str(tmp_path / "nope.cif")
@@ -253,6 +256,82 @@ class TestReproLint:
 
     def test_no_input_files_is_internal_error(self, capsys):
         assert lint_main([]) == INTERNAL_ERROR_EXIT
+
+
+class TestDeckSelection:
+    @pytest.fixture()
+    def cmos_cif(self, tmp_path):
+        from repro.workloads.cmos import cmos_inverter
+
+        path = tmp_path / "cmos_inverter.cif"
+        path.write_text(write(cmos_inverter()))
+        return str(path)
+
+    def test_cmos_deck_lints_cmos_layout(self, cmos_cif, capsys):
+        assert lint_main([cmos_cif, "--deck", "cmos"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_deck_from_json_file(self, cmos_cif, capsys):
+        from repro.lint import resolve_deck
+
+        deck_path = "src/repro/tech/decks/cmos.json"
+        assert resolve_deck(deck_path).name == "cmos"
+        assert lint_main([cmos_cif, "--deck", deck_path]) == 0
+
+    def test_unknown_deck_is_internal_error(self, inverter_cif, capsys):
+        assert (
+            lint_main([inverter_cif, "--deck", "bipolar"])
+            == INTERNAL_ERROR_EXIT
+        )
+        assert "bipolar" in capsys.readouterr().err
+
+    def test_deck_rails_drive_erc(self, cmos_cif, capsys):
+        # The CMOS deck inherits the default rail spellings; a bogus
+        # extra --vdd name must not break rail detection.
+        assert lint_main([cmos_cif, "--deck", "cmos", "--vdd", "PWR"]) == 0
+
+
+class TestCheckDeck:
+    SHIPPED = [
+        "src/repro/tech/decks/nmos.json",
+        "src/repro/tech/decks/cmos.json",
+    ]
+
+    def test_shipped_decks_pass(self, capsys):
+        assert lint_main(["--check-deck", *self.SHIPPED]) == 0
+        out = capsys.readouterr().out
+        assert out.count("0 error(s)") == 2
+
+    def test_builtin_deck_via_flag(self, capsys):
+        assert lint_main(["--check-deck", "--deck", "cmos"]) == 0
+
+    def test_malformed_deck_fails(self, tmp_path, capsys):
+        import json as json_mod
+
+        deck = json_mod.loads(
+            open("src/repro/tech/decks/nmos.json").read()
+        )
+        deck["ignored"] = ["ZZ"]
+        path = tmp_path / "bad.json"
+        path.write_text(json_mod.dumps(deck))
+        code = lint_main(["--check-deck", str(path)])
+        assert code > 0
+        assert "deck.unknown-layer" in capsys.readouterr().out
+
+    def test_unparsable_deck_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{ not json")
+        assert lint_main(["--check-deck", str(path)]) > 0
+        assert "deck.parse" in capsys.readouterr().out
+
+    def test_sarif_output(self, tmp_path, capsys):
+        deck = {"name": "x"}
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps(deck))
+        code = lint_main(["--check-deck", str(path), "--format", "sarif"])
+        assert code > 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"]
 
 
 class TestPlotting:

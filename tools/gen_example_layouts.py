@@ -6,6 +6,10 @@ known findings are suppressed by the committed
 ``examples/layouts/lint-baseline.json`` (regenerate it with
 ``repro-lint examples/layouts/*.cif --write-baseline ...``).
 
+Cases drawn in a non-NMOS deck go to a per-deck subdirectory
+(``examples/layouts/cmos/``) so each directory lints under exactly one
+``--deck`` selection.
+
 Usage::
 
     PYTHONPATH=src python tools/gen_example_layouts.py
@@ -18,7 +22,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
 
 from repro.cif import write  # noqa: E402
-from golden.cases import LINT_CASES  # noqa: E402
+from golden.cases import LINT_CASES, tech_for  # noqa: E402
 
 OUT = Path(__file__).resolve().parent.parent / "examples" / "layouts"
 
@@ -26,7 +30,11 @@ OUT = Path(__file__).resolve().parent.parent / "examples" / "layouts"
 def main() -> int:
     OUT.mkdir(parents=True, exist_ok=True)
     for name in sorted(LINT_CASES):
-        path = OUT / f"{name}.cif"
+        tech = tech_for(name)
+        deck = tech.deck.name if tech.deck is not None else "nmos"
+        directory = OUT if deck == "nmos" else OUT / deck
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{name}.cif"
         path.write_text(write(LINT_CASES[name]()))
         print(f"wrote {path}")
     return 0
