@@ -1,14 +1,15 @@
 """The oracle registry: every independent implementation of extraction.
 
-An *oracle* maps a layout to a circuit.  The repo has eight -- the flat
+An *oracle* maps a layout to a circuit.  The repo has nine -- the flat
 edge-based scanline (ACE), the same scanline on the vectorized numpy
 strip engine (``ace-numpy``, registered only when numpy imports, with
 byte-for-byte wirelist parity against the python engine enforced inside
 the runner), serial and parallel HEXT, the extraction *service*
 (parallel HEXT round-tripped through the long-lived daemon, again with
-byte parity enforced), banded out-of-core streaming (``ace-stream``,
-byte parity at two band heights enforced), and the two historical
-baselines -- and the
+byte parity enforced), the *fleet* (the same round trip through the
+sharded multi-daemon router), banded out-of-core streaming
+(``ace-stream``, byte parity at two band heights enforced), and the two
+historical baselines -- and the
 whole correctness argument is that they must agree on every layout, up
 to net renumbering.  Each oracle declares two capabilities the driver
 respects:
@@ -213,6 +214,76 @@ def _service_extract(layout: Layout, tech: Technology) -> Circuit:
     return local.circuit
 
 
+_FLEET_CLIENT = None
+
+
+def _fleet_client():
+    """A lazily started two-shard fleet (router + in-process daemons).
+
+    Same lifecycle economics as :func:`_service_client`: one fleet per
+    difftest process, torn down atexit.  Two shards make the consistent-
+    hash ring real — across a difftest run the fuzzed layouts spread
+    over both shards, so routing, the proxy rewrite, and the fleet job
+    table all sit in the byte-parity loop.
+    """
+    global _FLEET_CLIENT
+    if _FLEET_CLIENT is None:
+        from ..fleet import FleetRouter, RouterConfig
+        from ..service import ExtractionService, ServiceClient, ServiceConfig
+
+        shards = []
+        for index in range(2):
+            service = ExtractionService(
+                ServiceConfig(
+                    port=0, workers=2, quiet=True, shard=f"shard{index}"
+                )
+            )
+            service.start()
+            atexit.register(service.close)
+            shards.append((f"shard{index}", "127.0.0.1", service.port))
+        router = FleetRouter(
+            shards, RouterConfig(port=0, quiet=True, health_interval=5.0)
+        )
+        router.start()
+        atexit.register(router.close)
+        _FLEET_CLIENT = ServiceClient(port=router.port, timeout=120.0)
+    return _FLEET_CLIENT
+
+
+class FleetParityError(AssertionError):
+    """The fleet's wirelist bytes diverged from the in-process ones."""
+
+
+def _fleet_extract(layout: Layout, tech: Technology) -> Circuit:
+    """Round-trip through the sharded fleet, then demand byte parity.
+
+    The contract is the ``service`` oracle's, one tier up: routing a
+    job through the async front-end to whichever shard the hash ring
+    picks may move *where* the work runs but never the bytes that come
+    back.
+    """
+    local = hext_extract(layout, tech, jobs=2)
+    expected = write_wirelist(
+        to_hierarchical_wirelist(local, name="difftest.cif")
+    )
+    deck = tech.deck
+    result = _fleet_client().extract(
+        write_cif(layout),
+        name="difftest.cif",
+        hext=True,
+        jobs=2,
+        lambda_=tech.lambda_,
+        deck=deck.name if deck is not None else "nmos",
+        wait_timeout=120.0,
+    )
+    if result["wirelist"] != expected:
+        raise FleetParityError(
+            "fleet wirelist differs from in-process hext-par "
+            f"({len(result['wirelist'])} vs {len(expected)} bytes)"
+        )
+    return local.circuit
+
+
 ORACLES: dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -248,6 +319,15 @@ ORACLES: dict[str, Oracle] = {
             runner=_service_extract,
             # The daemon protocol names decks; only builtin names can
             # cross the wire, so custom deck files are gated out here.
+            decks=("nmos", "cmos"),
+        ),
+        Oracle(
+            "fleet",
+            "hext-par through a two-shard fleet (router + consistent "
+            "hashing; byte-for-byte parity enforced)",
+            grid_exact=True,
+            sizes_exact=True,
+            runner=_fleet_extract,
             decks=("nmos", "cmos"),
         ),
         *(

@@ -1,0 +1,40 @@
+"""The fleet tier: N extraction daemons behind one async front door.
+
+One ``repro-serve`` daemon scales to one box.  This package is the
+multi-process story (docs/FLEET.md):
+
+* :mod:`repro.fleet.hashring` — consistent hashing of payload digests
+  onto shard names, with a stable successor walk for failover;
+* :mod:`repro.fleet.state` — the router's bookkeeping: shard health +
+  circuit breakers, the fleet job table, in-flight request coalescing,
+  and the router's own metrics;
+* :mod:`repro.fleet.router` — the asyncio front-end that speaks the
+  daemon's JSON job API unchanged and routes every request to a shard;
+* :mod:`repro.fleet.supervisor` — spawns and babysits the shard
+  processes (spawn, drain, rolling restart, SIGKILL for tests);
+* :mod:`repro.fleet.cli` — the ``repro-fleet`` command gluing the two
+  together into one supervised process tree.
+
+The shards share one on-disk result store (the *shared artifact
+store*, ``repro.parallel.cache.JsonEnvelopeStore`` with budgets), so a
+result extracted anywhere in the fleet is a disk hit everywhere and a
+replacement shard warm-starts from its siblings' work.
+"""
+
+from .hashring import HashRing
+from .router import DEFAULT_FLEET_PORT, FleetRouter, RouterConfig
+from .state import CircuitBreaker, FleetJob, FleetJobTable, ShardState
+from .supervisor import FleetSupervisor, ShardProcess
+
+__all__ = [
+    "HashRing",
+    "FleetRouter",
+    "RouterConfig",
+    "DEFAULT_FLEET_PORT",
+    "CircuitBreaker",
+    "FleetJob",
+    "FleetJobTable",
+    "ShardState",
+    "FleetSupervisor",
+    "ShardProcess",
+]

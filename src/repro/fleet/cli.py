@@ -1,0 +1,216 @@
+"""``repro-fleet``: one command, one supervised extraction fleet.
+
+Brings up N ``repro-serve`` shards on ephemeral ports, wires them to a
+shared on-disk artifact store, starts the asyncio router in front, and
+then supervises:
+
+* SIGTERM / SIGINT — graceful drain: the router stops admitting,
+  in-flight fleet jobs finish, then every shard is SIGTERM-drained.
+  Exit 0 when everything went quiet inside the grace period, 2 when
+  work was still in flight.
+* SIGHUP — rolling restart: each shard is drained and replaced one at
+  a time, the router re-pointed as each replacement becomes ready, so
+  the fleet never drops below N-1 shards of capacity.
+
+Clients talk to the router exactly as they would to a single daemon —
+``repro-submit --port 8700`` just works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+import types
+
+from ..cli import add_version_argument
+from ..core.stripengine import (
+    ENGINE_CHOICES,
+    EngineUnavailable,
+    resolve_engine,
+)
+from .router import DEFAULT_FLEET_PORT, FleetRouter, RouterConfig
+from .supervisor import FleetSupervisor, ShardSpawnError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Run a sharded extraction fleet: N repro-serve "
+        "daemons behind one async router with consistent-hash routing, "
+        "request coalescing, and failover.",
+    )
+    add_version_argument(parser)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        metavar="N",
+        help="daemon shard count (default %(default)s)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_FLEET_PORT,
+        help="router TCP port; 0 binds an ephemeral port "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extraction worker threads per shard (default %(default)s)",
+    )
+    parser.add_argument(
+        "--queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-shard job queue capacity (default %(default)s)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="shared artifact store directory all shards read and "
+        "write (default: per-shard memory caches only)",
+    )
+    parser.add_argument(
+        "--store-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the shared store beyond N results",
+    )
+    parser.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU-evict the shared store beyond this size",
+    )
+    parser.add_argument(
+        "--store-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire shared-store results older than this",
+    )
+    parser.add_argument(
+        "--prime-cache",
+        type=int,
+        default=32,
+        metavar="N",
+        help="results each (re)started shard preloads from the shared "
+        "store (default %(default)s; 0 disables)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="strip-batch engine for every shard (default %(default)s)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max wait for in-flight work at shutdown (default %(default)s)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between shard health probes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress structured logs"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        engine = resolve_engine(args.engine)
+    except EngineUnavailable as exc:
+        print(f"repro-fleet: error: {exc}", file=sys.stderr)
+        return 2
+
+    supervisor = FleetSupervisor(
+        args.shards,
+        host=args.host,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        store_dir=args.store,
+        cache_max_entries=args.store_max_entries,
+        cache_max_bytes=args.store_max_bytes,
+        cache_ttl=args.store_ttl,
+        prime_cache=args.prime_cache if args.store else 0,
+        engine=engine,
+        shard_grace=args.drain_grace + 5.0,
+    )
+    try:
+        specs = supervisor.start()
+    except ShardSpawnError as exc:
+        print(f"repro-fleet: {exc}", file=sys.stderr)
+        return 2
+
+    router = FleetRouter(
+        specs,
+        RouterConfig(
+            host=args.host,
+            port=args.port,
+            drain_grace=args.drain_grace,
+            health_interval=args.health_interval,
+            quiet=args.quiet,
+        ),
+    )
+    try:
+        router.start()
+    except RuntimeError as exc:
+        print(f"repro-fleet: {exc}", file=sys.stderr)
+        supervisor.close()
+        return 2
+
+    stop = threading.Event()
+    rolling = threading.Event()
+
+    def _handle_stop(signum: int, frame: "types.FrameType | None") -> None:
+        router.log(event="signal", signal=signal.Signals(signum).name)
+        stop.set()
+
+    def _handle_hup(signum: int, frame: "types.FrameType | None") -> None:
+        router.log(event="signal", signal="SIGHUP")
+        rolling.set()
+        stop.set()  # wake the wait loop; rolling flag reroutes it
+
+    signal.signal(signal.SIGTERM, _handle_stop)
+    signal.signal(signal.SIGINT, _handle_stop)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, _handle_hup)
+
+    while True:
+        stop.wait()
+        if not rolling.is_set():
+            break
+        rolling.clear()
+        stop.clear()
+        router.log(event="rolling_restart_begin")
+        supervisor.rolling_restart(
+            lambda name, host, port: router.update_shard(name, host, port)
+        )
+        router.log(event="rolling_restart_done")
+
+    router_clean = router.drain(grace=args.drain_grace)
+    shards_clean = supervisor.drain()
+    return 0 if router_clean and shards_clean else 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

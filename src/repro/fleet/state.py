@@ -1,0 +1,262 @@
+"""The router's bookkeeping, kept free of any I/O so it unit-tests flat.
+
+Three pieces:
+
+* :class:`ShardState` — one upstream daemon as the router sees it:
+  address, health, and a :class:`CircuitBreaker` that stops the router
+  from burning its failover budget on a shard that keeps refusing.
+* :class:`FleetJob` / :class:`FleetJobTable` — the fleet-level job
+  registry.  The router issues its own job idents (``f`` + hex) and
+  remembers, per job, the original submission body — that is what makes
+  failover possible: when a shard dies with the job in flight, the
+  router *resubmits the payload* to a ring sibling and the client keeps
+  polling the same fleet ident, none the wiser.  The table doubles as
+  the coalescing index: one in-flight entry per ``(payload digest,
+  option facet)`` key, so concurrent identical submissions share one
+  upstream job and one fleet ident.
+* :class:`RouterMetrics` — counters plus per-shard latency rings for
+  the fleet-level ``/metrics`` document.
+
+Everything here is touched only from the router's event loop (or a
+test), so there are no locks by design.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from ..service.metrics import LatencyRing
+
+#: Consecutive upstream failures before a shard's breaker opens.
+BREAKER_THRESHOLD = 3
+
+#: Seconds an open breaker refuses traffic before allowing one probe.
+BREAKER_COOLDOWN = 2.0
+
+
+class CircuitBreaker:
+    """A per-shard failure gate: closed -> open -> half-open -> closed.
+
+    ``allow()`` answers "may I send this shard a request right now?".
+    While open, it answers False until the cooldown passes, then True
+    exactly once (the half-open probe); the probe's outcome either
+    closes the breaker or re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        threshold: int = BREAKER_THRESHOLD,
+        cooldown: float = BREAKER_COOLDOWN,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.consecutive_failures = 0
+        self.opened_monotonic: "float | None" = None
+        self._probing = False
+
+    @property
+    def open(self) -> bool:
+        return self.opened_monotonic is not None
+
+    def allow(self) -> bool:
+        if self.opened_monotonic is None:
+            return True
+        if time.monotonic() - self.opened_monotonic < self.cooldown:
+            return False
+        if self._probing:
+            return False  # one half-open probe at a time
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_monotonic = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self._probing = False
+        if self.consecutive_failures >= self.threshold:
+            self.opened_monotonic = time.monotonic()
+
+    def snapshot(self) -> dict:
+        return {
+            "open": self.open,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+@dataclass
+class ShardState:
+    """One upstream daemon: address, health, breaker, accounting."""
+
+    name: str
+    host: str
+    port: int
+    healthy: bool = True
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    routed: int = 0  #: submissions this shard received
+    generation: int = 0  #: bumped on every address update (restart)
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def update_address(self, host: str, port: int) -> None:
+        """Point at a restarted shard; resets health and the breaker."""
+        self.host = host
+        self.port = port
+        self.generation += 1
+        self.healthy = True
+        self.breaker.record_success()
+
+    def available(self) -> bool:
+        """Worth sending a request to right now."""
+        return self.healthy and self.breaker.allow()
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "address": self.address,
+            "healthy": self.healthy,
+            "routed": self.routed,
+            "generation": self.generation,
+            "breaker": self.breaker.snapshot(),
+        }
+
+
+#: Fleet job states mirror the daemon's JobState strings on purpose —
+#: clients must not be able to tell a router from a daemon.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class FleetJob:
+    """One client-visible job and everything needed to keep it alive."""
+
+    ident: str
+    body: dict  #: the original submission — the failover payload
+    key: str  #: coalescing key: (payload digest, option facet) hash
+    digest: str
+    submitted_wall: float = field(default_factory=time.time)
+    shard: "ShardState | None" = None
+    upstream: "str | None" = None  #: the shard's job ident
+    attempts: int = 0  #: upstream submissions performed (1 = no failover)
+    waiters: int = 1  #: submissions coalesced onto this job (incl. first)
+    state: str = "queued"
+    final: "dict | None" = None  #: terminal status payload, job field ours
+    result: "dict | None" = None  #: terminal result payload when fetched
+    resubmitting: bool = False  #: a failover resubmission is in flight
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def placeholder_status(self) -> dict:
+        """Status served before/while no upstream answer is available."""
+        return {
+            "job": self.ident,
+            "state": self.state if self.terminal else "queued",
+            "digest": self.digest,
+            "cached": False,
+            "submitted_at": self.submitted_wall,
+        }
+
+
+class FleetJobTable:
+    """Registry of fleet jobs + the in-flight coalescing index."""
+
+    def __init__(self, retain: int = 512) -> None:
+        self.retain = retain
+        self._jobs: "dict[str, FleetJob]" = {}
+        self._inflight: "dict[str, FleetJob]" = {}
+        self._finished: "deque[str]" = deque()
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self, ident: str) -> "FleetJob | None":
+        return self._jobs.get(ident)
+
+    def coalesce(self, key: str) -> "FleetJob | None":
+        """The live job a new identical submission should join, if any."""
+        job = self._inflight.get(key)
+        if job is not None and not job.terminal:
+            job.waiters += 1
+            return job
+        return None
+
+    def create(self, body: dict, key: str, digest: str) -> FleetJob:
+        """Register a fresh fleet job and index it for coalescing."""
+        job = FleetJob(
+            ident=f"f{uuid.uuid4().hex[:12]}",
+            body=body,
+            key=key,
+            digest=digest,
+        )
+        self._jobs[job.ident] = job
+        self._inflight[key] = job
+        return job
+
+    def mark_terminal(self, job: FleetJob, state: str) -> None:
+        """Move a job to a terminal state and retire its coalesce slot."""
+        if job.terminal:
+            return
+        job.state = state
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        self._finished.append(job.ident)
+        while len(self._finished) > self.retain:
+            evicted = self._finished.popleft()
+            self._jobs.pop(evicted, None)
+
+    def discard(self, job: FleetJob) -> None:
+        """Forget a job whose upstream submission never succeeded."""
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        self._jobs.pop(job.ident, None)
+
+    def pending(self) -> "list[FleetJob]":
+        """Every job not yet terminal (drain and rescue walk this)."""
+        return [job for job in self._jobs.values() if not job.terminal]
+
+    def pending_on(self, shard: ShardState) -> "list[FleetJob]":
+        return [job for job in self.pending() if job.shard is shard]
+
+
+class RouterMetrics:
+    """Counters + per-shard upstream latency for fleet ``/metrics``."""
+
+    def __init__(self, ring_size: int = 512) -> None:
+        self.started_monotonic = time.monotonic()
+        self.started_wall = time.time()
+        self.counters: Counter = Counter()
+        self.upstream_latency: "dict[str, LatencyRing]" = {}
+        self._ring_size = ring_size
+
+    def count(self, event: str, amount: int = 1) -> None:
+        self.counters[event] += amount
+
+    def observe_upstream(self, shard: str, seconds: float) -> None:
+        ring = self.upstream_latency.get(shard)
+        if ring is None:
+            ring = self.upstream_latency[shard] = LatencyRing(
+                self._ring_size
+            )
+        ring.observe(seconds)
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_seconds": round(
+                time.monotonic() - self.started_monotonic, 3
+            ),
+            "started_at": self.started_wall,
+            "counters": dict(self.counters),
+            "upstream_latency": {
+                shard: ring.snapshot()
+                for shard, ring in sorted(self.upstream_latency.items())
+            },
+        }

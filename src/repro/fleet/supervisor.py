@@ -1,0 +1,343 @@
+"""Spawning and babysitting the shard daemons.
+
+A :class:`ShardProcess` is one ``python -m repro.service`` child: it is
+started on an ephemeral port (``--port 0``), its structured ``ready``
+log line is parsed off stderr to learn the bound address, and its
+stderr is drained into a bounded tail buffer so a crashed shard's last
+words survive for diagnosis.  :class:`FleetSupervisor` owns N of them
+plus the shared-store wiring: every shard gets the same
+``--result-cache`` directory (and budgets), which is what turns N
+private caches into one fleet artifact store — and ``--prime-cache``
+so a freshly (re)started shard warm-starts from its siblings' results.
+
+Lifecycle verbs map to the ops story in docs/FLEET.md:
+
+* ``start()`` — bring up every shard, wait for every ready line;
+* ``kill_shard()`` — SIGKILL, the failure-injection hook for tests and
+  the bench's mid-run shard-death drill;
+* ``restart_shard()`` — SIGTERM-drain the old process, spawn a fresh
+  one under the same shard name (new ephemeral port — the router is
+  told via ``update_shard``);
+* ``rolling_restart()`` — ``restart_shard`` for each shard in turn,
+  invoking a callback with the new address before moving on;
+* ``drain()`` — SIGTERM everyone, wait, report whether every shard
+  exited cleanly (exit code 0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable
+
+import repro
+
+#: Seconds to wait for a spawned shard's ready line.
+READY_TIMEOUT = 30.0
+
+
+class ShardSpawnError(RuntimeError):
+    """A shard process died or stayed silent instead of becoming ready."""
+
+
+def _repo_src_path() -> str:
+    """The directory that must be on PYTHONPATH to import ``repro``."""
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+class ShardProcess:
+    """One extraction daemon child process and its vital signs."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        host: str = "127.0.0.1",
+        workers: int = 2,
+        queue_capacity: int = 64,
+        store_dir: "str | None" = None,
+        cache_max_entries: "int | None" = None,
+        cache_max_bytes: "int | None" = None,
+        cache_ttl: "float | None" = None,
+        prime_cache: int = 0,
+        engine: "str | None" = None,
+        extra_args: "list[str] | None" = None,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = 0
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self.store_dir = store_dir
+        self.cache_max_entries = cache_max_entries
+        self.cache_max_bytes = cache_max_bytes
+        self.cache_ttl = cache_ttl
+        self.prime_cache = prime_cache
+        self.engine = engine
+        self.extra_args = list(extra_args or ())
+        self.process: "subprocess.Popen | None" = None
+        self.stderr_tail: "deque[str]" = deque(maxlen=200)
+        self._drain_thread: "threading.Thread | None" = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _command(self) -> "list[str]":
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--shard-id",
+            self.name,
+            "--workers",
+            str(self.workers),
+            "--queue",
+            str(self.queue_capacity),
+        ]
+        if self.store_dir is not None:
+            command += ["--result-cache", self.store_dir]
+            if self.prime_cache:
+                command += ["--prime-cache", str(self.prime_cache)]
+        if self.cache_max_entries is not None:
+            command += ["--cache-max-entries", str(self.cache_max_entries)]
+        if self.cache_max_bytes is not None:
+            command += ["--cache-max-bytes", str(self.cache_max_bytes)]
+        if self.cache_ttl is not None:
+            command += ["--cache-ttl", str(self.cache_ttl)]
+        if self.engine is not None:
+            command += ["--engine", self.engine]
+        command += self.extra_args
+        return command
+
+    def spawn(self, timeout: float = READY_TIMEOUT) -> None:
+        """Start the daemon and block until its ready line arrives."""
+        env = dict(os.environ)
+        src = _repo_src_path()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            f"{src}{os.pathsep}{existing}" if existing else src
+        )
+        self.process = subprocess.Popen(
+            self._command(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            self.port = self._await_ready(timeout)
+        except ShardSpawnError:
+            self.kill()
+            raise
+        self._drain_thread = threading.Thread(
+            target=self._drain_stderr,
+            name=f"shard-{self.name}-stderr",
+            daemon=True,
+        )
+        self._drain_thread.start()
+
+    def _await_ready(self, timeout: float) -> int:
+        assert self.process is not None and self.process.stderr is not None
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                tail = "\n".join(self.stderr_tail)
+                raise ShardSpawnError(
+                    f"shard {self.name} exited "
+                    f"{self.process.returncode} before ready:\n{tail}"
+                )
+            line = self.process.stderr.readline()
+            if not line:
+                continue
+            self.stderr_tail.append(line.rstrip("\n"))
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("event") != "ready":
+                continue
+            address = record.get("address", "")
+            _, _, hostport = address.rpartition("/")
+            _, _, port = hostport.rpartition(":")
+            try:
+                return int(port)
+            except ValueError as exc:
+                raise ShardSpawnError(
+                    f"shard {self.name}: unparsable ready address "
+                    f"{address!r}"
+                ) from exc
+        raise ShardSpawnError(
+            f"shard {self.name} produced no ready line within {timeout}s"
+        )
+
+    def _drain_stderr(self) -> None:
+        assert self.process is not None and self.process.stderr is not None
+        try:
+            for line in self.process.stderr:
+                self.stderr_tail.append(line.rstrip("\n"))
+        except ValueError:
+            pass  # pipe closed under us at shutdown
+
+    # -- signals ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    @property
+    def pid(self) -> "int | None":
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self.host, self.port
+
+    def terminate(self, grace: float = 35.0) -> "int | None":
+        """SIGTERM (daemon-side drain) and wait; returns the exit code."""
+        if self.process is None:
+            return None
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10.0)
+        return self.process.returncode
+
+    def kill(self) -> None:
+        """SIGKILL — the failure-injection path; no drain, no mercy."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            try:
+                self.process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                pass
+
+
+class FleetSupervisor:
+    """Owns the shard set: spawn, drain, restart, failure injection."""
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        host: str = "127.0.0.1",
+        workers: int = 2,
+        queue_capacity: int = 64,
+        store_dir: "str | None" = None,
+        cache_max_entries: "int | None" = None,
+        cache_max_bytes: "int | None" = None,
+        cache_ttl: "float | None" = None,
+        prime_cache: int = 0,
+        engine: "str | None" = None,
+        shard_grace: float = 35.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"a fleet needs >= 1 shard, got {count}")
+        self.shard_grace = shard_grace
+        self._spawn_kwargs = dict(
+            host=host,
+            workers=workers,
+            queue_capacity=queue_capacity,
+            store_dir=store_dir,
+            cache_max_entries=cache_max_entries,
+            cache_max_bytes=cache_max_bytes,
+            cache_ttl=cache_ttl,
+            prime_cache=prime_cache,
+            engine=engine,
+        )
+        self.shards: "dict[str, ShardProcess]" = {
+            f"shard{i}": ShardProcess(f"shard{i}", **self._spawn_kwargs)
+            for i in range(count)
+        }
+
+    def start(self) -> "list[tuple[str, str, int]]":
+        """Spawn every shard; returns (name, host, port) router specs."""
+        started: "list[ShardProcess]" = []
+        try:
+            for shard in self.shards.values():
+                shard.spawn()
+                started.append(shard)
+        except ShardSpawnError:
+            for shard in started:
+                shard.kill()
+            raise
+        return [
+            (shard.name, shard.host, shard.port)
+            for shard in self.shards.values()
+        ]
+
+    def kill_shard(self, name: str) -> None:
+        """SIGKILL one shard mid-flight (failure injection)."""
+        self.shards[name].kill()
+
+    def restart_shard(self, name: str) -> "tuple[str, int]":
+        """Drain + replace one shard; returns its new (host, port).
+
+        The replacement runs under the same shard name, so the hash
+        ring is untouched — only the address changes, and the caller
+        must hand it to ``FleetRouter.update_shard``.  With a shared
+        store and ``prime_cache`` the newcomer starts warm.
+        """
+        old = self.shards[name]
+        old.terminate(grace=self.shard_grace)
+        replacement = ShardProcess(name, **self._spawn_kwargs)
+        replacement.spawn()
+        self.shards[name] = replacement
+        return replacement.host, replacement.port
+
+    def rolling_restart(
+        self,
+        on_restarted: "Callable[[str, str, int], None] | None" = None,
+    ) -> None:
+        """Replace every shard one at a time, fleet capacity N-1 dips.
+
+        ``on_restarted(name, host, port)`` runs after each replacement
+        is ready — wire it to ``FleetRouter.update_shard`` so traffic
+        follows the new address before the next shard goes down.
+        """
+        for name in list(self.shards):
+            host, port = self.restart_shard(name)
+            if on_restarted is not None:
+                on_restarted(name, host, port)
+
+    def drain(self) -> bool:
+        """SIGTERM every shard, wait; True iff all exited cleanly."""
+        clean = True
+        for shard in self.shards.values():
+            code = shard.terminate(grace=self.shard_grace)
+            if code != 0:
+                clean = False
+        return clean
+
+    def close(self) -> None:
+        for shard in self.shards.values():
+            shard.kill()
+
+    def specs(self) -> "list[tuple[str, str, int]]":
+        return [
+            (shard.name, shard.host, shard.port)
+            for shard in self.shards.values()
+        ]
+
+    def snapshot(self) -> "list[dict]":
+        return [
+            {
+                "name": shard.name,
+                "pid": shard.pid,
+                "alive": shard.alive,
+                "address": f"{shard.host}:{shard.port}",
+            }
+            for shard in self.shards.values()
+        ]

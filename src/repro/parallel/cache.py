@@ -19,6 +19,17 @@ store can cost time, never correctness.
 Writes go through a temp file and ``os.replace`` so a crashed run leaves
 either the old entry or the new one, never a torn file.
 
+The store is safe to share between processes — the whole design is that
+several extraction daemons (a fleet of shards, see ``repro.fleet``) can
+read and write one directory concurrently.  Reads are lock-free: a
+reader either sees a complete old entry or a complete new one (atomic
+replace), and a file deleted out from under a reader is just a miss.
+Budgets make the shared store self-limiting: ``max_entries`` /
+``max_bytes`` evict the least-recently-used entries (recency is the
+file mtime, refreshed on every hit), and ``ttl_seconds`` expires
+entries by age regardless of use.  Eviction races between processes are
+benign — an unlink that loses the race is a no-op.
+
 :class:`JsonEnvelopeStore` is the generic layer (the extraction service
 builds its result cache on it); :class:`FragmentCache` specializes it to
 primitive HEXT fragments, which is why fragment envelopes carry the
@@ -30,8 +41,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 from ..hext.fragment import Fragment
 from .serialize import (
@@ -51,6 +64,8 @@ class CacheStats:
     misses: int = 0
     invalid: int = 0  #: entries rejected (corrupt, stale, or malformed)
     stores: int = 0
+    expired: int = 0  #: entries dropped because their TTL passed
+    evicted: int = 0  #: entries dropped to stay inside the budgets
 
     @property
     def hit_rate(self) -> float:
@@ -70,9 +85,25 @@ class JsonEnvelopeStore:
     format_version: int = 1
     payload_field: str = "payload"
 
-    def __init__(self, root: "str | os.PathLike") -> None:
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        *,
+        max_entries: "int | None" = None,
+        max_bytes: "int | None" = None,
+        ttl_seconds: "float | None" = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
         self.stats = CacheStats()
 
     def path_for(self, key: str) -> Path:
@@ -85,6 +116,16 @@ class JsonEnvelopeStore:
         """The validated payload for ``key``, or None (miss or rejected)."""
         path = self.path_for(key)
         try:
+            if self.ttl_seconds is not None:
+                age = time.time() - path.stat().st_mtime
+                if age > self.ttl_seconds:
+                    self.stats.expired += 1
+                    self.stats.misses += 1
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+                    return None
             with open(path, "r", encoding="utf-8") as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
@@ -97,6 +138,13 @@ class JsonEnvelopeStore:
         except SerializationError:
             return self._reject(path)
         self.stats.hits += 1
+        # Refresh recency so LRU eviction (here or in a sibling process
+        # sharing the directory) spares the hot set.  Best effort: a
+        # concurrent eviction racing the touch is just a future miss.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def put_payload(self, key: str, payload: dict) -> None:
@@ -115,6 +163,8 @@ class JsonEnvelopeStore:
             json.dump(envelope, handle)
         os.replace(tmp, path)
         self.stats.stores += 1
+        if self.max_entries is not None or self.max_bytes is not None:
+            self.enforce_budget(keep=key)
 
     def _validate(self, key: str, envelope: dict) -> dict:
         if not isinstance(envelope, dict):
@@ -143,6 +193,81 @@ class JsonEnvelopeStore:
         return None
 
     # -- maintenance -----------------------------------------------------
+
+    def entries(self) -> "Iterator[tuple[str, Path, os.stat_result]]":
+        """Every live ``(key, path, stat)``, racing deletions tolerated."""
+        for path in self.root.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted by a sibling process mid-scan
+            yield path.stem, path, stat
+
+    def recent_keys(self, limit: "int | None" = None) -> "list[str]":
+        """Keys ordered most-recently-used first (mtime descending).
+
+        The warm-start path: a cold daemon primes its memory LRU from
+        the shared store's hottest entries before taking traffic.
+        """
+        ranked = sorted(
+            self.entries(), key=lambda entry: entry[2].st_mtime, reverse=True
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        return [key for key, _, _ in ranked]
+
+    def enforce_budget(self, *, keep: "str | None" = None) -> int:
+        """Expire by TTL and evict LRU-first down to the budgets.
+
+        Returns the number of entries removed.  ``keep`` shields one key
+        (the entry just written) from eviction even if budgets are so
+        tight it would otherwise be the victim.  Runs after every put
+        when a budget is set; safe to call concurrently from several
+        processes — losing an unlink race simply means a sibling evicted
+        the entry first.
+        """
+        ranked = sorted(self.entries(), key=lambda e: e[2].st_mtime)
+        removed = 0
+        survivors: "list[tuple[str, Path, os.stat_result]]" = []
+        now = time.time()
+        for key, path, stat in ranked:
+            if (
+                self.ttl_seconds is not None
+                and now - stat.st_mtime > self.ttl_seconds
+                and key != keep
+            ):
+                if self._evict(path):
+                    self.stats.expired += 1
+                    removed += 1
+                continue
+            survivors.append((key, path, stat))
+        alive = len(survivors)
+        total_bytes = sum(stat.st_size for _, _, stat in survivors)
+
+        def over_budget() -> bool:
+            if self.max_entries is not None and alive > self.max_entries:
+                return True
+            return self.max_bytes is not None and total_bytes > self.max_bytes
+
+        for key, path, stat in survivors:  # oldest mtime first
+            if not over_budget():
+                break
+            if key == keep:
+                continue  # never evict the entry just written
+            if self._evict(path):
+                self.stats.evicted += 1
+                removed += 1
+            alive -= 1
+            total_bytes -= stat.st_size
+        return removed
+
+    @staticmethod
+    def _evict(path: Path) -> bool:
+        try:
+            os.remove(path)
+            return True
+        except OSError:
+            return False
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("??/*.json"))

@@ -63,7 +63,45 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--result-cache",
         metavar="DIR",
-        help="persist results on disk here (default: memory only)",
+        help="persist results on disk here (default: memory only); "
+        "several daemons may share one directory (the fleet's shared "
+        "artifact store)",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict the disk result store LRU-first beyond N entries",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict the disk result store LRU-first beyond this size",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire disk result entries older than this",
+    )
+    parser.add_argument(
+        "--prime-cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help="warm-start: preload the N most recently used disk "
+        "results into memory before serving (default %(default)s)",
+    )
+    parser.add_argument(
+        "--shard-id",
+        default=None,
+        metavar="NAME",
+        help="fleet shard identity, echoed in /healthz and /metrics "
+        "(set by repro-fleet; default: solo daemon)",
     )
     parser.add_argument(
         "--timeout",
@@ -108,6 +146,11 @@ def serve_main(argv: "list[str] | None" = None) -> int:
             workers=args.workers,
             queue_capacity=args.queue,
             result_cache_dir=args.result_cache,
+            cache_max_entries=args.cache_max_entries,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_ttl=args.cache_ttl,
+            prime_cache=args.prime_cache,
+            shard=args.shard_id,
             default_timeout=args.timeout,
             drain_grace=args.drain_grace,
             quiet=args.quiet,
@@ -201,6 +244,15 @@ def build_submit_parser() -> argparse.ArgumentParser:
         help="how long to poll before giving up (default %(default)s)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry the submission up to N times on 429/503 "
+        "backpressure or connection failure, honoring Retry-After "
+        "with jittered exponential backoff (default %(default)s)",
+    )
+    parser.add_argument(
         "--by-path",
         action="store_true",
         help="send the file path instead of its contents (daemon must "
@@ -211,7 +263,9 @@ def build_submit_parser() -> argparse.ArgumentParser:
 
 def submit_main(argv: "list[str] | None" = None) -> int:
     args = build_submit_parser().parse_args(argv)
-    client = ServiceClient(args.host, args.port, timeout=args.wait + 10.0)
+    client = ServiceClient(
+        args.host, args.port, timeout=args.wait + 10.0, retries=args.retries
+    )
     options: dict = {"name": args.cif.rsplit("/", 1)[-1]}
     if args.hierarchical:
         options["hext"] = True

@@ -1,36 +1,66 @@
 """A thin blocking client for the extraction daemon.
 
-Pure stdlib (``http.client``), one connection per request, no retries
-beyond what the caller asks for — the transport is boring on purpose so
-the daemon's semantics (admission control, polling, cache hits) stay
-visible to whoever is scripting against it.  The ``repro-submit`` CLI
-and the difftest ``service`` oracle both sit on this class.
+Pure stdlib (``http.client``), one connection per request — the
+transport is boring on purpose so the daemon's semantics (admission
+control, polling, cache hits) stay visible to whoever is scripting
+against it.  The ``repro-submit`` CLI and the difftest ``service``
+oracle both sit on this class.
+
+The one concession to operability is bounded submission retry:
+``ServiceClient(retries=N)`` makes :meth:`submit` absorb up to N
+backpressure answers (``429``/``503``) and transport-level connection
+failures, sleeping the daemon's own ``Retry-After`` estimate when one
+is offered and a jittered exponential backoff when not.  The default is
+``retries=0`` — identical behavior to before the knob existed.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any
 
 from .server import DEFAULT_PORT
 
+#: Status codes that mean "try the identical request again later".
+RETRYABLE_STATUSES = (429, 503)
+
 
 class ServiceError(RuntimeError):
     """A non-2xx response (or transport failure) from the daemon."""
 
-    def __init__(self, status: int, payload: "dict | None" = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        payload: "dict | None" = None,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
         detail = (payload or {}).get("error", "")
         super().__init__(f"service answered {status}: {detail}")
         self.status = status
         self.payload = payload or {}
+        self.headers = headers or {}
 
     @property
     def retry_after(self) -> "float | None":
-        """Seconds to wait when the daemon applied backpressure (429)."""
+        """Seconds to wait when the daemon applied backpressure.
+
+        Prefers the precise ``retry_after_seconds`` payload field, then
+        the integral ``Retry-After`` header; None when the daemon
+        offered no estimate (e.g. ``503`` while draining).
+        """
         value = self.payload.get("retry_after_seconds")
-        return float(value) if value is not None else None
+        if value is not None:
+            return float(value)
+        header = self.headers.get("Retry-After")
+        if header is not None:
+            try:
+                return float(header)
+            except ValueError:
+                return None
+        return None
 
 
 class JobFailed(ServiceError):
@@ -46,10 +76,37 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.25,
+        backoff_cap: float = 8.0,
+        jitter: float = 0.25,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        #: total submission retries this client has performed (tests,
+        #: bench accounting)
+        self.retries_performed = 0
+
+    def _retry_delay(
+        self, attempt: int, hint: "float | None"
+    ) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered.
+
+        A daemon-provided ``Retry-After`` hint wins over the exponential
+        schedule; either way the delay is capped and gets a proportional
+        random jitter so a thundering herd of identical clients spreads
+        out instead of re-colliding.
+        """
+        base = hint if hint is not None else self.backoff * (2.0**attempt)
+        base = min(base, self.backoff_cap)
+        return base + random.uniform(0.0, self.jitter * base)
 
     # -- transport -------------------------------------------------------
 
@@ -81,7 +138,9 @@ class ServiceClient:
         except ValueError:
             payload = {"error": raw.decode("utf-8", "replace")[:200]}
         if response.status not in ok:
-            raise ServiceError(response.status, payload)
+            raise ServiceError(
+                response.status, payload, dict(response.getheaders())
+            )
         return payload
 
     # -- API -------------------------------------------------------------
@@ -100,7 +159,10 @@ class ServiceClient:
         the caller polls (or uses :meth:`wait` / :meth:`extract`).
         Raises :class:`ServiceError` with status 429 when admission
         control refuses — ``exc.retry_after`` carries the daemon's
-        estimate.
+        estimate.  With ``retries > 0`` the client absorbs up to that
+        many 429/503 answers and connection failures itself, honoring
+        ``Retry-After`` and otherwise backing off exponentially with
+        jitter; the last failure is re-raised once the budget is spent.
         """
         if "lambda_" in options:  # keyword-friendly alias for "lambda"
             options["lambda"] = options.pop("lambda_")
@@ -109,7 +171,24 @@ class ServiceClient:
             body["cif"] = cif
         if path is not None:
             body["path"] = path
-        return self._request("POST", "/jobs", body, ok=(200, 202))
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body, ok=(200, 202))
+            except ServiceError as exc:
+                if (
+                    exc.status not in RETRYABLE_STATUSES
+                    or attempt >= self.retries
+                ):
+                    raise
+                delay = self._retry_delay(attempt, exc.retry_after)
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+                delay = self._retry_delay(attempt, None)
+            attempt += 1
+            self.retries_performed += 1
+            time.sleep(delay)
 
     def status(self, job: str) -> dict:
         return self._request("GET", f"/jobs/{job}")

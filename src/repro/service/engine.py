@@ -101,6 +101,10 @@ class ExtractionEngine:
         *,
         result_cache_dir: "str | None" = None,
         memory_cache_entries: int = 256,
+        cache_max_entries: "int | None" = None,
+        cache_max_bytes: "int | None" = None,
+        cache_ttl: "float | None" = None,
+        prime_cache: int = 0,
         default_timeout: "float | None" = None,
         resolution: int = 50,
         metrics: "Metrics | None" = None,
@@ -109,8 +113,18 @@ class ExtractionEngine:
     ) -> None:
         self.metrics = metrics if metrics is not None else Metrics()
         self.results = ResultCache(
-            result_cache_dir, memory_entries=memory_cache_entries
+            result_cache_dir,
+            memory_entries=memory_cache_entries,
+            max_entries=cache_max_entries,
+            max_bytes=cache_max_bytes,
+            ttl_seconds=cache_ttl,
         )
+        if prime_cache:
+            # Warm-start: a daemon joining a fleet that shares a result
+            # store serves the fleet's working set from memory at once.
+            self.metrics.count(
+                "cache_primed", self.results.prime(prime_cache)
+            )
         self.default_timeout = default_timeout
         self.resolution = resolution
         # Strip-batch engine for every extraction this daemon runs —

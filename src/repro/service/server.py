@@ -63,6 +63,11 @@ class ServiceConfig:
     queue_capacity: int = 64
     result_cache_dir: "str | None" = None
     memory_cache_entries: int = 256
+    cache_max_entries: "int | None" = None  #: disk store entry budget
+    cache_max_bytes: "int | None" = None  #: disk store byte budget
+    cache_ttl: "float | None" = None  #: disk entry max age, seconds
+    prime_cache: int = 0  #: warm-start this many entries from disk
+    shard: "str | None" = None  #: fleet shard identity (None = solo)
     default_timeout: "float | None" = 300.0  #: per-job seconds
     drain_grace: float = 30.0  #: max seconds to wait for drain
     retain_jobs: int = 256
@@ -81,6 +86,10 @@ class ExtractionService:
         self.engine = ExtractionEngine(
             result_cache_dir=self.config.result_cache_dir,
             memory_cache_entries=self.config.memory_cache_entries,
+            cache_max_entries=self.config.cache_max_entries,
+            cache_max_bytes=self.config.cache_max_bytes,
+            cache_ttl=self.config.cache_ttl,
+            prime_cache=self.config.prime_cache,
             default_timeout=self.config.default_timeout,
             resolution=self.config.resolution,
             engine=self.config.engine,
@@ -130,6 +139,7 @@ class ExtractionService:
         self.log(
             event="ready",
             address=self.address,
+            shard=self.config.shard,
             workers=self.config.workers,
             queue_capacity=self.config.queue_capacity,
         )
@@ -330,6 +340,7 @@ class ExtractionService:
 
     def metrics_payload(self) -> dict:
         return self.metrics.snapshot(
+            shard=self.config.shard,
             queue={
                 "depth": self.queue.depth,
                 "capacity": self.queue.capacity,
@@ -430,6 +441,7 @@ def _make_handler(service: ExtractionService) -> type:
                     200,
                     {
                         "ok": True,
+                        "shard": service.config.shard,
                         "draining": service.draining.is_set(),
                         "uptime_seconds": round(
                             time.monotonic()

@@ -1,0 +1,58 @@
+"""Shared fixtures: an in-process two-shard fleet per test.
+
+The shards are real :class:`ExtractionService` daemons on ephemeral
+ports (threaded, in this process — cheap and easy to introspect); the
+router in front is the real asyncio front-end.  Subprocess shards, and
+the violence done to them, live in test_supervisor.py/test_failover.py.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.fleet import FleetRouter, RouterConfig
+from repro.service import ExtractionService, ServiceClient, ServiceConfig
+
+
+@dataclass
+class Fleet:
+    services: "list[ExtractionService]"
+    router: FleetRouter
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    store = str(tmp_path / "store")
+    services = []
+    specs = []
+    for index in range(2):
+        svc = ExtractionService(
+            ServiceConfig(
+                port=0,
+                workers=2,
+                queue_capacity=8,
+                quiet=True,
+                shard=f"shard{index}",
+                result_cache_dir=store,
+            )
+        )
+        svc.start()
+        services.append(svc)
+        specs.append((f"shard{index}", "127.0.0.1", svc.port))
+    router = FleetRouter(
+        specs, RouterConfig(port=0, quiet=True, health_interval=0.2)
+    )
+    router.start()
+    yield Fleet(services=services, router=router)
+    router.close()
+    for svc in services:
+        svc.close()
+
+
+@pytest.fixture()
+def fleet_client(fleet):
+    return ServiceClient(port=fleet.port, timeout=30.0)

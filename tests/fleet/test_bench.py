@@ -1,0 +1,55 @@
+"""The fleet bench harness itself: rows, invariants, report shape."""
+
+from repro.bench.service import bench_fleet, check_fleet_report
+
+
+def test_single_shard_sweep_passes_checks(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    report = bench_fleet(
+        [1], clients=3, requests=2, workers=2, kill_mid_run=False
+    )
+    assert [row["shards"] for row in report["rows"]] == [1]
+    row = report["rows"][0]
+    assert row["load"]["completed"] == row["load"]["requests"] == 6
+    assert row["killed_shard"] is None
+    assert row["parity_ok"] is True
+    assert row["coalesce_hits"] >= 1
+    assert row["drained_clean"] is True
+    assert check_fleet_report(report) == []
+
+
+def test_check_flags_violations():
+    report = {
+        "rows": [
+            {
+                "shards": 2,
+                "burst": {
+                    "submitters": 4,
+                    "completed": 3,
+                    "errors": ["boom"],
+                    "distinct_idents": 2,
+                    "identical_results": False,
+                    "matches_reference": False,
+                },
+                "load": {
+                    "requests": 10,
+                    "completed": 8,
+                    "errors": ["x", "y"],
+                },
+                "killed_shard": "shard1",
+                "parity_ok": False,
+                "post_kill_parity_ok": True,
+                "coalesce_hits": 0,
+                "failovers": 0,
+                "shards_down_seen": 0,
+                "drained_clean": False,
+            }
+        ]
+    }
+    problems = check_fleet_report(report)
+    joined = "\n".join(problems)
+    assert "burst dropped" in joined
+    assert "no coalesce hits" in joined
+    assert "dropped" in joined
+    assert "diverged" in joined
+    assert "drain" in joined

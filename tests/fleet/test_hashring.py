@@ -1,0 +1,63 @@
+"""The consistent-hash ring: determinism, balance, minimal disruption."""
+
+import pytest
+
+from repro.fleet import HashRing
+
+NODES = ["shard0", "shard1", "shard2"]
+
+
+def keys(n):
+    return [f"digest-{i:04d}" for i in range(n)]
+
+
+def test_route_is_deterministic_across_instances():
+    a = HashRing(NODES)
+    b = HashRing(list(NODES))
+    for key in keys(200):
+        assert a.route(key) == b.route(key)
+
+
+def test_preference_lists_every_node_once_owner_first():
+    ring = HashRing(NODES)
+    for key in keys(50):
+        order = ring.preference(key)
+        assert sorted(order) == sorted(NODES)
+        assert order[0] == ring.route(key)
+
+
+def test_spread_is_roughly_balanced():
+    ring = HashRing(NODES)
+    counts = ring.spread(keys(3000))
+    assert sum(counts.values()) == 3000
+    for node in NODES:
+        # 64 virtual points per node keeps imbalance well under 2x.
+        assert 3000 // 6 < counts[node] < 3000 // 2 + 300
+
+
+def test_removing_a_node_only_moves_its_own_keys():
+    full = HashRing(NODES)
+    reduced = HashRing(["shard0", "shard2"])
+    for key in keys(500):
+        owner = full.route(key)
+        if owner != "shard1":
+            # Keys owned by surviving shards must not move at all.
+            assert reduced.route(key) == owner
+        else:
+            # Orphaned keys land on the full ring's next preference.
+            fallback = [n for n in full.preference(key) if n != "shard1"]
+            assert reduced.route(key) == fallback[0]
+
+
+def test_single_node_ring_routes_everything_to_it():
+    ring = HashRing(["only"])
+    assert {ring.route(k) for k in keys(20)} == {"only"}
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["a", "a"])
+    with pytest.raises(ValueError):
+        HashRing(["a"], replicas=0)

@@ -1,0 +1,131 @@
+"""Router bookkeeping: breaker transitions, coalescing, retention."""
+
+from repro.fleet import CircuitBreaker, FleetJobTable, ShardState
+
+
+def make_table(**kwargs):
+    return FleetJobTable(**kwargs)
+
+
+def submission(i=0):
+    return {"cif": f"layout-{i}", "options": {}}
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=60.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.open
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.open
+        assert not breaker.allow()
+
+    def test_success_closes_and_resets(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=60.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.open
+        breaker.record_success()
+        assert not breaker.open
+        assert breaker.consecutive_failures == 0
+        assert breaker.allow()
+
+    def test_half_open_allows_exactly_one_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure()
+        assert breaker.open
+        # Cooldown of zero: immediately half-open.
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # a second concurrent probe is refused
+        breaker.record_failure()  # probe failed: re-open
+        assert breaker.open
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_success()
+        assert not breaker.open
+        assert breaker.allow()
+
+
+class TestShardState:
+    def test_update_address_bumps_generation_and_resets(self):
+        shard = ShardState(name="s0", host="127.0.0.1", port=1234)
+        shard.healthy = False
+        for _ in range(3):
+            shard.breaker.record_failure()
+        assert not shard.available()
+        shard.update_address("127.0.0.1", 4321)
+        assert shard.generation == 1
+        assert shard.port == 4321
+        assert shard.available()
+
+    def test_snapshot_shape(self):
+        shard = ShardState(name="s0", host="127.0.0.1", port=1234)
+        snap = shard.snapshot()
+        assert snap["name"] == "s0"
+        assert snap["address"] == "http://127.0.0.1:1234"
+        assert snap["healthy"] is True
+        assert "breaker" in snap
+
+
+class TestFleetJobTable:
+    def test_create_registers_for_coalescing(self):
+        table = make_table()
+        job = table.create(submission(), key="k1", digest="d1")
+        assert job.ident.startswith("f")
+        assert table.get(job.ident) is job
+        joined = table.coalesce("k1")
+        assert joined is job
+        assert job.waiters == 2
+
+    def test_terminal_jobs_do_not_coalesce(self):
+        table = make_table()
+        job = table.create(submission(), key="k1", digest="d1")
+        table.mark_terminal(job, "done")
+        assert table.coalesce("k1") is None
+        fresh = table.create(submission(), key="k1", digest="d1")
+        assert fresh is not job
+        assert table.coalesce("k1") is fresh
+
+    def test_mark_terminal_is_idempotent(self):
+        table = make_table()
+        job = table.create(submission(), key="k1", digest="d1")
+        table.mark_terminal(job, "done")
+        table.mark_terminal(job, "failed")
+        assert job.state == "done"
+
+    def test_retention_evicts_oldest_finished(self):
+        table = make_table(retain=2)
+        jobs = [
+            table.create(submission(i), key=f"k{i}", digest=f"d{i}")
+            for i in range(3)
+        ]
+        for job in jobs:
+            table.mark_terminal(job, "done")
+        assert table.get(jobs[0].ident) is None  # evicted
+        assert table.get(jobs[1].ident) is jobs[1]
+        assert table.get(jobs[2].ident) is jobs[2]
+
+    def test_discard_forgets_everything(self):
+        table = make_table()
+        job = table.create(submission(), key="k1", digest="d1")
+        table.discard(job)
+        assert table.get(job.ident) is None
+        assert table.coalesce("k1") is None
+
+    def test_pending_on_filters_by_shard(self):
+        table = make_table()
+        shard_a = ShardState(name="a", host="h", port=1)
+        shard_b = ShardState(name="b", host="h", port=2)
+        one = table.create(submission(1), key="k1", digest="d1")
+        two = table.create(submission(2), key="k2", digest="d2")
+        one.shard = shard_a
+        two.shard = shard_b
+        assert table.pending_on(shard_a) == [one]
+        table.mark_terminal(one, "done")
+        assert table.pending_on(shard_a) == []

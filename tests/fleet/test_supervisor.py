@@ -1,0 +1,101 @@
+"""Real shard subprocesses: spawn, restart, rolling restart, drain."""
+
+import pytest
+
+from repro.cif import write as write_cif
+from repro.fleet import FleetRouter, FleetSupervisor, RouterConfig
+from repro.fleet.supervisor import ShardProcess, ShardSpawnError
+from repro.service import ServiceClient
+from repro.workloads import inverter
+
+INVERTER = write_cif(inverter())
+
+
+@pytest.fixture()
+def supervised(tmp_path):
+    supervisor = FleetSupervisor(
+        2, workers=1, store_dir=str(tmp_path / "store"), prime_cache=8
+    )
+    specs = supervisor.start()
+    router = FleetRouter(
+        specs, RouterConfig(port=0, quiet=True, health_interval=0.25)
+    )
+    router.start()
+    yield supervisor, router
+    router.close()
+    supervisor.close()
+
+
+def test_spawn_reports_shard_identity(supervised):
+    supervisor, router = supervised
+    client = ServiceClient(port=router.port, timeout=30.0)
+    metrics = client.metrics()
+    assert set(metrics["shards"]) == {"shard0", "shard1"}
+    for name, payload in metrics["shards"].items():
+        assert payload["shard"] == name
+    for snap in supervisor.snapshot():
+        assert snap["alive"] is True
+
+
+def test_extraction_through_subprocess_fleet(supervised):
+    _, router = supervised
+    client = ServiceClient(port=router.port, timeout=30.0)
+    result = client.extract(INVERTER, name="inv.cif", wait_timeout=60.0)
+    assert "wirelist" in result
+
+
+def test_restart_shard_changes_port_same_name(supervised):
+    supervisor, router = supervised
+    old_port = supervisor.shards["shard0"].port
+    host, new_port = supervisor.restart_shard("shard0")
+    router.update_shard("shard0", host, new_port)
+    assert new_port != 0
+    assert supervisor.shards["shard0"].alive
+    client = ServiceClient(port=router.port, timeout=30.0)
+    result = client.extract(INVERTER, name="inv.cif", wait_timeout=60.0)
+    assert "wirelist" in result
+    shard0 = router.shards["shard0"]
+    assert shard0.port == new_port
+    assert shard0.generation == 1
+    assert old_port != new_port or True  # ports may collide; name rules
+
+
+def test_rolling_restart_keeps_serving(supervised):
+    supervisor, router = supervised
+    client = ServiceClient(port=router.port, timeout=30.0, retries=4)
+    before = client.extract(INVERTER, name="inv.cif", wait_timeout=60.0)
+    supervisor.rolling_restart(
+        lambda name, host, port: router.update_shard(name, host, port)
+    )
+    for shard in supervisor.shards.values():
+        assert shard.alive
+    after = client.extract(INVERTER, name="inv.cif", wait_timeout=60.0)
+    assert after["wirelist"] == before["wirelist"]
+    # A full generation of replacements happened under the router.
+    assert all(s.generation == 1 for s in router.shards.values())
+
+
+def test_drain_exits_cleanly(tmp_path):
+    supervisor = FleetSupervisor(2, workers=1)
+    supervisor.start()
+    assert supervisor.drain() is True
+    for shard in supervisor.shards.values():
+        assert not shard.alive
+
+
+def test_killed_shard_reports_not_alive(tmp_path):
+    supervisor = FleetSupervisor(2, workers=1)
+    supervisor.start()
+    try:
+        supervisor.kill_shard("shard1")
+        assert not supervisor.shards["shard1"].alive
+        assert supervisor.shards["shard0"].alive
+    finally:
+        supervisor.close()
+
+
+def test_spawn_failure_raises_with_stderr_tail(tmp_path):
+    shard = ShardProcess("bad", extra_args=["--engine", "bogus"])
+    with pytest.raises(ShardSpawnError):
+        shard.spawn(timeout=20.0)
+    assert not shard.alive

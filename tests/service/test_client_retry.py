@@ -1,0 +1,161 @@
+"""Client-side retry: bounded attempts, backoff, Retry-After wins."""
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+class ScriptedClient(ServiceClient):
+    """A client whose transport plays back a script of answers."""
+
+    def __init__(self, script, **kwargs):
+        super().__init__(port=1, **kwargs)
+        self.script = list(script)
+        self.attempts = 0
+        self.delays = []
+
+    def _request(self, method, path, body=None, ok=(200,)):
+        self.attempts += 1
+        answer = self.script.pop(0)
+        if isinstance(answer, Exception):
+            raise answer
+        return answer
+
+
+@pytest.fixture(autouse=True)
+def no_real_sleep(monkeypatch):
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+
+    sleeps = []
+    monkeypatch.setattr(
+        "repro.service.client.time.sleep", fake_sleep
+    )
+    yield sleeps
+
+
+def backpressure(status, retry_after=None):
+    payload = {"error": "busy"}
+    if retry_after is not None:
+        payload["retry_after_seconds"] = retry_after
+    return ServiceError(status, payload)
+
+
+def test_no_retries_by_default(no_real_sleep):
+    client = ScriptedClient([backpressure(429)])
+    with pytest.raises(ServiceError):
+        client.submit("cif")
+    assert client.attempts == 1
+    assert client.retries_performed == 0
+
+
+def test_retries_until_success(no_real_sleep):
+    client = ScriptedClient(
+        [backpressure(429), backpressure(503), {"job": "j1"}],
+        retries=3,
+    )
+    receipt = client.submit("cif")
+    assert receipt == {"job": "j1"}
+    assert client.attempts == 3
+    assert client.retries_performed == 2
+
+
+def test_budget_exhaustion_reraises_last_error(no_real_sleep):
+    client = ScriptedClient(
+        [backpressure(429), backpressure(429), backpressure(429)],
+        retries=2,
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("cif")
+    assert excinfo.value.status == 429
+    assert client.attempts == 3  # initial + 2 retries
+
+
+def test_non_retryable_status_fails_immediately(no_real_sleep):
+    client = ScriptedClient([ServiceError(400, {"error": "bad"})], retries=5)
+    with pytest.raises(ServiceError):
+        client.submit("cif")
+    assert client.attempts == 1
+
+
+def test_connection_failure_is_retryable(no_real_sleep):
+    client = ScriptedClient(
+        [ConnectionRefusedError("down"), {"job": "j1"}], retries=1
+    )
+    assert client.submit("cif") == {"job": "j1"}
+    assert client.attempts == 2
+
+
+def test_retry_after_hint_wins_over_backoff(no_real_sleep):
+    client = ScriptedClient(
+        [backpressure(429, retry_after=3.5), {"job": "j1"}],
+        retries=1,
+        backoff=0.25,
+        jitter=0.0,
+    )
+    client.submit("cif")
+    assert no_real_sleep == [3.5]
+
+
+def test_backoff_grows_exponentially_and_caps(no_real_sleep):
+    client = ScriptedClient(
+        [backpressure(503)] * 5 + [{"job": "j1"}],
+        retries=5,
+        backoff=1.0,
+        backoff_cap=4.0,
+        jitter=0.0,
+    )
+    client.submit("cif")
+    assert no_real_sleep == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+
+def test_jitter_stays_bounded(no_real_sleep):
+    client = ScriptedClient(
+        [backpressure(503), {"job": "j1"}],
+        retries=1,
+        backoff=1.0,
+        jitter=0.5,
+    )
+    client.submit("cif")
+    (delay,) = no_real_sleep
+    assert 1.0 <= delay <= 1.5
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(ValueError):
+        ServiceClient(retries=-1)
+
+
+def test_retry_after_header_fallback():
+    error = ServiceError(429, {"error": "busy"}, {"Retry-After": "7"})
+    assert error.retry_after == 7.0
+    # The payload hint wins over the header when both exist.
+    error = ServiceError(
+        429, {"error": "busy", "retry_after_seconds": 2.5},
+        {"Retry-After": "7"},
+    )
+    assert error.retry_after == 2.5
+
+
+def test_live_daemon_backpressure_exhaustion(idle_service, idle_client):
+    """Against a real full daemon: retries happen, then the 429 surfaces."""
+    from repro.cif import write as write_cif
+    from repro.workloads import inverter
+
+    cif = write_cif(inverter())
+    # Fill the queue (no workers drain it).
+    for index in range(idle_service.config.queue_capacity):
+        idle_client.submit(cif, name=f"fill{index}.cif")
+    retrying = ServiceClient(
+        port=idle_service.port,
+        timeout=30.0,
+        retries=2,
+        backoff=0.01,
+        backoff_cap=0.02,
+        jitter=0.0,
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        retrying.submit(cif, name="overflow.cif")
+    assert excinfo.value.status == 429
+    assert retrying.retries_performed == 2
+    assert excinfo.value.retry_after is not None

@@ -1,0 +1,53 @@
+"""Warm-start priming and shard identity surfacing."""
+
+from repro.service import ExtractionService, ServiceClient, ServiceConfig
+from repro.service.cache import ResultCache
+
+
+def result_payload(i):
+    return {"wirelist": f"w{i}", "diagnostics": [], "warnings": []}
+
+
+class TestPrime:
+    def test_prime_loads_recent_disk_entries(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        for i in range(5):
+            writer.put(f"{i:02d}" + "cd" * 31, result_payload(i))
+        cold = ResultCache(tmp_path)
+        assert cold.prime(3) == 3
+        snap = cold.stats_snapshot()
+        assert snap["primed"] == 3
+        assert snap["memory_entries"] == 3
+
+    def test_prime_without_disk_is_zero(self):
+        assert ResultCache().prime() == 0
+
+    def test_primed_entries_hit_in_memory(self, tmp_path):
+        key = "aa" + "cd" * 31
+        ResultCache(tmp_path).put(key, result_payload(1))
+        cold = ResultCache(tmp_path)
+        cold.prime()
+        before_disk_hits = cold.stats_snapshot()["disk"]["hits"]
+        assert cold.get(key) == result_payload(1)
+        # The hit was served from memory, not another disk read.
+        assert cold.stats_snapshot()["disk"]["hits"] == before_disk_hits
+
+
+class TestShardIdentity:
+    def test_shard_flows_to_healthz_and_metrics(self, tmp_path):
+        svc = ExtractionService(
+            ServiceConfig(
+                port=0, workers=1, quiet=True, shard="shard7",
+                result_cache_dir=str(tmp_path / "store"), prime_cache=4,
+            )
+        )
+        svc.start()
+        try:
+            client = ServiceClient(port=svc.port, timeout=10.0)
+            assert client.health()["shard"] == "shard7"
+            assert client.metrics()["shard"] == "shard7"
+        finally:
+            svc.close()
+
+    def test_solo_daemon_has_null_shard(self, service, client):
+        assert client.health()["shard"] is None

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the sharded fleet tier as real processes.
+
+What CI's ``fleet-smoke`` job runs (and anyone can run locally)::
+
+    PYTHONPATH=src python tools/fleet_smoke.py --out fleet-report.json
+
+The script supervises three ``repro-serve`` shard subprocesses on a
+shared artifact store behind a ``FleetRouter``, then drills the claims
+of docs/FLEET.md in order:
+
+1. a barrier burst of identical submissions coalesces onto one
+   upstream job and every submitter gets the same wirelist bytes;
+2. with a backlog in flight, one shard is SIGKILLed — every job must
+   still complete, with wirelists byte-identical to a solo in-process
+   daemon (the failover + determinism contract);
+3. a rolling restart replaces every shard (generation bump, same ring
+   slice) while the fleet keeps serving;
+4. the router and the surviving shards drain cleanly.
+
+This covers what the in-process suite cannot: real subprocess shards
+dying from real signals under a real asyncio front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cif import write as write_cif  # noqa: E402
+from repro.fleet.router import FleetRouter, RouterConfig  # noqa: E402
+from repro.fleet.supervisor import FleetSupervisor  # noqa: E402
+from repro.service import (  # noqa: E402
+    ExtractionService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.workloads import (  # noqa: E402
+    dram_column,
+    poly_diff_mesh,
+    transistor_array,
+)
+
+SHARDS = 3
+WAIT = 120.0
+
+
+def fail(message: str) -> int:
+    print(f"FLEET SMOKE FAILURE: {message}", file=sys.stderr)
+    return 1
+
+
+def payload_set() -> "list[tuple[str, str]]":
+    payloads = [
+        (f"mesh{n}.cif", write_cif(poly_diff_mesh(n))) for n in (4, 5, 6, 7)
+    ]
+    payloads += [
+        (f"dram{n}.cif", write_cif(dram_column(n))) for n in (4, 6)
+    ]
+    return payloads
+
+
+def reference_wirelists(payloads: "list[tuple[str, str]]") -> "dict[str, str]":
+    """Ground truth from a solo in-process daemon — no fleet involved."""
+    svc = ExtractionService(ServiceConfig(port=0, workers=2, quiet=True))
+    svc.start()
+    try:
+        client = ServiceClient(port=svc.port, timeout=WAIT)
+        return {
+            name: client.extract(cif, name=name, wait_timeout=WAIT)["wirelist"]
+            for name, cif in payloads
+        }
+    finally:
+        svc.close()
+
+
+def run_burst(port: int, submitters: int) -> "tuple[list[str], list[str]]":
+    cif = write_cif(transistor_array(8))
+    barrier = threading.Barrier(submitters)
+    wirelists: "list[str]" = []
+    errors: "list[str]" = []
+    lock = threading.Lock()
+
+    def one() -> None:
+        client = ServiceClient(port=port, timeout=WAIT, retries=4)
+        barrier.wait()
+        try:
+            result = client.extract(
+                cif, name="burst.cif", wait_timeout=WAIT
+            )
+            with lock:
+                wirelists.append(result["wirelist"])
+        except Exception as exc:  # noqa: BLE001 - smoke collects everything
+            with lock:
+                errors.append(repr(exc))
+
+    threads = [threading.Thread(target=one) for _ in range(submitters)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return wirelists, errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="JSON report path")
+    args = parser.parse_args()
+
+    report: dict = {"shards": SHARDS}
+    payloads = payload_set()
+    print("computing solo-daemon reference wirelists ...")
+    reference = reference_wirelists(payloads)
+
+    store = tempfile.mkdtemp(prefix="fleet-smoke-store-")
+    supervisor = FleetSupervisor(
+        SHARDS, workers=1, store_dir=store, prime_cache=8
+    )
+    router = None
+    try:
+        specs = supervisor.start()
+        router = FleetRouter(
+            specs,
+            RouterConfig(port=0, quiet=True, health_interval=0.5),
+        )
+        router.start()
+        client = ServiceClient(port=router.port, timeout=WAIT, retries=4)
+
+        # 1. Coalescing burst.
+        wirelists, errors = run_burst(router.port, submitters=6)
+        if errors:
+            return fail(f"burst submissions errored: {errors}")
+        if len(set(wirelists)) != 1:
+            return fail("burst produced divergent wirelist bytes")
+        counters = client.metrics()["fleet"]["counters"]
+        if counters.get("coalesced", 0) < 1:
+            return fail(f"no coalesce hits recorded: {counters}")
+        report["burst"] = {
+            "submitters": 6,
+            "coalesced": counters.get("coalesced", 0),
+        }
+        print(f"burst: 6 submitters, {counters['coalesced']} coalesced")
+
+        # 2. Kill one shard with jobs in flight; everything completes.
+        receipts = {
+            name: client.submit(cif, name=name)["job"]
+            for name, cif in payloads
+        }
+        # Kill the shard actually holding the most in-flight jobs, so
+        # the drill exercises failover rather than an idle bystander.
+        victim = max(
+            router.shards.values(),
+            key=lambda shard: len(router.table.pending_on(shard)),
+        ).name
+        supervisor.kill_shard(victim)
+        print(f"SIGKILLed {victim} with {len(receipts)} jobs submitted")
+        mismatched = []
+        for name, ident in receipts.items():
+            client.wait(ident, timeout=WAIT)
+            result = client.result(ident)
+            if result["wirelist"] != reference[name]:
+                mismatched.append(name)
+        if mismatched:
+            return fail(f"post-kill wirelists diverged: {mismatched}")
+        counters = client.metrics()["fleet"]["counters"]
+        report["kill"] = {
+            "victim": victim,
+            "jobs": len(receipts),
+            "failovers": counters.get("failover", 0),
+            "shards_down": counters.get("shard_down", 0),
+        }
+        print(
+            f"kill drill: {len(receipts)}/{len(receipts)} byte-identical, "
+            f"failovers={counters.get('failover', 0)}"
+        )
+
+        # Revive the victim so the rolling restart sees a full fleet.
+        host, port = supervisor.restart_shard(victim)
+        router.update_shard(victim, host, port)
+
+        # 3. Rolling restart: every shard replaced, fleet keeps serving.
+        supervisor.rolling_restart(
+            on_restarted=lambda name, host, port: router.update_shard(
+                name, host, port
+            )
+        )
+        name, cif = payloads[0]
+        after = client.extract(cif, name=name, wait_timeout=WAIT)
+        if after["wirelist"] != reference[name]:
+            return fail("post-restart wirelist diverged")
+        health = client.health()
+        generations = {
+            s["name"]: s["generation"] for s in health["shards"]
+        }
+        stale = [n for n, g in generations.items() if g < 1]
+        if stale:
+            return fail(f"shards not restarted: {stale}")
+        report["rolling_restart"] = {"generations": generations}
+        print(f"rolling restart: generations {generations}")
+
+        # 4. Clean drain, router first, then the shard processes.
+        deadline = time.monotonic() + 30.0
+        router_clean = router.drain(grace=max(1.0, deadline - time.monotonic()))
+        shards_clean = supervisor.drain()
+        report["drain"] = {
+            "router_clean": router_clean,
+            "shards_clean": shards_clean,
+        }
+        if not router_clean or not shards_clean:
+            return fail(f"drain was not clean: {report['drain']}")
+        print("graceful drain: clean")
+    finally:
+        if router is not None:
+            router.close()
+        supervisor.close()
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.out}")
+    print("fleet smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
